@@ -1,0 +1,142 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Reproduction: prints every table and figure of the paper's
+      evaluation (the same rows/series, from the 14-program suite).
+   2. Bechamel micro-benchmarks: one Test.make per table/figure, timing
+      the analysis machinery that experiment exercises (the paper's claim
+      that estimation runs at "conventional optimization" speed).
+
+   Run everything:        dune exec bench/main.exe
+   Only the timings:      dune exec bench/main.exe -- --bench-only
+   Only the experiments:  dune exec bench/main.exe -- --repro-only *)
+
+open Bechamel
+
+module Pipeline = Core.Pipeline
+module Cfg = Cfg_ir.Cfg
+
+let compile_bench name =
+  let p = Option.get (Suite.Registry.find name) in
+  Pipeline.compile ~name p.Suite.Bench_prog.source
+
+(* Pre-compiled inputs for the staged benchmark functions. *)
+let lisp = lazy (compile_bench "lisp_mini")
+let compress = lazy (compile_bench "compress_mini")
+let bison = lazy (compile_bench "bison_mini")
+let cholesky = lazy (compile_bench "cholesky_mini")
+let tree = lazy (compile_bench "tree_mini")
+
+let lisp_source =
+  lazy (Option.get (Suite.Registry.find "lisp_mini")).Suite.Bench_prog.source
+
+let compress_profile =
+  lazy
+    (let c = Lazy.force compress in
+     let p = Option.get (Suite.Registry.find "compress_mini") in
+     let r = List.hd p.Suite.Bench_prog.runs in
+     (Pipeline.run_once c
+        { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+          input = r.Suite.Bench_prog.r_input })
+       .Cinterp.Eval.profile)
+
+let strchr_arrays =
+  (* the Table 2 vectors *)
+  ([| 5.0; 4.0; 0.8; 4.0; 1.0 |], [| 3.0; 3.0; 2.0; 1.0; 0.0 |])
+
+let tests : Test.t list =
+  [ Test.make ~name:"table1:front-end (lisp_mini parse+check+cfg)"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.compile ~name:"lisp" (Lazy.force lisp_source))));
+    Test.make ~name:"table2:weight-matching score"
+      (Staged.stage (fun () ->
+           let estimate, actual = strchr_arrays in
+           ignore (Core.Weight_matching.score ~estimate ~actual ~cutoff:0.6)));
+    Test.make ~name:"fig2:miss-rate tally (compress_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force compress in
+           let prof = Lazy.force compress_profile in
+           ignore
+             (Core.Missrate.rate c.Pipeline.prog prof
+                (Core.Missrate.smart_predictor c.Pipeline.prog))));
+    Test.make ~name:"fig3:smart AST estimate (lisp_mini, all functions)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force lisp in
+           ignore (Pipeline.intra_table c Pipeline.Ismart)));
+    Test.make ~name:"fig4:loop+smart+markov intra (bison_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force bison in
+           ignore (Pipeline.intra_table c Pipeline.Iloop);
+           ignore (Pipeline.intra_table c Pipeline.Ismart);
+           ignore (Pipeline.intra_table c Pipeline.Imarkov)));
+    Test.make ~name:"fig5a:simple inter estimators (lisp_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force lisp in
+           let intra = Pipeline.intra_provider c Pipeline.Ismart in
+           List.iter
+             (fun k ->
+               ignore (Core.Inter_simple.estimate c.Pipeline.graph ~intra k))
+             Core.Inter_simple.all_kinds));
+    Test.make ~name:"fig5bc:markov call-graph solve (lisp_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force lisp in
+           let intra = Pipeline.intra_provider c Pipeline.Ismart in
+           ignore (Core.Markov_inter.estimate c.Pipeline.graph ~intra)));
+    Test.make ~name:"fig6_7:markov intra solve (cholesky_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force cholesky in
+           ignore (Pipeline.intra_table c Pipeline.Imarkov)));
+    Test.make ~name:"fig8:recursion repair (tree_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force tree in
+           let intra = Pipeline.intra_provider c Pipeline.Ismart in
+           ignore (Core.Markov_inter.estimate c.Pipeline.graph ~intra)));
+    Test.make ~name:"fig9:call-site ranking (compress_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force compress in
+           let intra = Pipeline.intra_provider c Pipeline.Ismart in
+           ignore (Pipeline.callsite_estimate c ~intra Pipeline.Imarkov_inter)));
+    Test.make ~name:"fig10:cost model (compress_mini)"
+      (Staged.stage (fun () ->
+           let c = Lazy.force compress in
+           let prof = Lazy.force compress_profile in
+           ignore
+             (Pipeline.modelled_time c prof ~optimized:[ "hash_probe" ])))
+  ]
+
+let run_benchmarks () =
+  print_endline "=== Bechamel micro-benchmarks (analysis machinery) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+            if ns > 1_000_000.0 then
+              Printf.printf "  %-55s %10.3f ms/run\n%!" name (ns /. 1e6)
+            else
+              Printf.printf "  %-55s %10.1f us/run\n%!" name (ns /. 1e3)
+          | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
+        stats)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let bench_only = List.mem "--bench-only" args in
+  let repro_only = List.mem "--repro-only" args in
+  if not bench_only then begin
+    print_endline
+      "=== Reproduction of every table and figure (PLDI 1994) ===\n";
+    print_string (Driver.Experiments.run_all ());
+    print_newline ()
+  end;
+  if not repro_only then run_benchmarks ()

@@ -1,0 +1,364 @@
+(* estimator — command-line driver for the static-estimator library.
+
+   Subcommands:
+     parse        parse and typecheck a C file, print the globals
+     cfg          dump a function's CFG (text or dot)
+     estimate     print intra-procedural block frequency estimates
+     inter        print function invocation estimates
+     callsites    print the global call-site ranking
+     annotate     print the source with per-line frequency estimates
+     run          interpret a C program (profiling; --save-profile FILE)
+     score        score static estimates against a saved profile
+     experiment   reproduce one of the paper's tables/figures/ablations
+     suite        list the benchmark suite *)
+
+module Pipeline = Core.Pipeline
+module Cfg = Cfg_ir.Cfg
+module Profile = Cinterp.Profile
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  Pipeline.compile ~name (read_file path)
+
+(* ---- common arguments ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c"
+         ~doc:"C source file (supported subset).")
+
+let fn_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "function" ]
+         ~docv:"NAME" ~doc:"Restrict output to one function.")
+
+let mode_arg =
+  Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
+                           ("markov", Pipeline.Imarkov);
+                           ("structural", Pipeline.Istructural) ])
+         Pipeline.Ismart
+       & info [ "m"; "mode" ] ~docv:"MODE"
+           ~doc:"Estimator: loop, smart, markov, or structural.")
+
+let inter_arg =
+  Arg.(value
+       & opt (enum [ ("call_site", Pipeline.Isimple Core.Inter_simple.Call_site);
+                     ("direct", Pipeline.Isimple Core.Inter_simple.Direct);
+                     ("all_rec", Pipeline.Isimple Core.Inter_simple.All_rec);
+                     ("all_rec2", Pipeline.Isimple Core.Inter_simple.All_rec2);
+                     ("markov", Pipeline.Imarkov_inter) ])
+           Pipeline.Imarkov_inter
+       & info [ "i"; "inter" ] ~docv:"KIND"
+           ~doc:"Inter-procedural model: call_site, direct, all_rec, all_rec2, markov.")
+
+let selected_fns c = function
+  | None -> c.Pipeline.prog.Cfg.prog_fns
+  | Some name -> (
+    match Cfg.find_fn c.Pipeline.prog name with
+    | Some fn -> [ fn ]
+    | None -> failwith ("no such function: " ^ name))
+
+(* ---- parse ---- *)
+
+let cmd_parse =
+  let run path =
+    let c = load path in
+    let tu = c.Pipeline.tc.Cfront.Typecheck.tunit in
+    List.iter
+      (function
+        | Cfront.Ast.Gfun f ->
+          Printf.printf "function %s : %s (%d params)\n" f.Cfront.Ast.f_name
+            (Cfront.Ctypes.to_string f.Cfront.Ast.f_ret)
+            (List.length f.Cfront.Ast.f_params)
+        | Cfront.Ast.Gvar d ->
+          Printf.printf "global   %s : %s\n" d.Cfront.Ast.d_name
+            (Cfront.Ctypes.to_string d.Cfront.Ast.d_ty)
+        | Cfront.Ast.Gfundecl d ->
+          Printf.printf "proto    %s\n" d.Cfront.Ast.d_name)
+      tu.Cfront.Ast.globals
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and typecheck a C file")
+    Term.(const run $ file_arg)
+
+(* ---- cfg ---- *)
+
+let cmd_cfg =
+  let run path fn_name dot =
+    let c = load path in
+    List.iter
+      (fun fn ->
+        if dot then print_string (Cfg_ir.Dot.fn_to_dot fn)
+        else begin
+          Printf.printf "function %s (%d blocks, entry B%d)\n"
+            fn.Cfg.fn_name (Cfg.n_blocks fn) fn.Cfg.fn_entry;
+          Array.iter
+            (fun (b : Cfg.block) ->
+              let succs = Cfg.successors b.Cfg.b_term in
+              Printf.printf "  B%d: %d instr(s) -> %s\n" b.Cfg.b_id
+                (List.length b.Cfg.b_instrs)
+                (if succs = [] then "return"
+                 else String.concat ", "
+                        (List.map (Printf.sprintf "B%d") succs)))
+            fn.Cfg.fn_blocks
+        end)
+      (selected_fns c fn_name)
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz format.")
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Dump control-flow graphs")
+    Term.(const run $ file_arg $ fn_arg $ dot)
+
+(* ---- estimate ---- *)
+
+let cmd_estimate =
+  let run path fn_name mode =
+    let c = load path in
+    let intra = Pipeline.intra_provider c mode in
+    List.iter
+      (fun fn ->
+        Printf.printf "%s (%s estimator, entry = 1):\n" fn.Cfg.fn_name
+          (Pipeline.intra_kind_to_string mode);
+        Array.iteri
+          (fun i v -> Printf.printf "  B%-3d %8.3f\n" i v)
+          (intra fn.Cfg.fn_name))
+      (selected_fns c fn_name)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Intra-procedural block frequency estimates")
+    Term.(const run $ file_arg $ fn_arg $ mode_arg)
+
+(* ---- inter ---- *)
+
+let cmd_inter =
+  let run path kind =
+    let c = load path in
+    let intra = Pipeline.intra_provider c Pipeline.Ismart in
+    let est = Pipeline.inter_estimate c ~intra kind in
+    let names = c.Pipeline.graph.Cfg_ir.Callgraph.names in
+    Printf.printf "function invocation estimates (%s):\n"
+      (Pipeline.inter_kind_to_string kind);
+    Array.iteri
+      (fun i name -> Printf.printf "  %-24s %10.3f\n" name est.(i))
+      names
+  in
+  Cmd.v (Cmd.info "inter" ~doc:"Function invocation estimates")
+    Term.(const run $ file_arg $ inter_arg)
+
+(* ---- callsites ---- *)
+
+let cmd_callsites =
+  let run path kind =
+    let c = load path in
+    let intra = Pipeline.intra_provider c Pipeline.Ismart in
+    let est = Pipeline.callsite_estimate c ~intra kind in
+    let sites = Cfg.direct_sites c.Pipeline.prog in
+    let ranked =
+      List.mapi (fun i cs -> (est.(i), cs)) sites
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    Printf.printf "call sites by estimated frequency (%s):\n"
+      (Pipeline.inter_kind_to_string kind);
+    List.iter
+      (fun (v, cs) ->
+        Printf.printf "  %10.3f  %s\n" v (Core.Callsite_rank.describe cs))
+      ranked
+  in
+  Cmd.v (Cmd.info "callsites" ~doc:"Global call-site ranking")
+    Term.(const run $ file_arg $ inter_arg)
+
+(* ---- run ---- *)
+
+let cmd_run =
+  let run path args stdin_file show_profile save_profile =
+    let c = load path in
+    let input =
+      match stdin_file with None -> "" | Some f -> read_file f
+    in
+    let o = Pipeline.run_once c { Pipeline.argv = args; input } in
+    print_string o.Cinterp.Eval.stdout_text;
+    Printf.eprintf "[exit %d, %.0f work units]\n" o.Cinterp.Eval.exit_code
+      o.Cinterp.Eval.work;
+    if show_profile then begin
+      Printf.eprintf "function invocations:\n";
+      List.iter
+        (fun fn ->
+          Printf.eprintf "  %-24s %10.0f\n" fn.Cfg.fn_name
+            (Profile.invocations o.Cinterp.Eval.profile fn))
+        c.Pipeline.prog.Cfg.prog_fns
+    end;
+    (match save_profile with
+    | Some out ->
+      let oc = open_out out in
+      output_string oc (Profile.save o.Cinterp.Eval.profile);
+      close_out oc;
+      Printf.eprintf "[profile written to %s]\n" out
+    | None -> ());
+    exit o.Cinterp.Eval.exit_code
+  in
+  let args =
+    Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"ARG"
+           ~doc:"Program argument (repeatable).")
+  in
+  let stdin_file =
+    Arg.(value & opt (some file) None & info [ "stdin" ] ~docv:"FILE"
+           ~doc:"File fed to the program as standard input.")
+  in
+  let show_profile =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Print invocation counts.")
+  in
+  let save_profile =
+    Arg.(value & opt (some string) None & info [ "save-profile" ]
+           ~docv:"FILE" ~doc:"Write the execution profile to FILE.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a C program")
+    Term.(const run $ file_arg $ args $ stdin_file $ show_profile
+          $ save_profile)
+
+(* ---- score: compare a static estimate against a saved profile ---- *)
+
+let cmd_score =
+  let run path profile_file mode cutoff =
+    let c = load path in
+    let profile = Profile.load (read_file profile_file) in
+    let estimate = Pipeline.intra_provider c mode in
+    let intra_wm = Pipeline.intra_score c ~estimate profile ~cutoff in
+    Printf.printf "intra weight-matching (%s, %.0f%% cutoff): %.1f%%\n"
+      (Pipeline.intra_kind_to_string mode)
+      (cutoff *. 100.0) (100.0 *. intra_wm);
+    let smart = Pipeline.intra_provider c Pipeline.Ismart in
+    let inter_est = Pipeline.inter_estimate c ~intra:smart Pipeline.Imarkov_inter in
+    let inter_wm =
+      Core.Weight_matching.score ~estimate:inter_est
+        ~actual:(Pipeline.inter_actual c profile)
+        ~cutoff:0.25
+    in
+    Printf.printf "function invocations (markov, 25%% cutoff): %.1f%%\n"
+      (100.0 *. inter_wm);
+    let miss =
+      Core.Missrate.rate c.Pipeline.prog profile
+        (Core.Missrate.smart_predictor c.Pipeline.prog)
+    in
+    Printf.printf "branch misprediction rate: %.1f%%\n" (100.0 *. miss)
+  in
+  let profile_file =
+    Arg.(required & opt (some file) None & info [ "p"; "profile" ]
+           ~docv:"FILE" ~doc:"Profile written by 'run --save-profile'.")
+  in
+  let cutoff =
+    Arg.(value & opt float 0.05 & info [ "cutoff" ] ~docv:"FRACTION"
+           ~doc:"Weight-matching quantile (default 0.05).")
+  in
+  Cmd.v
+    (Cmd.info "score"
+       ~doc:"Score static estimates against a saved profile")
+    Term.(const run $ file_arg $ profile_file $ mode_arg $ cutoff)
+
+(* ---- annotate: print the source with per-line frequency estimates ---- *)
+
+let cmd_annotate =
+  let run path mode =
+    let src = read_file path in
+    let c = load path in
+    (* line -> estimated frequency of the hottest statement starting there,
+       scaled by the containing function's estimated invocation count *)
+    let line_freq : (int, float) Hashtbl.t = Hashtbl.create 256 in
+    let note line v =
+      let old = Option.value ~default:0.0 (Hashtbl.find_opt line_freq line) in
+      if v > old then Hashtbl.replace line_freq line v
+    in
+    let intra = Pipeline.intra_provider c Pipeline.Ismart in
+    let inter = Pipeline.inter_estimate c ~intra Pipeline.Imarkov_inter in
+    let inv name =
+      match Cfg_ir.Callgraph.node_of_name c.Pipeline.graph name with
+      | Some i -> inter.(i)
+      | None -> 0.0
+    in
+    List.iter
+      (fun fn ->
+        let fi = fn.Cfg.fn_info in
+        let f = fi.Cfront.Typecheck.fi_def in
+        let freqs =
+          match mode with
+          | Pipeline.Iloop ->
+            Core.Ast_estimator.stmt_freqs c.Pipeline.tc f
+              Core.Ast_estimator.Loop
+          | _ ->
+            Core.Ast_estimator.stmt_freqs c.Pipeline.tc f
+              Core.Ast_estimator.Smart
+        in
+        let scale = inv fn.Cfg.fn_name in
+        Cfront.Ast.iter_stmt f.Cfront.Ast.f_body
+          ~on_stmt:(fun s ->
+            match Hashtbl.find_opt freqs s.Cfront.Ast.sid with
+            | Some v -> note s.Cfront.Ast.spos.Cfront.Token.line (v *. scale)
+            | None -> ())
+          ~on_expr:(fun _ -> ()))
+      c.Pipeline.prog.Cfg.prog_fns;
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        match Hashtbl.find_opt line_freq lineno with
+        | Some v -> Printf.printf "%10.1f | %s\n" v line
+        | None -> Printf.printf "           | %s\n" line)
+      (String.split_on_char '\n' src)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Print the source annotated with estimated execution frequencies")
+    Term.(const run $ file_arg $ mode_arg)
+
+(* ---- experiment ---- *)
+
+let cmd_experiment =
+  let run id =
+    match id with
+    | None ->
+      Printf.printf "available experiments:\n";
+      List.iter
+        (fun (i, title, _) -> Printf.printf "  %-8s %s\n" i title)
+        Driver.Experiments.all
+    | Some "all" -> print_string (Driver.Experiments.run_all ())
+    | Some id -> (
+      match Driver.Experiments.find id with
+      | Some f -> print_string (f ())
+      | None -> failwith ("unknown experiment " ^ id))
+  in
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (table1, fig2, ... or 'all').")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
+    Term.(const run $ id)
+
+(* ---- suite ---- *)
+
+let cmd_suite =
+  let run () =
+    List.iter
+      (fun (p : Suite.Bench_prog.t) ->
+        Printf.printf "%-16s %4d loc  %d inputs  %s\n" p.Suite.Bench_prog.name
+          (Suite.Bench_prog.loc p)
+          (Suite.Bench_prog.n_runs p)
+          p.Suite.Bench_prog.description)
+      Suite.Registry.all
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "estimator" ~version:"1.0"
+       ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
+    [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;
+      cmd_score; cmd_annotate; cmd_experiment; cmd_suite ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/branch_prediction.ml: Array Cfg_ir Cfront Cinterp Core List Option Printf

@@ -1,0 +1,1 @@
+examples/callsite_ranking.ml: Array Cfg_ir Cinterp Core Option Printf Suite

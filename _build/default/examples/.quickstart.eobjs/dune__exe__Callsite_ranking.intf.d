@@ -1,0 +1,1 @@
+examples/callsite_ranking.mli:

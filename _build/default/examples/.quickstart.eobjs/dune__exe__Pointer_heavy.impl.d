@@ -1,0 +1,1 @@
+examples/pointer_heavy.ml: Array Cfg_ir Cinterp Core List Option Printf Suite

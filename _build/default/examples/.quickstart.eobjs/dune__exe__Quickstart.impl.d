@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cfg_ir Cinterp Core Option Printf

@@ -1,0 +1,1 @@
+examples/register_allocation.ml: Array Cfg_ir Cfront Cinterp Core Fun List Option Printf

@@ -1,0 +1,1 @@
+examples/selective_optimization.ml: Array Cfg_ir Cinterp Core List Option Printf Suite

@@ -1,0 +1,80 @@
+(* Branch prediction walkthrough: show which heuristic fires on each
+   branch of a function and compare against measured outcomes.
+
+     dune exec examples/branch_prediction.exe *)
+
+module Pipeline = Core.Pipeline
+module Branch_predictor = Core.Branch_predictor
+module Cfg = Cfg_ir.Cfg
+module Profile = Cinterp.Profile
+module Pretty = Cfront.Pretty
+
+let source = {|
+int process(int *items, int n, int *out) {
+  int i, written = 0, errors = 0;
+  for (i = 0; i < n; i++) {
+    if (items == NULL) {                 /* pointer heuristic */
+      errors++;
+      continue;
+    }
+    if (items[i] < 0) {                  /* opcode heuristic: < 0 */
+      errors++;
+      continue;
+    }
+    if (items[i] > 50 && items[i] % 2 == 0 && i % 3 != 0) {  /* multi-AND */
+      out[written] = items[i];
+      written++;                          /* store heuristic territory */
+    }
+  }
+  if (errors > n / 2) abort();           /* error-call heuristic */
+  return written;
+}
+
+int main(void) {
+  int data[200];
+  int sink[200];
+  int i;
+  for (i = 0; i < 200; i++) data[i] = (i * 13) % 120 - 10;
+  printf("%d\n", process(data, 200, sink));
+  return 0;
+}
+|}
+
+let () =
+  let c = Pipeline.compile ~name:"branches" source in
+  let tc = c.Pipeline.tc in
+  let fn = Option.get (Cfg.find_fn c.Pipeline.prog "process") in
+  let usage =
+    Cfront.Usage.of_fun tc fn.Cfg.fn_def
+  in
+  let outcome = Pipeline.run_once c { Pipeline.argv = []; input = "" } in
+  let counters =
+    Profile.fn_counters outcome.Cinterp.Eval.profile "process"
+  in
+  Printf.printf "%-45s %-10s %-10s %8s %8s %5s\n" "condition" "prediction"
+    "heuristic" "taken" "not" "hit?";
+  List.iter
+    (fun (bid, (br : Cfg.branch)) ->
+      let prediction, reason = Branch_predictor.predict tc usage br in
+      let taken = counters.Profile.branch_taken.(bid) in
+      let not_taken = counters.Profile.branch_not_taken.(bid) in
+      let majority =
+        if taken >= not_taken then Branch_predictor.Taken
+        else Branch_predictor.NotTaken
+      in
+      Printf.printf "%-45s %-10s %-10s %8.0f %8.0f %5s\n"
+        (Pretty.expr_to_string br.Cfg.br_cond)
+        (match prediction with
+         | Branch_predictor.Taken -> "taken"
+         | Branch_predictor.NotTaken -> "not-taken")
+        (Branch_predictor.reason_to_string reason)
+        taken not_taken
+        (if taken +. not_taken = 0.0 then "-"
+         else if majority = prediction then "yes"
+         else "NO")
+    )
+    (Cfg.branches fn);
+  (* overall miss rate *)
+  let smart = Core.Missrate.smart_predictor c.Pipeline.prog in
+  Printf.printf "\ndynamic miss rate: %.1f%%\n"
+    (100.0 *. Core.Missrate.rate c.Pipeline.prog outcome.Cinterp.Eval.profile smart)

@@ -1,0 +1,1 @@
+lib/cfg_ir/build.ml: Array Cfg Cfront Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/cfg_ir/callgraph.ml: Array Cfg Cfront Hashtbl List Option Scc

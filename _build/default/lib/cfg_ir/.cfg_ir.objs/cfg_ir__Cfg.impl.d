@@ -1,0 +1,1 @@
+lib/cfg_ir/cfg.ml: Array Cfront List

@@ -1,0 +1,1 @@
+lib/cfg_ir/dominance.ml: Array Cfg Hashtbl List

@@ -1,0 +1,1 @@
+lib/cfg_ir/dot.ml: Array Buffer Callgraph Cfg Cfront Hashtbl List Printf String

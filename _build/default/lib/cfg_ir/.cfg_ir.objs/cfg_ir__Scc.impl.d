@@ -1,0 +1,1 @@
+lib/cfg_ir/scc.ml: Array List

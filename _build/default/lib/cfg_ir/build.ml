@@ -1,0 +1,484 @@
+(* AST-to-CFG lowering.
+
+   One pass per function with a mutable "current block". Break/continue
+   targets and the enclosing switch are threaded through a context; goto
+   labels get blocks on demand. After lowering, a cleanup pass removes
+   empty forwarding blocks (so block granularity matches a conventional
+   compiler's) and computes predecessor lists. *)
+
+module Ast = Cfront.Ast
+module Token = Cfront.Token
+module Typecheck = Cfront.Typecheck
+module Const_fold = Cfront.Const_fold
+
+exception Error of string * Token.pos
+
+type builder = {
+  tc : Typecheck.t;
+  fname : string;
+  mutable blocks : Cfg.block list; (* reverse order *)
+  mutable n_blocks : int;
+  mutable cur : Cfg.block;         (* block being filled *)
+  mutable cur_alive : bool;        (* false after break/goto/return *)
+  labels : (string, int) Hashtbl.t;
+  site_counter : int ref;          (* shared across the program *)
+  mutable sites : Cfg.call_site list;
+}
+
+let new_block b : Cfg.block =
+  let blk =
+    { Cfg.b_id = b.n_blocks; b_instrs = []; b_term = Cfg.Treturn None;
+      b_src = None; b_preds = [] }
+  in
+  b.blocks <- blk :: b.blocks;
+  b.n_blocks <- b.n_blocks + 1;
+  blk
+
+let switch_to b blk =
+  b.cur <- blk;
+  b.cur_alive <- true
+
+(* Terminate the current block (if still alive) and mark it dead. *)
+let terminate b term =
+  if b.cur_alive then begin
+    b.cur.Cfg.b_term <- term;
+    b.cur_alive <- false
+  end
+
+let note_src b (s : Ast.stmt) =
+  if b.cur_alive && b.cur.Cfg.b_src = None then
+    b.cur.Cfg.b_src <- Some s.Ast.sid
+
+(* Record the call sites contained in an expression, in evaluation order
+   (approximated by syntax order; only the set matters). *)
+let record_sites b (e : Ast.expr) =
+  Ast.iter_expr
+    (fun (x : Ast.expr) ->
+      match x.Ast.enode with
+      | Ast.Call (fn, _) ->
+        let callee =
+          match fn.Ast.enode with
+          | Ast.Ident _ -> begin
+            match Typecheck.resolution_of b.tc fn with
+            | Some (Typecheck.Rfun name) -> Cfg.Direct name
+            | Some (Typecheck.Rbuiltin name) -> Cfg.Builtin name
+            | _ -> Cfg.Indirect
+          end
+          | _ -> Cfg.Indirect
+        in
+        let cs =
+          { Cfg.cs_id = !(b.site_counter); cs_fun = b.fname;
+            cs_block = b.cur.Cfg.b_id; cs_expr = x; cs_callee = callee }
+        in
+        incr b.site_counter;
+        b.sites <- cs :: b.sites
+      | _ -> ())
+    e
+
+let add_expr b (e : Ast.expr) =
+  if b.cur_alive then begin
+    record_sites b e;
+    b.cur.Cfg.b_instrs <- Cfg.Iexpr e :: b.cur.Cfg.b_instrs
+  end
+
+let add_local_init b slot (d : Ast.decl) =
+  if b.cur_alive then begin
+    (match d.Ast.d_init with
+    | Some (Ast.Iexpr e) -> record_sites b e
+    | _ -> ());
+    b.cur.Cfg.b_instrs <- Cfg.Ilocal_init (slot, d) :: b.cur.Cfg.b_instrs
+  end
+
+let label_block b label =
+  match Hashtbl.find_opt b.labels label with
+  | Some id -> id
+  | None ->
+    let blk = new_block b in
+    Hashtbl.replace b.labels label blk.Cfg.b_id;
+    blk.Cfg.b_id
+
+type loop_ctx = { break_to : int option; continue_to : int option }
+
+(* Cases collected while lowering a switch body. *)
+type switch_ctx = {
+  mutable cases : (int * int) list; (* value, block *)
+  mutable default : int option;
+}
+
+let block_by_id b id = List.find (fun blk -> blk.Cfg.b_id = id) b.blocks
+
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt b (loop : loop_ctx) (sw : switch_ctx option)
+    (s : Ast.stmt) =
+  note_src b s;
+  match s.Ast.snode with
+  | Ast.Snull -> ()
+  | Ast.Sexpr e -> add_expr b e
+  | Ast.Sblock items ->
+    List.iter
+      (function
+        | Ast.Bstmt s -> lower_stmt b loop sw s
+        | Ast.Bdecl d -> lower_decl b d)
+      items
+  | Ast.Sif (cond, then_s, else_s) -> begin
+    record_sites b cond;
+    let then_blk = new_block b in
+    let join = new_block b in
+    let else_id, else_arm =
+      match else_s with
+      | Some es ->
+        let eb = new_block b in
+        (eb.Cfg.b_id, Some es)
+      | None -> (join.Cfg.b_id, None)
+    in
+    let br =
+      { Cfg.br_cond = cond; br_kind = Cfg.Kif; br_stmt = s;
+        br_then_arm = Some then_s; br_else_arm = else_arm }
+    in
+    terminate b (Cfg.Tbranch (br, then_blk.Cfg.b_id, else_id));
+    switch_to b then_blk;
+    lower_stmt b loop sw then_s;
+    terminate b (Cfg.Tjump join.Cfg.b_id);
+    (match else_s with
+    | Some es ->
+      switch_to b (block_by_id b else_id);
+      lower_stmt b loop sw es;
+      terminate b (Cfg.Tjump join.Cfg.b_id)
+    | None -> ());
+    switch_to b join
+  end
+  | Ast.Swhile (cond, body) -> begin
+    let header = new_block b in
+    let body_blk = new_block b in
+    let exit_blk = new_block b in
+    terminate b (Cfg.Tjump header.Cfg.b_id);
+    switch_to b header;
+    header.Cfg.b_src <- Some s.Ast.sid;
+    record_sites b cond;
+    let br =
+      { Cfg.br_cond = cond; br_kind = Cfg.Kwhile; br_stmt = s;
+        br_then_arm = Some body; br_else_arm = None }
+    in
+    terminate b (Cfg.Tbranch (br, body_blk.Cfg.b_id, exit_blk.Cfg.b_id));
+    switch_to b body_blk;
+    let inner =
+      { break_to = Some exit_blk.Cfg.b_id;
+        continue_to = Some header.Cfg.b_id }
+    in
+    lower_stmt b inner sw body;
+    terminate b (Cfg.Tjump header.Cfg.b_id);
+    switch_to b exit_blk
+  end
+  | Ast.Sdo (body, cond) -> begin
+    let body_blk = new_block b in
+    let test_blk = new_block b in
+    let exit_blk = new_block b in
+    terminate b (Cfg.Tjump body_blk.Cfg.b_id);
+    switch_to b body_blk;
+    let inner =
+      { break_to = Some exit_blk.Cfg.b_id;
+        continue_to = Some test_blk.Cfg.b_id }
+    in
+    lower_stmt b inner sw body;
+    terminate b (Cfg.Tjump test_blk.Cfg.b_id);
+    switch_to b test_blk;
+    test_blk.Cfg.b_src <- Some s.Ast.sid;
+    record_sites b cond;
+    let br =
+      { Cfg.br_cond = cond; br_kind = Cfg.Kdo; br_stmt = s;
+        br_then_arm = Some body; br_else_arm = None }
+    in
+    terminate b (Cfg.Tbranch (br, body_blk.Cfg.b_id, exit_blk.Cfg.b_id));
+    switch_to b exit_blk
+  end
+  | Ast.Sfor (init, cond, step, body) -> begin
+    (match init with
+    | Ast.Fnone -> ()
+    | Ast.Fexpr e -> add_expr b e
+    | Ast.Fdecl ds -> List.iter (lower_decl b) ds);
+    let header = new_block b in
+    let body_blk = new_block b in
+    let step_blk = new_block b in
+    let exit_blk = new_block b in
+    terminate b (Cfg.Tjump header.Cfg.b_id);
+    switch_to b header;
+    header.Cfg.b_src <- Some s.Ast.sid;
+    (match cond with
+    | Some cond ->
+      record_sites b cond;
+      let br =
+        { Cfg.br_cond = cond; br_kind = Cfg.Kfor; br_stmt = s;
+          br_then_arm = Some body; br_else_arm = None }
+      in
+      terminate b (Cfg.Tbranch (br, body_blk.Cfg.b_id, exit_blk.Cfg.b_id))
+    | None -> terminate b (Cfg.Tjump body_blk.Cfg.b_id));
+    switch_to b body_blk;
+    let inner =
+      { break_to = Some exit_blk.Cfg.b_id;
+        continue_to = Some step_blk.Cfg.b_id }
+    in
+    lower_stmt b inner sw body;
+    terminate b (Cfg.Tjump step_blk.Cfg.b_id);
+    switch_to b step_blk;
+    step_blk.Cfg.b_src <- Some s.Ast.sid;
+    Option.iter (fun e -> add_expr b e) step;
+    terminate b (Cfg.Tjump header.Cfg.b_id);
+    switch_to b exit_blk
+  end
+  | Ast.Sswitch (scrutinee, body) -> begin
+    record_sites b scrutinee;
+    let exit_blk = new_block b in
+    let sw_ctx = { cases = []; default = None } in
+    let dispatch = b.cur in
+    let dispatch_alive = b.cur_alive in
+    (* Lower the body into fresh blocks; each case label starts one. *)
+    b.cur_alive <- false;
+    let inner = { loop with break_to = Some exit_blk.Cfg.b_id } in
+    lower_stmt b inner (Some sw_ctx) body;
+    terminate b (Cfg.Tjump exit_blk.Cfg.b_id);
+    if dispatch_alive then begin
+      dispatch.Cfg.b_term <-
+        Cfg.Tswitch
+          ( scrutinee,
+            List.rev sw_ctx.cases,
+            Option.value ~default:exit_blk.Cfg.b_id sw_ctx.default );
+      (* dispatch was never formally terminated via [terminate]; it is
+         dead now in the sense that lowering continues at exit *)
+    end;
+    switch_to b exit_blk
+  end
+  | Ast.Scase (value_expr, body) -> begin
+    let v =
+      try Const_fold.eval_int_exn b.tc value_expr
+      with Typecheck.Error (m, p) -> raise (Error (m, p))
+    in
+    let case_blk = new_block b in
+    case_blk.Cfg.b_src <- Some s.Ast.sid;
+    (* fall-through from the previous case *)
+    terminate b (Cfg.Tjump case_blk.Cfg.b_id);
+    (match sw with
+    | Some ctx -> ctx.cases <- (v, case_blk.Cfg.b_id) :: ctx.cases
+    | None -> raise (Error ("case outside switch", s.Ast.spos)));
+    switch_to b case_blk;
+    lower_stmt b loop sw body
+  end
+  | Ast.Sdefault body -> begin
+    let blk = new_block b in
+    blk.Cfg.b_src <- Some s.Ast.sid;
+    terminate b (Cfg.Tjump blk.Cfg.b_id);
+    (match sw with
+    | Some ctx ->
+      if ctx.default <> None then
+        raise (Error ("duplicate default", s.Ast.spos));
+      ctx.default <- Some blk.Cfg.b_id
+    | None -> raise (Error ("default outside switch", s.Ast.spos)));
+    switch_to b blk;
+    lower_stmt b loop sw body
+  end
+  | Ast.Sbreak -> begin
+    match loop.break_to with
+    | Some target -> terminate b (Cfg.Tjump target)
+    | None -> raise (Error ("break outside loop/switch", s.Ast.spos))
+  end
+  | Ast.Scontinue -> begin
+    match loop.continue_to with
+    | Some target -> terminate b (Cfg.Tjump target)
+    | None -> raise (Error ("continue outside loop", s.Ast.spos))
+  end
+  | Ast.Sgoto label -> terminate b (Cfg.Tjump (label_block b label))
+  | Ast.Slabel (label, body) -> begin
+    let id = label_block b label in
+    terminate b (Cfg.Tjump id);
+    switch_to b (block_by_id b id);
+    note_src b s;
+    lower_stmt b loop sw body
+  end
+  | Ast.Sreturn e -> begin
+    Option.iter (record_sites b) e;
+    terminate b (Cfg.Treturn e)
+  end
+
+and lower_decl b (d : Ast.decl) =
+  match Hashtbl.find_opt b.tc.Typecheck.decl_slots d.Ast.d_id with
+  | Some slot when slot >= 0 ->
+    if d.Ast.d_init <> None then add_local_init b slot d
+  | _ -> () (* lifted static: initialized at program start *)
+
+(* ------------------------------------------------------------------ *)
+(* Cleanup: drop empty forwarding blocks, renumber, compute preds. *)
+
+let simplify (blocks : Cfg.block array) (entry : int) :
+    Cfg.block array * int =
+  let n = Array.length blocks in
+  (* Resolve chains of empty Tjump blocks. *)
+  let forward = Array.make n (-1) in
+  let rec resolve id seen =
+    if forward.(id) >= 0 then forward.(id)
+    else if List.mem id seen then id (* empty self-loop: keep *)
+    else begin
+      let blk = blocks.(id) in
+      match (blk.Cfg.b_instrs, blk.Cfg.b_term) with
+      | [], Cfg.Tjump target ->
+        let final = resolve target (id :: seen) in
+        forward.(id) <- final;
+        final
+      | _ ->
+        forward.(id) <- id;
+        id
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (resolve i [])
+  done;
+  let entry = forward.(entry) in
+  (* Which blocks survive? The entry plus every forwarding target reachable
+     from it. *)
+  let reachable = Array.make n false in
+  let rec visit id =
+    let id = forward.(id) in
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      List.iter visit (Cfg.successors blocks.(id).Cfg.b_term)
+    end
+  in
+  visit entry;
+  let remap = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if reachable.(i) then begin
+      remap.(i) <- !count;
+      incr count;
+      kept := blocks.(i) :: !kept
+    end
+  done;
+  let kept = Array.of_list (List.rev !kept) in
+  let redirect id = remap.(forward.(id)) in
+  let new_blocks =
+    Array.mapi
+      (fun new_id blk ->
+        let term =
+          match blk.Cfg.b_term with
+          | Cfg.Tjump t -> Cfg.Tjump (redirect t)
+          | Cfg.Tbranch (br, a, b) -> Cfg.Tbranch (br, redirect a, redirect b)
+          | Cfg.Tswitch (e, cases, d) ->
+            Cfg.Tswitch
+              (e, List.map (fun (v, t) -> (v, redirect t)) cases, redirect d)
+          | Cfg.Treturn e -> Cfg.Treturn e
+        in
+        { blk with
+          Cfg.b_id = new_id;
+          b_instrs = List.rev blk.Cfg.b_instrs;
+          b_term = term;
+          b_preds = [] })
+      kept
+  in
+  (* Predecessors. *)
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun succ ->
+          let s = new_blocks.(succ) in
+          if not (List.mem blk.Cfg.b_id s.Cfg.b_preds) then
+            s.Cfg.b_preds <- blk.Cfg.b_id :: s.Cfg.b_preds)
+        (Cfg.successors blk.Cfg.b_term))
+    new_blocks;
+  (new_blocks, remap.(entry))
+
+(* Remap the block indices recorded in call sites after simplification is
+   not possible (the builder stored original ids), so we instead rebuild
+   site block ids by searching for the containing block. We avoid that by
+   recording sites against original ids and translating with the same
+   remap; to keep the interface simple we recompute from instructions. *)
+let relocate_sites (blocks : Cfg.block array) (sites : Cfg.call_site list) :
+    Cfg.call_site list =
+  (* call expression node id -> new block id *)
+  let home = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+      let note (e : Ast.expr) =
+        Ast.iter_expr
+          (fun x ->
+            match x.Ast.enode with
+            | Ast.Call _ -> Hashtbl.replace home x.Ast.eid blk.Cfg.b_id
+            | _ -> ())
+          e
+      in
+      List.iter
+        (function
+          | Cfg.Iexpr e -> note e
+          | Cfg.Ilocal_init (_, d) -> begin
+            match d.Ast.d_init with
+            | Some (Ast.Iexpr e) -> note e
+            | _ -> ()
+          end)
+        blk.Cfg.b_instrs;
+      match blk.Cfg.b_term with
+      | Cfg.Tbranch (br, _, _) -> note br.Cfg.br_cond
+      | Cfg.Tswitch (e, _, _) -> note e
+      | Cfg.Treturn (Some e) -> note e
+      | Cfg.Tjump _ | Cfg.Treturn None -> ())
+    blocks;
+  List.filter_map
+    (fun cs ->
+      match Hashtbl.find_opt home cs.Cfg.cs_expr.Ast.eid with
+      | Some blk -> Some { cs with Cfg.cs_block = blk }
+      | None -> None (* call site in unreachable code *))
+    sites
+
+(* ------------------------------------------------------------------ *)
+
+let build_fn tc site_counter (fi : Typecheck.fun_info) : Cfg.fn =
+  let f = fi.Typecheck.fi_def in
+  let b =
+    { tc; fname = f.Ast.f_name; blocks = []; n_blocks = 0;
+      cur = { Cfg.b_id = 0; b_instrs = []; b_term = Cfg.Treturn None;
+              b_src = None; b_preds = [] };
+      cur_alive = false; labels = Hashtbl.create 4; site_counter;
+      sites = [] }
+  in
+  let entry = new_block b in
+  switch_to b entry;
+  entry.Cfg.b_src <- Some f.Ast.f_body.Ast.sid;
+  lower_stmt b { break_to = None; continue_to = None } None f.Ast.f_body;
+  terminate b (Cfg.Treturn None);
+  let blocks = Array.of_list (List.rev b.blocks) in
+  let blocks, entry_id = simplify blocks entry.Cfg.b_id in
+  let sites = relocate_sites blocks (List.rev b.sites) in
+  { Cfg.fn_name = f.Ast.f_name; fn_def = f; fn_info = fi;
+    fn_blocks = blocks; fn_entry = entry_id; fn_call_sites = sites }
+
+(* Build CFGs for all defined functions of a typechecked unit, assigning
+   program-wide call-site ids. *)
+let build (tc : Typecheck.t) : Cfg.program =
+  let site_counter = ref 0 in
+  let fns =
+    List.map
+      (fun name ->
+        match Typecheck.fun_info tc name with
+        | Some fi -> build_fn tc site_counter fi
+        | None -> invalid_arg ("unknown function " ^ name))
+      tc.Typecheck.fun_order
+  in
+  (* Re-number call sites densely in (function, block) order so that
+     unreachable-code sites dropped by simplification leave no holes. *)
+  let counter = ref 0 in
+  let fns =
+    List.map
+      (fun fn ->
+        let sites =
+          List.map
+            (fun cs ->
+              let cs = { cs with Cfg.cs_id = !counter } in
+              incr counter;
+              cs)
+            fn.Cfg.fn_call_sites
+        in
+        { fn with Cfg.fn_call_sites = sites })
+      fns
+  in
+  let all =
+    Array.of_list (List.concat_map (fun fn -> fn.Cfg.fn_call_sites) fns)
+  in
+  { Cfg.prog_tc = tc; prog_fns = fns; prog_sites = all }

@@ -1,0 +1,148 @@
+(* Dominator analysis and natural-loop detection on a function CFG.
+
+   Used by the structural (CFG-only) frequency estimator: the paper's AST
+   walk knows loop nesting from the syntax; an executable-level tool in
+   the style of Ball and Larus has to recover it from back edges. This
+   module computes immediate dominators with the standard iterative
+   algorithm, identifies back edges (u -> v with v dominating u), builds
+   each back edge's natural loop, and reports per-block loop depth. *)
+
+(* Immediate dominators (entry's idom is itself). Iterative algorithm of
+   Cooper, Harvey and Kennedy over a reverse-postorder numbering. *)
+let idoms (fn : Cfg.fn) : int array =
+  let n = Cfg.n_blocks fn in
+  let entry = fn.Cfg.fn_entry in
+  (* reverse postorder *)
+  let order = Array.make n (-1) in
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Cfg.successors fn.Cfg.fn_blocks.(b).Cfg.b_term);
+      post := b :: !post
+    end
+  in
+  dfs entry;
+  let rpo = !post in
+  List.iteri (fun i b -> order.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := idom.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let preds =
+            List.filter
+              (fun p -> idom.(p) >= 0)
+              fn.Cfg.fn_blocks.(b).Cfg.b_preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let fresh = List.fold_left intersect first rest in
+            if idom.(b) <> fresh then begin
+              idom.(b) <- fresh;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  idom
+
+(* Does [a] dominate [b]? *)
+let dominates (idom : int array) (a : int) (b : int) : bool =
+  let rec walk b =
+    if a = b then true
+    else if idom.(b) = b || idom.(b) < 0 then false
+    else walk idom.(b)
+  in
+  walk b
+
+(* Back edges: u -> v where v dominates u. *)
+let back_edges (fn : Cfg.fn) (idom : int array) : (int * int) list =
+  Array.to_list fn.Cfg.fn_blocks
+  |> List.concat_map (fun (b : Cfg.block) ->
+       Cfg.successors b.Cfg.b_term
+       |> List.filter_map (fun succ ->
+            if idom.(succ) >= 0 && dominates idom succ b.Cfg.b_id then
+              Some (b.Cfg.b_id, succ)
+            else None))
+
+(* The natural loop of back edge (tail, header): header plus every node
+   that reaches tail without passing through header. *)
+let natural_loop (fn : Cfg.fn) ((tail, header) : int * int) : bool array =
+  let n = Cfg.n_blocks fn in
+  let in_loop = Array.make n false in
+  in_loop.(header) <- true;
+  let rec pull b =
+    if not in_loop.(b) then begin
+      in_loop.(b) <- true;
+      List.iter pull fn.Cfg.fn_blocks.(b).Cfg.b_preds
+    end
+  in
+  pull tail;
+  in_loop
+
+type loops = {
+  idom : int array;
+  headers : int list;           (* distinct loop headers *)
+  depth : int array;            (* nesting depth per block (0 = no loop) *)
+  header_of : int array;        (* innermost header per block, -1 if none *)
+}
+
+let analyze (fn : Cfg.fn) : loops =
+  let n = Cfg.n_blocks fn in
+  let idom = idoms fn in
+  let edges = back_edges fn idom in
+  (* merge natural loops that share a header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (tail, header) ->
+      let body = natural_loop fn (tail, header) in
+      match Hashtbl.find_opt by_header header with
+      | Some existing ->
+        Array.iteri (fun i v -> if v then existing.(i) <- true) body
+      | None -> Hashtbl.replace by_header header body)
+    edges;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  let depth = Array.make n 0 in
+  let header_of = Array.make n (-1) in
+  (* depth = number of loops containing the block; innermost header = the
+     containing header with the smallest loop (ties broken arbitrarily) *)
+  let sizes = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun h body ->
+      Hashtbl.replace sizes h
+        (Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 body))
+    by_header;
+  for b = 0 to n - 1 do
+    let best = ref (-1) in
+    Hashtbl.iter
+      (fun h body ->
+        if body.(b) then begin
+          depth.(b) <- depth.(b) + 1;
+          match !best with
+          | -1 -> best := h
+          | cur ->
+            if Hashtbl.find sizes h < Hashtbl.find sizes cur then best := h
+        end)
+      by_header;
+    header_of.(b) <- !best
+  done;
+  { idom; headers; depth; header_of }

@@ -1,0 +1,73 @@
+(* Graphviz output for CFGs and call graphs (debugging / documentation). *)
+
+module Pretty = Cfront.Pretty
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let block_label (b : Cfg.block) : string =
+  let instrs =
+    List.map
+      (function
+        | Cfg.Iexpr e -> Pretty.expr_to_string e ^ ";"
+        | Cfg.Ilocal_init (_, d) ->
+          Printf.sprintf "%s = <init>;" d.Cfg.Ast.d_name)
+      b.Cfg.b_instrs
+  in
+  let term =
+    match b.Cfg.b_term with
+    | Cfg.Tjump t -> Printf.sprintf "goto B%d" t
+    | Cfg.Tbranch (br, a, f) ->
+      Printf.sprintf "if (%s) B%d else B%d"
+        (Pretty.expr_to_string br.Cfg.br_cond)
+        a f
+    | Cfg.Tswitch (e, cases, d) ->
+      Printf.sprintf "switch (%s) [%s] default B%d"
+        (Pretty.expr_to_string e)
+        (String.concat " "
+           (List.map (fun (v, t) -> Printf.sprintf "%d->B%d" v t) cases))
+        d
+    | Cfg.Treturn (Some e) ->
+      Printf.sprintf "return %s" (Pretty.expr_to_string e)
+    | Cfg.Treturn None -> "return"
+  in
+  String.concat "\\l" (List.map escape (instrs @ [ term ])) ^ "\\l"
+
+let fn_to_dot (f : Cfg.fn) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  node [shape=box fontname=monospace];\n"
+       (escape f.Cfg.fn_name));
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  B%d [label=\"B%d:\\l%s\"];\n" b.Cfg.b_id
+           b.Cfg.b_id (block_label b));
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  B%d -> B%d;\n" b.Cfg.b_id s))
+        (Cfg.successors b.Cfg.b_term))
+    f.Cfg.fn_blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let callgraph_to_dot (g : Callgraph.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph callgraph {\n  node [shape=ellipse];\n";
+  Array.iter
+    (fun name ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (escape name)))
+    g.Callgraph.names;
+  Hashtbl.iter
+    (fun (caller, callee) sites ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%d\"];\n"
+           (escape g.Callgraph.names.(caller))
+           (escape g.Callgraph.names.(callee))
+           (List.length sites)))
+    g.Callgraph.direct_arcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(* Tarjan's strongly-connected components over an integer graph.
+
+   Used by the inter-procedural estimators: [all_rec] needs "is this
+   function in any recursive SCC", and the Markov call-graph repair loop
+   re-solves offending SCCs in isolation (paper section 5.2.2). *)
+
+type result = {
+  component : int array;       (* node -> component id *)
+  components : int list array; (* component id -> members *)
+}
+
+(* [compute n succs] where nodes are [0, n) and [succs i] lists the
+   successors of [i]. Component ids follow Tarjan completion order (a
+   component is completed only after all components it reaches). *)
+let compute (n : int) (succs : int -> int list) : result =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Array.make n (-1) in
+  let comps = ref [] in
+  let n_comps = ref 0 in
+  (* Explicit work stack to avoid deep recursion on long chains. *)
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          component.(w) <- !n_comps;
+          members := w :: !members;
+          if w = v then continue_ := false
+        | [] -> continue_ := false
+      done;
+      comps := !members :: !comps;
+      incr n_comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  let components = Array.make (max 1 !n_comps) [] in
+  List.iteri (fun i members -> components.(i) <- members) (List.rev !comps);
+  { component; components }
+
+(* Is node [v] part of a cycle (an SCC of size > 1, or a self-loop)? *)
+let in_cycle (r : result) (succs : int -> int list) (v : int) : bool =
+  match r.components.(r.component.(v)) with
+  | [ single ] -> List.mem single (succs single)
+  | _ :: _ :: _ -> true
+  | [] -> false

@@ -1,0 +1,1 @@
+lib/cfront/const_fold.ml: Ast Ctypes Typecheck

@@ -1,0 +1,1 @@
+lib/cfront/ctypes.ml: Array List Option Printf String

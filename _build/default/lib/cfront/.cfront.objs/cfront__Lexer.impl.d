@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Char List Printf String Token

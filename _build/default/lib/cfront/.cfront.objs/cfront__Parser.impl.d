@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Ctypes Hashtbl Lexer List Preproc Printf String Token

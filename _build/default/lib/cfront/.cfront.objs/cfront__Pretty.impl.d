@@ -1,0 +1,1 @@
+lib/cfront/pretty.ml: Ast Buffer Char Ctypes List Option Printf String

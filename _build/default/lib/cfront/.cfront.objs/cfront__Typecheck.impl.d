@@ -1,0 +1,1 @@
+lib/cfront/typecheck.ml: Array Ast Ctypes Hashtbl List Option Printf Token

@@ -1,0 +1,1 @@
+lib/cfront/usage.ml: Ast Ctypes Hashtbl List Option Typecheck

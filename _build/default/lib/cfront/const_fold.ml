@@ -1,0 +1,139 @@
+(* Compile-time constant evaluation over typechecked expressions.
+
+   Used for two purposes from the paper:
+   - excluding branches "whose conditional expressions could be determined
+     via constant folding" from branch-prediction scoring (section 2), and
+   - evaluating case labels and global initializers.
+
+   Returns [None] for anything not statically known. *)
+
+type value = Cint of int | Cfloat of float
+
+let is_true = function Cint n -> n <> 0 | Cfloat f -> f <> 0.0
+
+let to_int = function Cint n -> n | Cfloat f -> int_of_float f
+let to_float = function Cint n -> float_of_int n | Cfloat f -> f
+
+let rec eval (tc : Typecheck.t) (e : Ast.expr) : value option =
+  let open Ast in
+  match e.enode with
+  | IntLit n -> Some (Cint n)
+  | CharLit c -> Some (Cint c)
+  | FloatLit f -> Some (Cfloat f)
+  | StringLit _ -> None (* an address: truthy but not a numeric constant *)
+  | Ident _ -> begin
+    match Typecheck.resolution_of tc e with
+    | Some (Typecheck.Renum v) -> Some (Cint v)
+    | _ -> None
+  end
+  | Unop (op, a) -> begin
+    match (op, eval tc a) with
+    | _, None -> None
+    | Uneg, Some (Cint n) -> Some (Cint (-n))
+    | Uneg, Some (Cfloat f) -> Some (Cfloat (-.f))
+    | Uplus, v -> v
+    | Unot, Some v -> Some (Cint (if is_true v then 0 else 1))
+    | Ubnot, Some (Cint n) -> Some (Cint (lnot n))
+    | Ubnot, Some (Cfloat _) -> None
+    | (Uderef | Uaddr), _ -> None
+  end
+  | Binop (op, a, b) -> eval_binop tc op a b
+  | Cond (c, a, b) -> begin
+    match eval tc c with
+    | Some v -> if is_true v then eval tc a else eval tc b
+    | None -> None
+  end
+  | Cast (ty, a) -> begin
+    match (ty, eval tc a) with
+    | _, None -> None
+    | (Ctypes.Tint | Ctypes.Tchar), Some v -> Some (Cint (to_int v))
+    | Ctypes.Tdouble, Some v -> Some (Cfloat (to_float v))
+    | _ -> None
+  end
+  | SizeofT ty -> begin
+    try Some (Cint (Ctypes.size_of tc.Typecheck.tunit.Ast.structs ty))
+    with Ctypes.Type_error _ -> None
+  end
+  | SizeofE _ -> None (* would need the operand type pre-decay; rare *)
+  | Assign _ | Call _ | Index _ | Field _ | Arrow _ | PreIncr _ | PreDecr _
+  | PostIncr _ | PostDecr _ | Comma _ ->
+    None
+
+and eval_binop tc op a b : value option =
+  let open Ast in
+  (* && and || can fold from the left operand alone *)
+  match op with
+  | Bland -> begin
+    match eval tc a with
+    | Some v when not (is_true v) -> Some (Cint 0)
+    | Some _ -> begin
+      match eval tc b with
+      | Some v -> Some (Cint (if is_true v then 1 else 0))
+      | None -> None
+    end
+    | None -> None
+  end
+  | Blor -> begin
+    match eval tc a with
+    | Some v when is_true v -> Some (Cint 1)
+    | Some _ -> begin
+      match eval tc b with
+      | Some v -> Some (Cint (if is_true v then 1 else 0))
+      | None -> None
+    end
+    | None -> None
+  end
+  | _ -> begin
+    match (eval tc a, eval tc b) with
+    | Some x, Some y -> apply op x y
+    | _ -> None
+  end
+
+and apply op x y : value option =
+  let open Ast in
+  let bool_ b = Some (Cint (if b then 1 else 0)) in
+  match (x, y) with
+  | Cint a, Cint b -> begin
+    match op with
+    | Badd -> Some (Cint (a + b))
+    | Bsub -> Some (Cint (a - b))
+    | Bmul -> Some (Cint (a * b))
+    | Bdiv -> if b = 0 then None else Some (Cint (a / b))
+    | Bmod -> if b = 0 then None else Some (Cint (a mod b))
+    | Bshl -> Some (Cint (a lsl b))
+    | Bshr -> Some (Cint (a asr b))
+    | Blt -> bool_ (a < b)
+    | Bgt -> bool_ (a > b)
+    | Ble -> bool_ (a <= b)
+    | Bge -> bool_ (a >= b)
+    | Beq -> bool_ (a = b)
+    | Bne -> bool_ (a <> b)
+    | Bband -> Some (Cint (a land b))
+    | Bbor -> Some (Cint (a lor b))
+    | Bbxor -> Some (Cint (a lxor b))
+    | Bland | Blor -> None (* handled above *)
+  end
+  | _ ->
+    let a = to_float x and b = to_float y in
+    (match op with
+    | Badd -> Some (Cfloat (a +. b))
+    | Bsub -> Some (Cfloat (a -. b))
+    | Bmul -> Some (Cfloat (a *. b))
+    | Bdiv -> if b = 0.0 then None else Some (Cfloat (a /. b))
+    | Blt -> bool_ (a < b)
+    | Bgt -> bool_ (a > b)
+    | Ble -> bool_ (a <= b)
+    | Bge -> bool_ (a >= b)
+    | Beq -> bool_ (a = b)
+    | Bne -> bool_ (a <> b)
+    | Bmod | Bshl | Bshr | Bband | Bbor | Bbxor | Bland | Blor -> None)
+
+(* A branch condition is "constant" for miss-rate purposes if it folds. *)
+let is_constant_condition tc e = eval tc e <> None
+
+(* Evaluate an integer constant (case labels); raises on failure. *)
+let eval_int_exn tc (e : Ast.expr) : int =
+  match eval tc e with
+  | Some v -> to_int v
+  | None ->
+    raise (Typecheck.Error ("expected integer constant", e.Ast.epos))

@@ -1,0 +1,177 @@
+(* Minimal C preprocessor.
+
+   Supports the directives our benchmark corpus needs:
+   - [#define NAME tokens...]  (object-like macros, recursive expansion)
+   - [#undef NAME]
+   - [#ifdef NAME] / [#ifndef NAME] / [#else] / [#endif]
+   - line continuations with a trailing backslash
+   - [#include] is rejected (corpus programs are self-contained)
+
+   Macro expansion is textual at word granularity: an identifier token equal
+   to a macro name is replaced by the macro body. Expansion is repeated until
+   a fixpoint, with a self-reference guard to avoid loops. Function-like
+   macros are not supported and raise an error so misuse is loud. *)
+
+exception Error of string * int (* message, line *)
+
+type t = { macros : (string, string) Hashtbl.t }
+
+let create () = { macros = Hashtbl.create 16 }
+
+let define t name body = Hashtbl.replace t.macros name body
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+(* Expand object-like macros in a single logical line of code, skipping
+   string and character literals. *)
+let expand_line t line =
+  let rec pass depth s =
+    if depth > 32 then s
+    else begin
+      let buf = Buffer.create (String.length s) in
+      let n = String.length s in
+      let changed = ref false in
+      let i = ref 0 in
+      while !i < n do
+        let c = s.[!i] in
+        if c = '"' || c = '\'' then begin
+          (* copy literal verbatim *)
+          let quote = c in
+          Buffer.add_char buf c;
+          incr i;
+          let continue_ = ref true in
+          while !continue_ && !i < n do
+            let d = s.[!i] in
+            Buffer.add_char buf d;
+            incr i;
+            if d = '\\' && !i < n then begin
+              Buffer.add_char buf s.[!i];
+              incr i
+            end else if d = quote then continue_ := false
+          done
+        end
+        else if is_ident_start c then begin
+          let start = !i in
+          while !i < n && is_ident_char s.[!i] do incr i done;
+          let word = String.sub s start (!i - start) in
+          match Hashtbl.find_opt t.macros word with
+          | Some body when body <> word ->
+            changed := true;
+            Buffer.add_string buf body
+          | _ -> Buffer.add_string buf word
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      let s' = Buffer.contents buf in
+      if !changed then pass (depth + 1) s' else s'
+    end
+  in
+  pass 0 line
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  let j = ref (n - 1) in
+  while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t' || s.[!j] = '\r') do
+    decr j
+  done;
+  String.sub s !i (!j - !i + 1)
+
+(* Split "#define NAME body" -> (NAME, body). *)
+let parse_define line lineno =
+  let rest = strip line in
+  let n = String.length rest in
+  if n = 0 || not (is_ident_start rest.[0]) then
+    raise (Error ("malformed #define", lineno));
+  let i = ref 0 in
+  while !i < n && is_ident_char rest.[!i] do incr i done;
+  let name = String.sub rest 0 !i in
+  if !i < n && rest.[!i] = '(' then
+    raise (Error ("function-like macros are not supported", lineno));
+  let body = if !i >= n then "" else strip (String.sub rest !i (n - !i)) in
+  (name, body)
+
+(* Process a source string. Produces plain C text with the same number of
+   lines (directive lines and suppressed lines become blank lines), so that
+   lexer positions still refer to the original source. *)
+let process ?(defines = []) src =
+  let t = create () in
+  List.iter (fun (k, v) -> define t k v) defines;
+  (* Fold line continuations, replacing each "\\\n" with a space + newline
+     kept on the next line would shift positions; instead we join them and
+     pad with blank lines after. Simpler: replace backslash-newline with two
+     spaces and keep a single line. Line counts shift by the number of
+     continuations, which the corpus uses rarely; acceptable. *)
+  let src =
+    let buf = Buffer.create (String.length src) in
+    let n = String.length src in
+    let i = ref 0 in
+    while !i < n do
+      if src.[!i] = '\\' && !i + 1 < n && src.[!i + 1] = '\n' then begin
+        Buffer.add_char buf ' ';
+        i := !i + 2
+      end else begin
+        Buffer.add_char buf src.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let lines = String.split_on_char '\n' src in
+  let n_lines = List.length lines in
+  let out = Buffer.create (String.length src) in
+  (* Conditional stack: each entry is [active] (are we emitting?). *)
+  let stack = ref [] in
+  let active () = List.for_all (fun b -> b) !stack in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let stripped = strip line in
+      if String.length stripped > 0 && stripped.[0] = '#' then begin
+        let directive = strip (String.sub stripped 1 (String.length stripped - 1)) in
+        let dname, dargs =
+          match String.index_opt directive ' ' with
+          | None -> (directive, "")
+          | Some i ->
+            ( String.sub directive 0 i,
+              strip (String.sub directive i (String.length directive - i)) )
+        in
+        (match dname with
+        | "define" when active () ->
+          let name, body = parse_define dargs lineno in
+          define t name body
+        | "undef" when active () -> Hashtbl.remove t.macros (strip dargs)
+        | "ifdef" ->
+          stack := Hashtbl.mem t.macros (strip dargs) :: !stack
+        | "ifndef" ->
+          stack := (not (Hashtbl.mem t.macros (strip dargs))) :: !stack
+        | "else" -> begin
+          match !stack with
+          | b :: rest -> stack := (not b) :: rest
+          | [] -> raise (Error ("#else without #ifdef", lineno))
+        end
+        | "endif" -> begin
+          match !stack with
+          | _ :: rest -> stack := rest
+          | [] -> raise (Error ("#endif without #ifdef", lineno))
+        end
+        | "include" -> raise (Error ("#include is not supported", lineno))
+        | "define" | "undef" -> () (* inside inactive branch *)
+        | other when not (active ()) -> ignore other
+        | other -> raise (Error ("unknown directive #" ^ other, lineno)));
+        if lineno < n_lines then Buffer.add_char out '\n'
+      end
+      else begin
+        if active () then Buffer.add_string out (expand_line t line);
+        if lineno < n_lines then Buffer.add_char out '\n'
+      end)
+    lines;
+  if !stack <> [] then raise (Error ("unterminated #ifdef", List.length lines));
+  Buffer.contents out

@@ -1,0 +1,116 @@
+(* Pretty-printers: C-like rendering of expressions, and an indented AST
+   tree view with a per-node annotation hook (used to render the paper's
+   Figure 3, the estimated-count-annotated AST of strchr). *)
+
+let rec expr_to_string (e : Ast.expr) : string =
+  let s = expr_to_string in
+  match e.enode with
+  | Ast.IntLit n -> string_of_int n
+  | Ast.FloatLit f -> Printf.sprintf "%g" f
+  | Ast.CharLit c ->
+    if c >= 32 && c < 127 then Printf.sprintf "'%c'" (Char.chr c)
+    else Printf.sprintf "'\\x%02x'" (c land 0xff)
+  | Ast.StringLit str -> Printf.sprintf "%S" str
+  | Ast.Ident name -> name
+  | Ast.Unop (op, a) -> Printf.sprintf "%s%s" (Ast.unop_to_string op) (atom a)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "%s %s %s" (atom a) (Ast.binop_to_string op) (atom b)
+  | Ast.Assign (op, l, r) ->
+    Printf.sprintf "%s %s %s" (s l) (Ast.assign_op_to_string op) (s r)
+  | Ast.Cond (c, a, b) -> Printf.sprintf "%s ? %s : %s" (atom c) (s a) (s b)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" (atom f) (String.concat ", " (List.map s args))
+  | Ast.Cast (ty, a) ->
+    Printf.sprintf "(%s)%s" (Ctypes.to_string ty) (atom a)
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (atom a) (s i)
+  | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (atom a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (atom a) f
+  | Ast.SizeofT ty -> Printf.sprintf "sizeof(%s)" (Ctypes.to_string ty)
+  | Ast.SizeofE a -> Printf.sprintf "sizeof %s" (atom a)
+  | Ast.PreIncr a -> Printf.sprintf "++%s" (atom a)
+  | Ast.PreDecr a -> Printf.sprintf "--%s" (atom a)
+  | Ast.PostIncr a -> Printf.sprintf "%s++" (atom a)
+  | Ast.PostDecr a -> Printf.sprintf "%s--" (atom a)
+  | Ast.Comma (a, b) -> Printf.sprintf "%s, %s" (s a) (s b)
+
+(* Parenthesize anything compound when used as a sub-operand. *)
+and atom (e : Ast.expr) : string =
+  match e.enode with
+  | Ast.IntLit _ | Ast.FloatLit _ | Ast.CharLit _ | Ast.StringLit _
+  | Ast.Ident _ | Ast.Call _ | Ast.Index _ | Ast.Field _ | Ast.Arrow _
+  | Ast.PostIncr _ | Ast.PostDecr _ ->
+    expr_to_string e
+  | _ -> "(" ^ expr_to_string e ^ ")"
+
+(* One-line description of a statement head (not its sub-statements). *)
+let stmt_head (s : Ast.stmt) : string =
+  match s.snode with
+  | Ast.Sexpr e -> expr_to_string e ^ ";"
+  | Ast.Sblock _ -> "{...}"
+  | Ast.Sif (c, _, _) -> Printf.sprintf "if (%s)" (expr_to_string c)
+  | Ast.Swhile (c, _) -> Printf.sprintf "while (%s)" (expr_to_string c)
+  | Ast.Sdo (_, c) -> Printf.sprintf "do ... while (%s)" (expr_to_string c)
+  | Ast.Sfor (_, c, _, _) ->
+    Printf.sprintf "for (...; %s; ...)"
+      (Option.fold ~none:"" ~some:expr_to_string c)
+  | Ast.Sswitch (e, _) -> Printf.sprintf "switch (%s)" (expr_to_string e)
+  | Ast.Scase (e, _) -> Printf.sprintf "case %s:" (expr_to_string e)
+  | Ast.Sdefault _ -> "default:"
+  | Ast.Sbreak -> "break;"
+  | Ast.Scontinue -> "continue;"
+  | Ast.Sgoto l -> Printf.sprintf "goto %s;" l
+  | Ast.Slabel (l, _) -> l ^ ":"
+  | Ast.Sreturn (Some e) -> Printf.sprintf "return %s;" (expr_to_string e)
+  | Ast.Sreturn None -> "return;"
+  | Ast.Snull -> ";"
+
+(* Render a statement tree with indentation. [annot] supplies a prefix for
+   each statement node (e.g. an estimated frequency), like the per-node
+   counts in the paper's Figure 3. *)
+let stmt_tree ?(annot = fun (_ : Ast.stmt) -> "") (root : Ast.stmt) : string =
+  let buf = Buffer.create 256 in
+  let rec go indent s =
+    let prefix = annot s in
+    let prefix = if prefix = "" then "" else "[" ^ prefix ^ "] " in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s\n" (String.make indent ' ') prefix (stmt_head s));
+    let child = go (indent + 2) in
+    match s.Ast.snode with
+    | Ast.Sblock items ->
+      List.iter
+        (function
+          | Ast.Bstmt s -> child s
+          | Ast.Bdecl d ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s;\n"
+                 (String.make (indent + 2) ' ')
+                 (Ctypes.to_string d.Ast.d_ty) d.Ast.d_name))
+        items
+    | Ast.Sif (_, t, f) ->
+      child t;
+      Option.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "%selse\n" (String.make indent ' '));
+          child f)
+        f
+    | Ast.Swhile (_, b) | Ast.Sdo (b, _) | Ast.Sfor (_, _, _, b)
+    | Ast.Sswitch (_, b) | Ast.Scase (_, b) | Ast.Sdefault b
+    | Ast.Slabel (_, b) ->
+      child b
+    | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue | Ast.Sgoto _ | Ast.Sreturn _
+    | Ast.Snull ->
+      ()
+  in
+  go 0 root;
+  Buffer.contents buf
+
+let fundef_tree ?annot (f : Ast.fundef) : string =
+  Printf.sprintf "%s %s(%s)\n%s"
+    (Ctypes.to_string f.Ast.f_ret)
+    f.Ast.f_name
+    (String.concat ", "
+       (List.map
+          (fun (n, t) -> Ctypes.to_string t ^ " " ^ n)
+          f.Ast.f_params))
+    (stmt_tree ?annot f.Ast.f_body)

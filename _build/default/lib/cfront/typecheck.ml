@@ -1,0 +1,683 @@
+(* Type checker and name resolver for the C subset.
+
+   Produces side tables keyed by AST node ids:
+   - the (decayed) type of every expression,
+   - the resolution of every identifier (local slot, global, function,
+     builtin, enum constant),
+   - the local-slot index of every block-scope declaration.
+
+   Locals are flattened per function: every declaration (params included,
+   shadowing respected) gets a distinct slot, so downstream passes never
+   deal with scopes again. Block-scope statics are lifted to mangled
+   globals. *)
+
+exception Error of string * Token.pos
+
+let errorf pos fmt = Printf.ksprintf (fun s -> raise (Error (s, pos))) fmt
+
+type resolution =
+  | Rlocal of int          (* slot in the enclosing function's locals *)
+  | Rglobal of string      (* global variable (possibly lifted static) *)
+  | Rfun of string         (* user-defined or prototyped function *)
+  | Rbuiltin of string     (* interpreter builtin *)
+  | Renum of int           (* enum constant value *)
+
+type local_info = { l_name : string; l_ty : Ctypes.ty; l_param : bool }
+
+type fun_info = {
+  fi_def : Ast.fundef;
+  fi_ty : Ctypes.fun_ty;
+  fi_locals : local_info array;  (* params first, then block locals *)
+}
+
+type t = {
+  tunit : Ast.tunit;
+  types : (Ast.node_id, Ctypes.ty) Hashtbl.t;
+  resolutions : (Ast.node_id, resolution) Hashtbl.t;
+  decl_slots : (Ast.node_id, int) Hashtbl.t;
+  funs : (string, fun_info) Hashtbl.t;
+  fun_order : string list;                  (* definition order *)
+  globals : (string, Ast.decl) Hashtbl.t;
+  global_order : string list;               (* includes lifted statics *)
+  enum_values : (string, int) Hashtbl.t;
+}
+
+(* Builtin functions provided by the interpreter runtime. *)
+let builtins : (string * Ctypes.fun_ty) list =
+  let open Ctypes in
+  let pchar = Tptr Tchar and pvoid = Tptr Tvoid in
+  let f ret params = { ret; params; varargs = false } in
+  [ ("printf", { ret = Tint; params = [ pchar ]; varargs = true });
+    ("sprintf", { ret = Tint; params = [ pchar; pchar ]; varargs = true });
+    ("putchar", f Tint [ Tint ]);
+    ("puts", f Tint [ pchar ]);
+    ("getchar", f Tint []);
+    ("malloc", f pvoid [ Tint ]);
+    ("calloc", f pvoid [ Tint; Tint ]);
+    ("realloc", f pvoid [ pvoid; Tint ]);
+    ("free", f Tvoid [ pvoid ]);
+    ("strlen", f Tint [ pchar ]);
+    ("strcmp", f Tint [ pchar; pchar ]);
+    ("strncmp", f Tint [ pchar; pchar; Tint ]);
+    ("strcpy", f pchar [ pchar; pchar ]);
+    ("strncpy", f pchar [ pchar; pchar; Tint ]);
+    ("strcat", f pchar [ pchar; pchar ]);
+    ("strchr", f pchar [ pchar; Tint ]);
+    ("memset", f pvoid [ pvoid; Tint; Tint ]);
+    ("memcpy", f pvoid [ pvoid; pvoid; Tint ]);
+    ("atoi", f Tint [ pchar ]);
+    ("abs", f Tint [ Tint ]);
+    ("exit", f Tvoid [ Tint ]);
+    ("abort", f Tvoid []);
+    ("assert", f Tvoid [ Tint ]);
+    ("rand", f Tint []);
+    ("srand", f Tvoid [ Tint ]);
+    ("clock", f Tint []);
+    ("sqrt", f Tdouble [ Tdouble ]);
+    ("fabs", f Tdouble [ Tdouble ]);
+    ("sin", f Tdouble [ Tdouble ]);
+    ("cos", f Tdouble [ Tdouble ]);
+    ("exp", f Tdouble [ Tdouble ]);
+    ("log", f Tdouble [ Tdouble ]);
+    ("pow", f Tdouble [ Tdouble; Tdouble ]);
+    ("floor", f Tdouble [ Tdouble ]);
+    ("ceil", f Tdouble [ Tdouble ]) ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+(* Names whose call marks the enclosing conditional arm as an error path
+   (paper: "Errors (calling abort or exit) are unlikely"). *)
+let error_call_names = [ "exit"; "abort"; "assert" ]
+
+type ctx = {
+  result : t;
+  reg : Ctypes.registry;
+  (* Scope stack for the function being checked: innermost first. *)
+  mutable scopes : (string, resolution) Hashtbl.t list;
+  mutable locals : local_info list; (* reverse order *)
+  mutable n_locals : int;
+  mutable current_fun : Ast.fundef option;
+  mutable lifted : (string * Ast.decl) list; (* lifted statics, reverse *)
+  mutable static_counter : int;
+}
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+let pop_scope ctx =
+  match ctx.scopes with
+  | _ :: rest -> ctx.scopes <- rest
+  | [] -> invalid_arg "pop_scope"
+
+let lookup ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some r -> Some r
+      | None -> go rest)
+  in
+  go ctx.scopes
+
+let bind ctx name r =
+  match ctx.scopes with
+  | scope :: _ -> Hashtbl.replace scope name r
+  | [] -> invalid_arg "bind: no scope"
+
+let add_local ctx name ty ~param =
+  let slot = ctx.n_locals in
+  ctx.locals <- { l_name = name; l_ty = ty; l_param = param } :: ctx.locals;
+  ctx.n_locals <- slot + 1;
+  bind ctx name (Rlocal slot);
+  slot
+
+let set_type ctx id ty = Hashtbl.replace ctx.result.types id ty
+let set_resolution ctx id r = Hashtbl.replace ctx.result.resolutions id r
+
+(* ------------------------------------------------------------------ *)
+(* Type compatibility (deliberately lenient, like a pre-ANSI compiler): we
+   accept any arithmetic mix, any pointer/pointer mix, and pointer/integer
+   mixes; we reject struct/scalar confusion and calls to non-functions. *)
+
+let compatible a b =
+  let open Ctypes in
+  let a = decay a and b = decay b in
+  match (a, b) with
+  | x, y when equal x y -> true
+  | x, y when is_arith x && is_arith y -> true
+  | Tptr _, Tptr _ -> true
+  | Tptr _, (Tint | Tchar) | (Tint | Tchar), Tptr _ -> true
+  | Tvoid, _ | _, Tvoid -> false
+  | _ -> false
+
+let check_assignable pos target value =
+  if not (compatible target value) then
+    errorf pos "cannot assign %s to %s" (Ctypes.to_string value)
+      (Ctypes.to_string target)
+
+(* The usual arithmetic conversions, collapsed to our three arith types. *)
+let usual_arith pos a b =
+  let open Ctypes in
+  match (a, b) with
+  | Tdouble, _ | _, Tdouble -> Tdouble
+  | (Tint | Tchar), (Tint | Tchar) -> Tint
+  | _ -> errorf pos "expected arithmetic operands, got %s and %s"
+           (to_string a) (to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions. Returns the decayed value type, recording it in the table.
+   [check_lvalue] validates that an expression designates an object. *)
+
+let is_lvalue (e : Ast.expr) =
+  match e.enode with
+  | Ast.Ident _ | Ast.Unop (Ast.Uderef, _) | Ast.Index _ | Ast.Field _
+  | Ast.Arrow _ ->
+    true
+  | _ -> false
+
+let rec check_expr ctx (e : Ast.expr) : Ctypes.ty =
+  let ty = infer_expr ctx e in
+  set_type ctx e.eid ty;
+  ty
+
+and infer_expr ctx (e : Ast.expr) : Ctypes.ty =
+  let open Ctypes in
+  let pos = e.epos in
+  match e.enode with
+  | Ast.IntLit _ -> Tint
+  | Ast.CharLit _ -> Tint (* character constants have type int in C *)
+  | Ast.FloatLit _ -> Tdouble
+  | Ast.StringLit _ -> Tptr Tchar
+  | Ast.Ident name -> begin
+    match lookup ctx name with
+    | Some (Rlocal slot as r) ->
+      set_resolution ctx e.eid r;
+      let info = List.nth ctx.locals (ctx.n_locals - 1 - slot) in
+      decay info.l_ty
+    | Some (Rglobal gname as r) ->
+      set_resolution ctx e.eid r;
+      let d = Hashtbl.find ctx.result.globals gname in
+      decay d.Ast.d_ty
+    | Some (Rfun fname as r) ->
+      set_resolution ctx e.eid r;
+      let fi = Hashtbl.find ctx.result.funs fname in
+      Tptr (Tfun fi.fi_ty)
+    | Some (Renum v as r) ->
+      set_resolution ctx e.eid r;
+      ignore v;
+      Tint
+    | Some (Rbuiltin _ as r) ->
+      set_resolution ctx e.eid r;
+      let fty = List.assoc name builtins in
+      Tptr (Tfun fty)
+    | None ->
+      if is_builtin name then begin
+        set_resolution ctx e.eid (Rbuiltin name);
+        Tptr (Tfun (List.assoc name builtins))
+      end
+      else errorf pos "undeclared identifier %s" name
+  end
+  | Ast.Unop (op, a) -> begin
+    let ta = check_expr ctx a in
+    match op with
+    | Ast.Uneg | Ast.Uplus ->
+      if not (is_arith ta) then errorf pos "unary +/- needs arithmetic";
+      if equal ta Tchar then Tint else ta
+    | Ast.Unot ->
+      if not (is_scalar ta) then errorf pos "! needs a scalar";
+      Tint
+    | Ast.Ubnot ->
+      if not (is_integer ta) then errorf pos "~ needs an integer";
+      Tint
+    | Ast.Uderef -> begin
+      match ta with
+      | Tptr (Tfun _ as f) -> Tptr f (* *f on a function pointer is a no-op *)
+      | Tptr t when equal t Tvoid -> errorf pos "cannot dereference void*"
+      | Tptr t -> decay t
+      | _ -> errorf pos "cannot dereference %s" (to_string ta)
+    end
+    | Ast.Uaddr -> begin
+      match a.enode with
+      | Ast.Ident _ when (match ta with Tptr (Tfun _) -> true | _ -> false)
+        ->
+        ta (* &f where f is a function: already a function pointer *)
+      | _ ->
+        if not (is_lvalue a) then errorf pos "& needs an lvalue";
+        (* The operand type before decay: recompute for arrays. *)
+        Tptr (undecayed_ty ctx a)
+    end
+  end
+  | Ast.Binop (op, a, b) -> begin
+    let ta = check_expr ctx a and tb = check_expr ctx b in
+    match op with
+    | Ast.Badd -> begin
+      match (ta, tb) with
+      | Tptr t, i when is_integer i -> ignore t; ta
+      | i, Tptr _ when is_integer i -> tb
+      | _ -> usual_arith pos ta tb
+    end
+    | Ast.Bsub -> begin
+      match (ta, tb) with
+      | Tptr _, i when is_integer i -> ta
+      | Tptr _, Tptr _ -> Tint
+      | _ -> usual_arith pos ta tb
+    end
+    | Ast.Bmul | Ast.Bdiv -> usual_arith pos ta tb
+    | Ast.Bmod | Ast.Bshl | Ast.Bshr | Ast.Bband | Ast.Bbor | Ast.Bbxor ->
+      if not (is_integer ta && is_integer tb) then
+        errorf pos "integer operator applied to %s and %s" (to_string ta)
+          (to_string tb);
+      Tint
+    | Ast.Blt | Ast.Bgt | Ast.Ble | Ast.Bge | Ast.Beq | Ast.Bne ->
+      if not (compatible ta tb) then
+        errorf pos "comparison of %s and %s" (to_string ta) (to_string tb);
+      Tint
+    | Ast.Bland | Ast.Blor ->
+      if not (is_scalar ta && is_scalar tb) then
+        errorf pos "&&/|| need scalar operands";
+      Tint
+  end
+  | Ast.Assign (op, lhs, rhs) ->
+    if not (is_lvalue lhs) then errorf pos "assignment needs an lvalue";
+    let tl = check_expr ctx lhs in
+    let tr = check_expr ctx rhs in
+    (match Ast.binop_of_assign op with
+    | None -> check_assignable pos tl tr
+    | Some bop -> begin
+      (* e.g. p += n is pointer arithmetic; others are arithmetic/integer *)
+      match (bop, tl) with
+      | (Ast.Badd | Ast.Bsub), Tptr _ ->
+        if not (is_integer tr) then errorf pos "pointer += needs an integer"
+      | _ ->
+        if not (is_arith tl && is_arith tr) then
+          errorf pos "compound assignment needs arithmetic operands"
+    end);
+    tl
+  | Ast.Cond (c, a, b) ->
+    let tc = check_expr ctx c in
+    if not (is_scalar tc) then errorf pos "?: condition must be scalar";
+    let ta = check_expr ctx a and tb = check_expr ctx b in
+    if is_arith ta && is_arith tb then usual_arith pos ta tb
+    else if compatible ta tb then
+      (match (ta, tb) with
+      | Tptr Tvoid, t | t, Tptr Tvoid -> t
+      | _ -> ta)
+    else errorf pos "?: branches disagree: %s vs %s" (to_string ta)
+           (to_string tb)
+  | Ast.Call (fn, args) -> begin
+    let tf = check_expr ctx fn in
+    let fty =
+      match tf with
+      | Tptr (Tfun f) | Tfun f -> f
+      | _ -> errorf pos "calling a non-function (%s)" (to_string tf)
+    in
+    let nparams = List.length fty.params in
+    let nargs = List.length args in
+    if nargs < nparams || ((not fty.varargs) && nargs > nparams) then
+      errorf pos "wrong number of arguments (%d for %d)" nargs nparams;
+    List.iteri
+      (fun i arg ->
+        let targ = check_expr ctx arg in
+        if i < nparams then begin
+          let tparam = List.nth fty.params i in
+          if not (compatible tparam targ) then
+            errorf arg.Ast.epos "argument %d: cannot pass %s as %s" (i + 1)
+              (to_string targ) (to_string tparam)
+        end)
+      args;
+    decay fty.ret
+  end
+  | Ast.Cast (ty, a) ->
+    let ta = check_expr ctx a in
+    if not (equal ty Tvoid) && not (is_scalar (decay ty)) then
+      errorf pos "cast to non-scalar type %s" (to_string ty);
+    if (not (equal ty Tvoid)) && not (compatible (decay ty) ta) then
+      errorf pos "cannot cast %s to %s" (to_string ta) (to_string ty);
+    decay ty
+  | Ast.Index (a, i) -> begin
+    let ta = check_expr ctx a in
+    let ti = check_expr ctx i in
+    match (ta, ti) with
+    | Tptr t, idx when is_integer idx ->
+      if equal t Tvoid then errorf pos "cannot index void*";
+      decay t
+    | idx, Tptr t when is_integer idx -> decay t (* i[a] *)
+    | _ -> errorf pos "cannot index %s with %s" (to_string ta) (to_string ti)
+  end
+  | Ast.Field (a, fname) -> begin
+    let ta = undecayed_ty_checked ctx a in
+    match ta with
+    | Tstruct si ->
+      let fld =
+        try Ctypes.find_field ctx.reg si fname
+        with Ctypes.Type_error m -> errorf pos "%s" m
+      in
+      decay fld.fld_ty
+    | _ -> errorf pos ".%s on non-struct %s" fname (to_string ta)
+  end
+  | Ast.Arrow (a, fname) -> begin
+    let ta = check_expr ctx a in
+    match ta with
+    | Tptr (Tstruct si) ->
+      let fld =
+        try Ctypes.find_field ctx.reg si fname
+        with Ctypes.Type_error m -> errorf pos "%s" m
+      in
+      decay fld.fld_ty
+    | _ -> errorf pos "->%s on %s" fname (to_string ta)
+  end
+  | Ast.SizeofT ty ->
+    (try ignore (Ctypes.size_of ctx.reg ty)
+     with Ctypes.Type_error m -> errorf pos "%s" m);
+    Tint
+  | Ast.SizeofE a ->
+    ignore (undecayed_ty_checked ctx a);
+    Tint
+  | Ast.PreIncr a | Ast.PreDecr a | Ast.PostIncr a | Ast.PostDecr a ->
+    if not (is_lvalue a) then errorf pos "++/-- need an lvalue";
+    let ta = check_expr ctx a in
+    if not (is_arith ta || is_pointer ta) then
+      errorf pos "++/-- on %s" (to_string ta);
+    ta
+  | Ast.Comma (a, b) ->
+    ignore (check_expr ctx a);
+    check_expr ctx b
+
+(* The type of [e] before array decay (for & and sizeof and field access on
+   struct values). Also records types for sub-expressions. *)
+and undecayed_ty ctx (e : Ast.expr) : Ctypes.ty =
+  match e.enode with
+  | Ast.Ident name -> begin
+    match lookup ctx name with
+    | Some (Rlocal slot as r) ->
+      set_resolution ctx e.eid r;
+      (List.nth ctx.locals (ctx.n_locals - 1 - slot)).l_ty
+    | Some (Rglobal g as r) ->
+      set_resolution ctx e.eid r;
+      (Hashtbl.find ctx.result.globals g).Ast.d_ty
+    | _ -> check_expr ctx e
+  end
+  | Ast.Index (a, i) -> begin
+    ignore (check_expr ctx i);
+    match undecayed_ty_checked ctx a with
+    | Ctypes.Tarray (t, _) -> t
+    | Ctypes.Tptr t -> t
+    | t -> errorf e.epos "cannot index %s" (Ctypes.to_string t)
+  end
+  | Ast.Unop (Ast.Uderef, a) -> begin
+    match check_expr ctx a with
+    | Ctypes.Tptr t -> t
+    | t -> errorf e.epos "cannot dereference %s" (Ctypes.to_string t)
+  end
+  | Ast.Field (a, fname) -> begin
+    match undecayed_ty_checked ctx a with
+    | Ctypes.Tstruct si -> (Ctypes.find_field ctx.reg si fname).fld_ty
+    | t -> errorf e.epos ".%s on %s" fname (Ctypes.to_string t)
+  end
+  | Ast.Arrow (a, fname) -> begin
+    match check_expr ctx a with
+    | Ctypes.Tptr (Ctypes.Tstruct si) ->
+      (Ctypes.find_field ctx.reg si fname).fld_ty
+    | t -> errorf e.epos "->%s on %s" fname (Ctypes.to_string t)
+  end
+  | _ -> check_expr ctx e
+
+and undecayed_ty_checked ctx e =
+  let t = undecayed_ty ctx e in
+  (* make sure the expression's value type is also recorded *)
+  if not (Hashtbl.mem ctx.result.types e.eid) then
+    set_type ctx e.eid (Ctypes.decay t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Initializers *)
+
+let rec check_init ctx pos (ty : Ctypes.ty) (init : Ast.init) =
+  let open Ctypes in
+  match (ty, init) with
+  | _, Ast.Iexpr e when is_scalar (decay ty) ->
+    let te = check_expr ctx e in
+    check_assignable pos (decay ty) te
+  | Tarray (Tchar, _), Ast.Iexpr e -> begin
+    match e.enode with
+    | Ast.StringLit _ -> ignore (check_expr ctx e)
+    | _ -> errorf pos "char array initializer must be a string literal"
+  end
+  | Tarray (t, n), Ast.Ilist items ->
+    (match n with
+    | Some n when List.length items > n ->
+      errorf pos "too many initializers (%d for %d)" (List.length items) n
+    | _ -> ());
+    List.iter (fun i -> check_init ctx pos t i) items
+  | Tstruct si, Ast.Ilist items ->
+    let flds = Ctypes.fields ctx.reg si in
+    if List.length items > List.length flds then
+      errorf pos "too many struct initializers";
+    List.iteri
+      (fun i item ->
+        let fld = List.nth flds i in
+        check_init ctx pos fld.fld_ty item)
+      items
+  | _, Ast.Ilist [ item ] -> check_init ctx pos ty item
+  | _ -> errorf pos "invalid initializer for %s" (to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec check_stmt ctx (s : Ast.stmt) =
+  match s.snode with
+  | Ast.Sexpr e -> ignore (check_expr ctx e)
+  | Ast.Sblock items ->
+    push_scope ctx;
+    List.iter
+      (function
+        | Ast.Bstmt s -> check_stmt ctx s
+        | Ast.Bdecl d -> check_local_decl ctx d)
+      items;
+    pop_scope ctx
+  | Ast.Sif (c, t, f) ->
+    check_scalar ctx c;
+    check_stmt ctx t;
+    Option.iter (check_stmt ctx) f
+  | Ast.Swhile (c, b) ->
+    check_scalar ctx c;
+    check_stmt ctx b
+  | Ast.Sdo (b, c) ->
+    check_stmt ctx b;
+    check_scalar ctx c
+  | Ast.Sfor (init, cond, step, b) ->
+    push_scope ctx;
+    (match init with
+    | Ast.Fnone -> ()
+    | Ast.Fexpr e -> ignore (check_expr ctx e)
+    | Ast.Fdecl ds -> List.iter (check_local_decl ctx) ds);
+    Option.iter (check_scalar ctx) cond;
+    Option.iter (fun e -> ignore (check_expr ctx e)) step;
+    check_stmt ctx b;
+    pop_scope ctx
+  | Ast.Sswitch (e, b) ->
+    let t = check_expr ctx e in
+    if not (Ctypes.is_integer t) then
+      errorf s.spos "switch needs an integer, got %s" (Ctypes.to_string t);
+    check_stmt ctx b
+  | Ast.Scase (e, b) ->
+    ignore (check_expr ctx e);
+    check_stmt ctx b
+  | Ast.Sdefault b | Ast.Slabel (_, b) -> check_stmt ctx b
+  | Ast.Sbreak | Ast.Scontinue | Ast.Sgoto _ | Ast.Snull -> ()
+  | Ast.Sreturn eo -> begin
+    let f = Option.get ctx.current_fun in
+    match (eo, f.Ast.f_ret) with
+    | None, Ctypes.Tvoid -> ()
+    | None, _ -> errorf s.spos "missing return value in %s" f.Ast.f_name
+    | Some e, ret ->
+      let te = check_expr ctx e in
+      if Ctypes.equal ret Ctypes.Tvoid then
+        errorf s.spos "returning a value from void %s" f.Ast.f_name;
+      check_assignable s.spos (Ctypes.decay ret) te
+  end
+
+and check_scalar ctx e =
+  let t = check_expr ctx e in
+  if not (Ctypes.is_scalar t) then
+    errorf e.Ast.epos "condition must be scalar, got %s" (Ctypes.to_string t)
+
+and check_local_decl ctx (d : Ast.decl) =
+  (try ignore (Ctypes.size_of ctx.reg d.d_ty)
+   with Ctypes.Type_error m -> errorf d.d_pos "%s: %s" d.d_name m);
+  if d.d_static then begin
+    (* Lift to a mangled global; initializer must be constant (checked at
+       interpretation time like other global initializers). *)
+    let f = Option.get ctx.current_fun in
+    let mangled =
+      Printf.sprintf "%s.%s.%d" f.Ast.f_name d.d_name ctx.static_counter
+    in
+    ctx.static_counter <- ctx.static_counter + 1;
+    let lifted = { d with Ast.d_name = mangled } in
+    Hashtbl.replace ctx.result.globals mangled lifted;
+    ctx.lifted <- (mangled, lifted) :: ctx.lifted;
+    Option.iter (fun i -> check_init ctx d.d_pos d.d_ty i) d.d_init;
+    bind ctx d.d_name (Rglobal mangled);
+    Hashtbl.replace ctx.result.decl_slots d.d_id (-1)
+  end
+  else begin
+    Option.iter (fun i -> check_init ctx d.d_pos d.d_ty i) d.d_init;
+    (* note: init is checked in the outer scope, then the name is bound *)
+    let slot = add_local ctx d.d_name d.d_ty ~param:false in
+    Hashtbl.replace ctx.result.decl_slots d.d_id slot
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let check_fundef ctx (f : Ast.fundef) =
+  ctx.current_fun <- Some f;
+  ctx.locals <- [];
+  ctx.n_locals <- 0;
+  push_scope ctx;
+  List.iter
+    (fun (name, ty) ->
+      (try ignore (Ctypes.size_of ctx.reg ty)
+       with Ctypes.Type_error m -> errorf f.f_pos "%s: %s" name m);
+      ignore (add_local ctx name ty ~param:true))
+    f.f_params;
+  (* The body is an Sblock; check it without pushing another scope so that
+     parameters share the outermost block scope (close enough to C). *)
+  (match f.f_body.snode with
+  | Ast.Sblock items ->
+    push_scope ctx;
+    List.iter
+      (function
+        | Ast.Bstmt s -> check_stmt ctx s
+        | Ast.Bdecl d -> check_local_decl ctx d)
+      items;
+    pop_scope ctx
+  | _ -> check_stmt ctx f.f_body);
+  pop_scope ctx;
+  let locals = Array.of_list (List.rev ctx.locals) in
+  let fi =
+    { fi_def = f;
+      fi_ty =
+        { Ctypes.ret = f.f_ret; params = List.map snd f.f_params;
+          varargs = f.f_varargs };
+      fi_locals = locals }
+  in
+  Hashtbl.replace ctx.result.funs f.f_name fi;
+  ctx.current_fun <- None
+
+(* Check a whole translation unit. Two passes over globals so that
+   functions can call functions defined later without prototypes. *)
+let check (tunit : Ast.tunit) : t =
+  let result =
+    { tunit; types = Hashtbl.create 256; resolutions = Hashtbl.create 256;
+      decl_slots = Hashtbl.create 64; funs = Hashtbl.create 32;
+      fun_order = []; globals = Hashtbl.create 32; global_order = [];
+      enum_values = Hashtbl.create 16 }
+  in
+  let ctx =
+    { result; reg = tunit.structs; scopes = []; locals = []; n_locals = 0;
+      current_fun = None; lifted = []; static_counter = 0 }
+  in
+  push_scope ctx; (* file scope *)
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace result.enum_values name v;
+      bind ctx name (Renum v))
+    tunit.enum_consts;
+  (* Pass 1: declare all globals and functions. A prototype may precede
+     its definition; only a second *definition* is an error. *)
+  let defined_fns = Hashtbl.create 16 in
+  let fun_order = ref [] and global_order = ref [] in
+  List.iter
+    (function
+      | Ast.Gfun f ->
+        if Hashtbl.mem defined_fns f.Ast.f_name then
+          errorf f.Ast.f_pos "function %s redefined" f.Ast.f_name;
+        Hashtbl.replace defined_fns f.Ast.f_name ();
+        let fi =
+          { fi_def = f;
+            fi_ty =
+              { Ctypes.ret = f.Ast.f_ret;
+                params = List.map snd f.Ast.f_params;
+                varargs = f.Ast.f_varargs };
+            fi_locals = [||] }
+        in
+        Hashtbl.replace result.funs f.Ast.f_name fi;
+        fun_order := f.Ast.f_name :: !fun_order;
+        bind ctx f.Ast.f_name (Rfun f.Ast.f_name)
+      | Ast.Gfundecl d -> begin
+        match d.Ast.d_ty with
+        | Ctypes.Tfun fty ->
+          if not (Hashtbl.mem result.funs d.Ast.d_name) then begin
+            (* A prototype without definition: allowed only for builtins
+               (where it just restates the signature) or if a definition
+               follows; checked after pass 2. *)
+            bind ctx d.Ast.d_name (Rfun d.Ast.d_name);
+            Hashtbl.replace result.funs d.Ast.d_name
+              { fi_def =
+                  { f_id = d.Ast.d_id; f_pos = d.Ast.d_pos;
+                    f_name = d.Ast.d_name; f_ret = fty.Ctypes.ret;
+                    f_params =
+                      List.mapi
+                        (fun i t -> (Printf.sprintf "arg%d" i, t))
+                        fty.Ctypes.params;
+                    f_varargs = fty.Ctypes.varargs; f_static = false;
+                    f_body =
+                      { sid = -1; spos = d.Ast.d_pos;
+                        snode = Ast.Sblock [] } };
+                fi_ty = fty; fi_locals = [||] }
+          end
+        | _ -> errorf d.Ast.d_pos "bad prototype for %s" d.Ast.d_name
+      end
+      | Ast.Gvar d ->
+        if Ctypes.is_function d.Ast.d_ty then
+          errorf d.Ast.d_pos "variable %s has function type" d.Ast.d_name;
+        (try ignore (Ctypes.size_of tunit.structs d.Ast.d_ty)
+         with Ctypes.Type_error m -> errorf d.Ast.d_pos "%s" m);
+        Hashtbl.replace result.globals d.Ast.d_name d;
+        global_order := d.Ast.d_name :: !global_order;
+        bind ctx d.Ast.d_name (Rglobal d.Ast.d_name))
+    tunit.globals;
+  (* Pass 2: check global initializers and function bodies. *)
+  List.iter
+    (function
+      | Ast.Gvar d ->
+        Option.iter (fun i -> check_init ctx d.Ast.d_pos d.Ast.d_ty i) d.d_init
+      | Ast.Gfun f -> check_fundef ctx f
+      | Ast.Gfundecl _ -> ())
+    tunit.globals;
+  (* Prototypes that never get a definition are only an error if actually
+     called; the interpreter reports that precisely. *)
+  let defined = List.rev !fun_order in
+  { result with
+    fun_order = defined;
+    global_order = List.rev !global_order @ List.rev_map fst ctx.lifted }
+
+(* Look up the recorded type of an expression node. *)
+let type_of t (e : Ast.expr) : Ctypes.ty =
+  match Hashtbl.find_opt t.types e.Ast.eid with
+  | Some ty -> ty
+  | None -> raise (Error ("expression was not typechecked", e.Ast.epos))
+
+let resolution_of t (e : Ast.expr) : resolution option =
+  Hashtbl.find_opt t.resolutions e.Ast.eid
+
+let fun_info t name : fun_info option = Hashtbl.find_opt t.funs name

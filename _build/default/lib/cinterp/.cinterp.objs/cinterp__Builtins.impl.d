@@ -1,0 +1,1 @@
+lib/cinterp/builtins.ml: Buffer Char Float List Memory Option Printf String Value

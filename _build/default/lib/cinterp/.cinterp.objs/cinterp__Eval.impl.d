@@ -1,0 +1,1 @@
+lib/cinterp/eval.ml: Array Builtins Cfg_ir Cfront Format Hashtbl List Memory Option Profile String Value

@@ -1,0 +1,1 @@
+lib/cinterp/memory.ml: Array Buffer Char String Value

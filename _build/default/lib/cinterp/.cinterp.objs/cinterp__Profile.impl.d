@@ -1,0 +1,1 @@
+lib/cinterp/profile.ml: Array Buffer Cfg_ir Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cinterp/value.ml: Printf

@@ -1,0 +1,327 @@
+(* Runtime library for interpreted C programs.
+
+   Implements the libc subset the benchmark corpus uses: stdio on an
+   in-memory buffer (stdin is a configurable string, stdout a Buffer),
+   malloc/free over the block store, string.h, a deterministic LCG for
+   rand(), and math.h. Everything is deterministic so profiles reproduce
+   bit-for-bit. *)
+
+exception Exit_program of int
+
+type ctx = {
+  mem : Memory.t;
+  out : Buffer.t;
+  input : string;
+  mutable input_pos : int;
+  mutable rng : int;
+}
+
+let create_ctx ?(input = "") (mem : Memory.t) : ctx =
+  { mem; out = Buffer.create 256; input; input_pos = 0; rng = 12345 }
+
+let output (c : ctx) : string = Buffer.contents c.out
+
+(* ------------------------------------------------------------------ *)
+(* printf-style formatting. Supports flags [-0], width, precision, and
+   the conversions  d i u c s x X o f e g %  — enough for the corpus. *)
+
+let format_value (spec : string) (conv : char) (v : Value.value) : string =
+  (* [spec] is the directive without the leading % and without the
+     conversion char, e.g. "-8" or "02" or ".3". *)
+  let parse_spec () =
+    let minus = String.contains spec '-' in
+    let zero = String.length spec > 0 && String.contains spec '0'
+               && (spec.[0] = '0' || (minus && String.length spec > 1 && spec.[1] = '0')) in
+    let digits s =
+      let b = Buffer.create 4 in
+      String.iter (fun c -> if c >= '0' && c <= '9' then Buffer.add_char b c) s;
+      Buffer.contents b
+    in
+    let width, prec =
+      match String.index_opt spec '.' with
+      | Some i ->
+        let w = digits (String.sub spec 0 i) in
+        let p = digits (String.sub spec (i + 1) (String.length spec - i - 1)) in
+        ( (if w = "" then None else Some (int_of_string w)),
+          if p = "" then Some 0 else Some (int_of_string p) )
+      | None ->
+        let w = digits spec in
+        let w = if zero && w <> "" then String.sub w 1 (String.length w - 1) else w in
+        ((if w = "" then None else Some (int_of_string w)), None)
+    in
+    (minus, zero, width, prec)
+  in
+  let minus, zero, width, prec = parse_spec () in
+  let pad s =
+    match width with
+    | None -> s
+    | Some w when String.length s >= w -> s
+    | Some w ->
+      let fill = String.make (w - String.length s) (if zero && not minus then '0' else ' ') in
+      if minus then s ^ String.make (w - String.length s) ' '
+      else if zero && String.length s > 0 && (s.[0] = '-') then
+        "-" ^ String.make (w - String.length s) '0'
+        ^ String.sub s 1 (String.length s - 1)
+      else fill ^ s
+  in
+  let body =
+    match conv with
+    | 'd' | 'i' | 'u' -> string_of_int (Value.int_of v)
+    | 'x' -> Printf.sprintf "%x" (Value.int_of v land 0xFFFFFFFF)
+    | 'X' -> Printf.sprintf "%X" (Value.int_of v land 0xFFFFFFFF)
+    | 'o' -> Printf.sprintf "%o" (Value.int_of v land 0xFFFFFFFF)
+    | 'c' -> String.make 1 (Char.chr (Value.int_of v land 0xff))
+    | 'f' ->
+      let p = Option.value ~default:6 prec in
+      Printf.sprintf "%.*f" p (Value.float_of v)
+    | 'e' ->
+      let p = Option.value ~default:6 prec in
+      Printf.sprintf "%.*e" p (Value.float_of v)
+    | 'g' -> Printf.sprintf "%g" (Value.float_of v)
+    | c -> Value.error "printf: unsupported conversion %%%c" c
+  in
+  pad body
+
+(* Render a format string with arguments; [get_string] reads a C string
+   behind a pointer argument. *)
+let render_format (c : ctx) (fmt : string) (args : Value.value list) : string
+    =
+  let buf = Buffer.create (String.length fmt + 32) in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | a :: rest ->
+      args := rest;
+      a
+    | [] -> Value.error "printf: not enough arguments"
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let ch = fmt.[!i] in
+    if ch <> '%' then begin
+      Buffer.add_char buf ch;
+      incr i
+    end
+    else if !i + 1 < n && fmt.[!i + 1] = '%' then begin
+      Buffer.add_char buf '%';
+      i := !i + 2
+    end
+    else begin
+      (* scan to the conversion character *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '-' | '+' | ' ' | '#' | '.' | '0' .. '9' | 'l' | 'h' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j >= n then Value.error "printf: truncated format";
+      let conv = fmt.[!j] in
+      let spec =
+        (* drop length modifiers (l, h) from the spec *)
+        String.concat ""
+          (List.filter_map
+             (fun ch ->
+               match ch with
+               | 'l' | 'h' -> None
+               | c -> Some (String.make 1 c))
+             (List.init (!j - !i - 1) (fun k -> fmt.[!i + 1 + k])))
+      in
+      (match conv with
+      | 's' ->
+        let v = next_arg () in
+        let s =
+          match v with
+          | Value.Vptr p -> Memory.read_cstring c.mem p
+          | Value.Vint 0 -> "(null)"
+          | v -> Value.error "printf: %%s needs a string, got %s" (Value.to_string v)
+        in
+        (* apply width via format_value-style padding *)
+        let minus = String.contains spec '-' in
+        let width =
+          let b = Buffer.create 4 in
+          String.iter (fun c -> if c >= '0' && c <= '9' then Buffer.add_char b c) spec;
+          if Buffer.length b = 0 then 0 else int_of_string (Buffer.contents b)
+        in
+        let padded =
+          if String.length s >= width then s
+          else if minus then s ^ String.make (width - String.length s) ' '
+          else String.make (width - String.length s) ' ' ^ s
+        in
+        Buffer.add_string buf padded
+      | conv -> Buffer.add_string buf (format_value spec conv (next_arg ())));
+      i := !j + 1
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The builtin dispatch table. *)
+
+let getchar (c : ctx) : int =
+  if c.input_pos >= String.length c.input then -1
+  else begin
+    let ch = Char.code c.input.[c.input_pos] in
+    c.input_pos <- c.input_pos + 1;
+    ch
+  end
+
+let rand_next (c : ctx) : int =
+  (* glibc-style LCG, deterministic across runs *)
+  c.rng <- ((c.rng * 1103515245) + 12345) land 0x7FFFFFFF;
+  c.rng
+
+let as_ptr name = function
+  | Value.Vptr p -> p
+  | v -> Value.error "%s: expected pointer, got %s" name (Value.to_string v)
+
+let as_str (c : ctx) name v = Memory.read_cstring c.mem (as_ptr name v)
+
+let call (c : ctx) (name : string) (args : Value.value list) : Value.value =
+  let int1 f =
+    match args with
+    | [ v ] -> Value.Vint (f (Value.int_of v))
+    | _ -> Value.error "%s: arity" name
+  in
+  let float1 f =
+    match args with
+    | [ v ] -> Value.Vfloat (f (Value.float_of v))
+    | _ -> Value.error "%s: arity" name
+  in
+  match (name, args) with
+  | "printf", fmt :: rest ->
+    let s = render_format c (as_str c "printf" fmt) rest in
+    Buffer.add_string c.out s;
+    Value.Vint (String.length s)
+  | "sprintf", dst :: fmt :: rest ->
+    let s = render_format c (as_str c "sprintf" fmt) rest in
+    Memory.write_cstring c.mem (as_ptr "sprintf" dst) s;
+    Value.Vint (String.length s)
+  | "putchar", [ v ] ->
+    let n = Value.int_of v in
+    Buffer.add_char c.out (Char.chr (n land 0xff));
+    Value.Vint n
+  | "puts", [ v ] ->
+    Buffer.add_string c.out (as_str c "puts" v);
+    Buffer.add_char c.out '\n';
+    Value.Vint 0
+  | "getchar", [] -> Value.Vint (getchar c)
+  | "malloc", [ v ] ->
+    let n = Value.int_of v in
+    if n <= 0 then Value.Vint 0
+    else Value.Vptr (Memory.alloc c.mem n ~tag:"malloc")
+  | "calloc", [ a; b ] ->
+    let n = Value.int_of a * Value.int_of b in
+    if n <= 0 then Value.Vint 0
+    else Value.Vptr (Memory.alloc c.mem n ~tag:"calloc")
+  | "realloc", [ p; v ] -> begin
+    let n = Value.int_of v in
+    match p with
+    | Value.Vint 0 ->
+      if n <= 0 then Value.Vint 0
+      else Value.Vptr (Memory.alloc c.mem n ~tag:"realloc")
+    | Value.Vptr old ->
+      let fresh = Memory.alloc c.mem n ~tag:"realloc" in
+      let old_size = Memory.size_of_block c.mem old in
+      Memory.blit c.mem ~src:old ~dst:fresh (min n old_size);
+      Memory.free c.mem old;
+      Value.Vptr fresh
+    | v -> Value.error "realloc: bad pointer %s" (Value.to_string v)
+  end
+  | "free", [ Value.Vint 0 ] -> Value.Vint 0
+  | "free", [ v ] ->
+    Memory.free c.mem (as_ptr "free" v);
+    Value.Vint 0
+  | "strlen", [ v ] -> Value.Vint (String.length (as_str c "strlen" v))
+  | "strcmp", [ a; b ] ->
+    Value.Vint (compare (as_str c "strcmp" a) (as_str c "strcmp" b))
+  | "strncmp", [ a; b; n ] ->
+    let n = Value.int_of n in
+    let cut s = if String.length s <= n then s else String.sub s 0 n in
+    Value.Vint
+      (compare (cut (as_str c "strncmp" a)) (cut (as_str c "strncmp" b)))
+  | "strcpy", [ dst; src ] ->
+    let p = as_ptr "strcpy" dst in
+    Memory.write_cstring c.mem p (as_str c "strcpy" src);
+    dst
+  | "strncpy", [ dst; src; n ] ->
+    let p = as_ptr "strncpy" dst in
+    let n = Value.int_of n in
+    let s = as_str c "strncpy" src in
+    for i = 0 to n - 1 do
+      let v = if i < String.length s then Char.code s.[i] else 0 in
+      Memory.store c.mem (Memory.offset p i) (Value.Vint v)
+    done;
+    dst
+  | "strcat", [ dst; src ] ->
+    let p = as_ptr "strcat" dst in
+    let existing = Memory.read_cstring c.mem p in
+    Memory.write_cstring c.mem
+      (Memory.offset p (String.length existing))
+      (as_str c "strcat" src);
+    dst
+  | "strchr", [ sp; ch ] -> begin
+    let p = as_ptr "strchr" sp in
+    let target = Value.int_of ch land 0xff in
+    let rec go i =
+      match Memory.load c.mem (Memory.offset p i) with
+      | Value.Vint 0 ->
+        if target = 0 then Value.Vptr (Memory.offset p i) else Value.Vint 0
+      | Value.Vint x when x land 0xff = target ->
+        Value.Vptr (Memory.offset p i)
+      | Value.Vint _ -> go (i + 1)
+      | v -> Value.error "strchr: bad cell %s" (Value.to_string v)
+    in
+    go 0
+  end
+  | "memset", [ dst; v; n ] ->
+    let p = as_ptr "memset" dst in
+    Memory.fill c.mem ~dst:p (Value.int_of n) (Value.Vint (Value.wrap8 (Value.int_of v)));
+    dst
+  | "memcpy", [ dst; src; n ] ->
+    Memory.blit c.mem ~src:(as_ptr "memcpy" src) ~dst:(as_ptr "memcpy" dst)
+      (Value.int_of n);
+    dst
+  | "atoi", [ v ] -> begin
+    let s = String.trim (as_str c "atoi" v) in
+    let s =
+      (* take the leading integer prefix *)
+      let n = String.length s in
+      let stop = ref 0 in
+      if !stop < n && (s.[0] = '-' || s.[0] = '+') then incr stop;
+      while !stop < n && s.[!stop] >= '0' && s.[!stop] <= '9' do
+        incr stop
+      done;
+      String.sub s 0 !stop
+    in
+    match int_of_string_opt s with
+    | Some n -> Value.Vint (Value.wrap32 n)
+    | None -> Value.Vint 0
+  end
+  | "abs", _ -> int1 abs
+  | "exit", [ v ] -> raise (Exit_program (Value.int_of v))
+  | "abort", [] -> raise (Exit_program 134)
+  | "assert", [ v ] ->
+    if not (Value.to_bool v) then Value.error "assertion failed";
+    Value.Vint 0
+  | "rand", [] -> Value.Vint (rand_next c)
+  | "srand", [ v ] ->
+    c.rng <- Value.int_of v land 0x7FFFFFFF;
+    Value.Vint 0
+  | "clock", [] -> Value.Vint 0 (* cost is tracked by the harness *)
+  | "sqrt", _ -> float1 sqrt
+  | "fabs", _ -> float1 abs_float
+  | "sin", _ -> float1 sin
+  | "cos", _ -> float1 cos
+  | "exp", _ -> float1 exp
+  | "log", _ -> float1 log
+  | "floor", _ -> float1 floor
+  | "ceil", _ -> float1 ceil
+  | "pow", [ a; b ] ->
+    Value.Vfloat (Float.pow (Value.float_of a) (Value.float_of b))
+  | _ ->
+    Value.error "builtin %s: bad call with %d argument(s)" name
+      (List.length args)

@@ -1,0 +1,74 @@
+(* Runtime values for the C interpreter.
+
+   The memory model is cell-based: every scalar occupies one cell, and a
+   pointer is a (block, offset) pair. The null pointer is the integer 0,
+   as in C source; pointer operations treat [Vint 0] as null. Integers are
+   wrapped to 32-bit two's complement so that hash functions and overflow
+   idioms in benchmark programs behave conventionally. *)
+
+type ptr = { blk : int; off : int }
+
+type fkind = Fuser of string | Fbuiltin of string
+
+type value =
+  | Vint of int       (* int and char values, 32-bit wrapped *)
+  | Vfloat of float
+  | Vptr of ptr
+  | Vfun of fkind
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Wrap to signed 32-bit. *)
+let wrap32 x =
+  let m = x land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+(* Wrap to signed 8-bit (stores into char objects). *)
+let wrap8 x =
+  let m = x land 0xFF in
+  if m >= 0x80 then m - 0x100 else m
+
+let is_null = function Vint 0 -> true | _ -> false
+
+let to_bool = function
+  | Vint n -> n <> 0
+  | Vfloat f -> f <> 0.0
+  | Vptr _ -> true
+  | Vfun _ -> true
+
+let int_of = function
+  | Vint n -> n
+  | Vfloat f -> wrap32 (int_of_float f)
+  | Vptr _ -> error "pointer used as integer"
+  | Vfun _ -> error "function used as integer"
+
+let float_of = function
+  | Vint n -> float_of_int n
+  | Vfloat f -> f
+  | Vptr _ -> error "pointer used as float"
+  | Vfun _ -> error "function used as float"
+
+let to_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vptr p -> Printf.sprintf "<ptr %d:%d>" p.blk p.off
+  | Vfun (Fuser f) -> Printf.sprintf "<fun %s>" f
+  | Vfun (Fbuiltin f) -> Printf.sprintf "<builtin %s>" f
+
+(* Equality following C semantics for the scalar universe we support.
+   A pointer never equals a nonzero integer; null (Vint 0) only equals
+   null. *)
+let equal_values a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> x = y
+  | Vint x, Vfloat y | Vfloat y, Vint x -> float_of_int x = y
+  | Vptr p, Vptr q -> p.blk = q.blk && p.off = q.off
+  | Vptr _, Vint _ | Vint _, Vptr _ -> false
+  | Vfun f, Vfun g -> f = g
+  | Vfun _, Vint _ | Vint _, Vfun _ -> false
+  | (Vptr _ | Vfun _), (Vfloat _ | Vfun _ | Vptr _)
+  | Vfloat _, (Vptr _ | Vfun _) ->
+    false

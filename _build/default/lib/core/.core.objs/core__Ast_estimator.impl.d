@@ -1,0 +1,1 @@
+lib/core/ast_estimator.ml: Array Branch_predictor Cfg_ir Cfront Config Hashtbl List Loop_model Option

@@ -1,0 +1,1 @@
+lib/core/ast_estimator.mli: Cfg_ir Cfront Hashtbl

@@ -1,0 +1,1 @@
+lib/core/branch_predictor.ml: Cfg_ir Cfront Config List Loop_model Option

@@ -1,0 +1,1 @@
+lib/core/branch_predictor.mli: Cfg_ir Cfront

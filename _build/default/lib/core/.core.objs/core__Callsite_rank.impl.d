@@ -1,0 +1,1 @@
+lib/core/callsite_rank.ml: Array Cfg_ir Cinterp List Printf

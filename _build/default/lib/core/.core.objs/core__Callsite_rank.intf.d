@@ -1,0 +1,1 @@
+lib/core/callsite_rank.mli: Cfg_ir Cinterp

@@ -1,0 +1,1 @@
+lib/core/inter_simple.ml: Array Cfg_ir Hashtbl Lazy List Loop_model Option

@@ -1,0 +1,1 @@
+lib/core/inter_simple.mli: Cfg_ir

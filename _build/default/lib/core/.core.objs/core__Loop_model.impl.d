@@ -1,0 +1,1 @@
+lib/core/loop_model.ml: Config

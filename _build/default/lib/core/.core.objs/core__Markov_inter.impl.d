@@ -1,0 +1,1 @@
+lib/core/markov_inter.ml: Array Cfg_ir Float Hashtbl Linalg List Loop_model Option

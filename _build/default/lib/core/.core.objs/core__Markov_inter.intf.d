@@ -1,0 +1,1 @@
+lib/core/markov_inter.mli: Cfg_ir

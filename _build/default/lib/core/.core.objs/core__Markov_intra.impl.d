@@ -1,0 +1,1 @@
+lib/core/markov_intra.ml: Array Branch_predictor Cfg_ir Cfront Config Float Hashtbl Linalg List Option

@@ -1,0 +1,1 @@
+lib/core/markov_intra.mli: Cfg_ir Cfront Linalg

@@ -1,0 +1,1 @@
+lib/core/missrate.ml: Array Branch_predictor Cfg_ir Cfront Cinterp Hashtbl List

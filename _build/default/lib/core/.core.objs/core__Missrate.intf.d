@@ -1,0 +1,1 @@
+lib/core/missrate.mli: Branch_predictor Cfg_ir Cfront Cinterp

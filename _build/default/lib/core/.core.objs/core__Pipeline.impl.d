@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Ast_estimator Callsite_rank Cfg_ir Cfront Cinterp Hashtbl Inter_simple List Markov_inter Markov_intra Option Structural_estimator Weight_matching

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cfg_ir Cfront Cinterp Hashtbl Inter_simple

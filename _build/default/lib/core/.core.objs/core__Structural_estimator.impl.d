@@ -1,0 +1,1 @@
+lib/core/structural_estimator.ml: Array Cfg_ir List Loop_model

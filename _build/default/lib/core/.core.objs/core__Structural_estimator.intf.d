@@ -1,0 +1,1 @@
+lib/core/structural_estimator.mli: Cfg_ir

@@ -1,0 +1,162 @@
+(* The AST-based intra-procedural estimators (paper section 4.2).
+
+   A single top-down walk assigns each statement an execution frequency
+   relative to one entry of the function (entry = 1): loop bodies get the
+   standard 5-iteration treatment, conditional arms split the incoming
+   frequency. The [Loop] mode splits branches 50/50; [Smart] applies the
+   branch-prediction heuristics with probability 0.8 for the predicted
+   arm. Switch arms are weighted by their number of case labels. As in
+   the paper, the walk ignores break/continue/goto/return.
+
+   Frequencies are then mapped onto CFG basic blocks through the "first
+   statement lowered into the block" link recorded by the CFG builder. *)
+
+module Ast = Cfront.Ast
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Cfg = Cfg_ir.Cfg
+
+type mode = Loop | Smart
+
+let mode_to_string = function Loop -> "loop" | Smart -> "smart"
+
+(* Count the case labels of a switch body without entering nested
+   switches. The implicit fall-past-every-case path counts as one extra
+   arm when there is no default. *)
+let count_labels (body : Ast.stmt) : int * bool =
+  let labels = ref 0 in
+  let has_default = ref false in
+  let rec go (s : Ast.stmt) =
+    match s.Ast.snode with
+    | Ast.Scase (_, b) ->
+      incr labels;
+      go b
+    | Ast.Sdefault b ->
+      has_default := true;
+      incr labels;
+      go b
+    | Ast.Sblock items ->
+      List.iter (function Ast.Bstmt s -> go s | Ast.Bdecl _ -> ()) items
+    | Ast.Sif (_, t, f) ->
+      go t;
+      Option.iter go f
+    | Ast.Swhile (_, b) | Ast.Sdo (b, _) | Ast.Sfor (_, _, _, b)
+    | Ast.Slabel (_, b) ->
+      go b
+    | Ast.Sswitch _ -> () (* nested switch owns its labels *)
+    | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue | Ast.Sgoto _ | Ast.Sreturn _
+    | Ast.Snull ->
+      ()
+  in
+  go body;
+  (!labels, !has_default)
+
+(* How many case labels directly mark statement [s] (case a: case b: s). *)
+let rec marker_count (s : Ast.stmt) : int =
+  match s.Ast.snode with
+  | Ast.Scase (_, b) | Ast.Sdefault b -> 1 + marker_count b
+  | _ -> 0
+
+type ctx = {
+  tc : Typecheck.t;
+  usage : Usage.t;
+  mode : mode;
+  freqs : (Ast.node_id, float) Hashtbl.t;
+}
+
+let record ctx (s : Ast.stmt) f = Hashtbl.replace ctx.freqs s.Ast.sid f
+
+(* Probability that an if-condition is true. *)
+let if_probability ctx (s : Ast.stmt) cond then_arm else_arm : float =
+  match ctx.mode with
+  | Loop -> 0.5
+  | Smart -> begin
+    match
+      Branch_predictor.predict_if ctx.tc ctx.usage s cond
+        ~then_arm:(Some then_arm) ~else_arm
+    with
+    | Branch_predictor.Taken, _ -> Branch_predictor.taken_probability ()
+    | Branch_predictor.NotTaken, _ ->
+      1.0 -. Branch_predictor.taken_probability ()
+  end
+
+let rec walk ctx ~(f : float) (s : Ast.stmt) : unit =
+  record ctx s f;
+  match s.Ast.snode with
+  | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue | Ast.Sgoto _ | Ast.Sreturn _
+  | Ast.Snull ->
+    ()
+  | Ast.Sblock items ->
+    List.iter
+      (function Ast.Bstmt s -> walk ctx ~f s | Ast.Bdecl _ -> ())
+      items
+  | Ast.Sif (cond, then_s, else_s) ->
+    let p = if_probability ctx s cond then_s else_s in
+    walk ctx ~f:(f *. p) then_s;
+    Option.iter (walk ctx ~f:(f *. (1.0 -. p))) else_s
+  | Ast.Swhile (_, body) ->
+    (* the node itself carries the test count *)
+    record ctx s (f *. Loop_model.test_executions ());
+    walk ctx ~f:(f *. Loop_model.body_executions ()) body
+  | Ast.Sdo (body, _) ->
+    record ctx s (f *. Loop_model.do_body_executions ());
+    walk ctx ~f:(f *. Loop_model.do_body_executions ()) body
+  | Ast.Sfor (_, _, _, body) ->
+    record ctx s (f *. Loop_model.test_executions ());
+    walk ctx ~f:(f *. Loop_model.body_executions ()) body
+  | Ast.Sswitch (_, body) ->
+    let labels, has_default = count_labels body in
+    let arms = labels + if has_default then 0 else 1 in
+    let share = if arms = 0 then f else f /. float_of_int arms in
+    walk_switch_body ctx ~share body
+  | Ast.Scase (_, body) | Ast.Sdefault body ->
+    (* A case marker outside a switch body context (e.g. buried under an
+       if inside the switch): give its body the same frequency. *)
+    walk ctx ~f body
+  | Ast.Slabel (_, body) -> walk ctx ~f body
+
+(* The immediate body of a switch: usually a block whose items alternate
+   between case-marked statements and their continuations. The "current"
+   frequency starts at 0 (statements before any label are unreachable)
+   and is reset at each marker to (number of markers) * share. *)
+and walk_switch_body ctx ~(share : float) (body : Ast.stmt) : unit =
+  match body.Ast.snode with
+  | Ast.Sblock items ->
+    record ctx body share;
+    let by_labels = Config.current.Config.switch_by_labels in
+    let current = ref 0.0 in
+    List.iter
+      (function
+        | Ast.Bstmt s ->
+          let markers = marker_count s in
+          if markers > 0 then
+            current :=
+              (if by_labels then float_of_int markers else 1.0) *. share;
+          walk ctx ~f:!current s
+        | Ast.Bdecl _ -> ())
+      items
+  | _ ->
+    (* switch with a single (possibly case-marked) statement *)
+    walk ctx ~f:(float_of_int (max 1 (marker_count body)) *. share) body
+
+(* Per-statement frequencies for one function, entry = 1. *)
+let stmt_freqs (tc : Typecheck.t) (fundef : Ast.fundef) (mode : mode) :
+    (Ast.node_id, float) Hashtbl.t =
+  let ctx =
+    { tc; usage = Usage.of_fun tc fundef; mode; freqs = Hashtbl.create 64 }
+  in
+  walk ctx ~f:1.0 fundef.Ast.f_body;
+  ctx.freqs
+
+(* Map statement frequencies onto the CFG's basic blocks. Blocks that no
+   statement maps to (rare empty join blocks) default to the entry
+   frequency 1. *)
+let block_freqs (tc : Typecheck.t) (fn : Cfg.fn) (mode : mode) : float array
+    =
+  let freqs = stmt_freqs tc fn.Cfg.fn_def mode in
+  Array.map
+    (fun (b : Cfg.block) ->
+      match b.Cfg.b_src with
+      | Some sid -> Option.value ~default:1.0 (Hashtbl.find_opt freqs sid)
+      | None -> 1.0)
+    fn.Cfg.fn_blocks

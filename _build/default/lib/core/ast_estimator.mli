@@ -1,0 +1,34 @@
+(** The AST-based intra-procedural estimators (paper section 4.2).
+
+    A single top-down walk assigns each statement an execution frequency
+    relative to one entry of the function: loop bodies use the standard
+    5-iteration model, conditional arms split the incoming frequency, and
+    switch arms are weighted by their case labels. As in the paper, the
+    walk ignores break/continue/goto/return. *)
+
+module Ast = Cfront.Ast
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Cfg = Cfg_ir.Cfg
+
+(** [Loop] splits branches 50/50; [Smart] applies the branch-prediction
+    heuristics with the configured predicted-arm probability. *)
+type mode = Loop | Smart
+
+val mode_to_string : mode -> string
+
+(** [count_labels body] counts the case labels of a switch body (without
+    entering nested switches) and reports whether a default is present. *)
+val count_labels : Ast.stmt -> int * bool
+
+(** How many case labels directly mark a statement (case a: case b: s). *)
+val marker_count : Ast.stmt -> int
+
+(** Per-statement frequencies for one function, entry = 1, keyed by
+    statement node id. *)
+val stmt_freqs :
+  Typecheck.t -> Ast.fundef -> mode -> (Ast.node_id, float) Hashtbl.t
+
+(** Statement frequencies mapped onto the CFG's basic blocks through the
+    "first statement lowered into the block" link. *)
+val block_freqs : Typecheck.t -> Cfg.fn -> mode -> float array

@@ -1,0 +1,313 @@
+(* The paper's "smart" static branch predictor (section 4.1).
+
+   Works at the level of the abstract syntax and the C type system, in the
+   spirit of Ball and Larus but inside the compiler. Heuristics fire in a
+   fixed priority order; the first applicable one decides. The paper's
+   listed heuristics:
+
+     - pointers are unlikely to be NULL,
+     - errors (calling abort or exit) are unlikely,
+     - an arm that writes variables read elsewhere is more likely,
+     - multiple logical ANDs make a condition less likely,
+
+   plus the structural loop heuristic (back edges are taken) and a
+   Ball/Larus-style opcode heuristic on comparisons with zero or equality
+   tests, with a "taken" default. Loops use the standard count of 5, i.e.
+   a continue probability of [Loop_model.continue_probability]. *)
+
+module Ast = Cfront.Ast
+module Ctypes = Cfront.Ctypes
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Const_fold = Cfront.Const_fold
+module Cfg = Cfg_ir.Cfg
+
+type prediction = Taken | NotTaken
+
+type reason =
+  | Hconstant   (* condition folds to a constant *)
+  | Hloop       (* loop back edge *)
+  | Hpointer    (* NULL test / pointer comparison *)
+  | Herror_call (* arm calls exit/abort/assert *)
+  | Hopcode     (* comparison shape: x < 0, x == y, ... *)
+  | Hmulti_and  (* several && conjuncts *)
+  | Hstore      (* arm writes a variable read elsewhere *)
+  | Hreturn     (* arm returns early *)
+  | Hdefault
+
+let reason_to_string = function
+  | Hconstant -> "constant"
+  | Hloop -> "loop"
+  | Hpointer -> "pointer"
+  | Herror_call -> "error-call"
+  | Hopcode -> "opcode"
+  | Hmulti_and -> "multi-and"
+  | Hstore -> "store"
+  | Hreturn -> "return"
+  | Hdefault -> "default"
+
+(* Probability assigned to the predicted arm of a binary branch (paper
+   footnote 5: "We chose 0.8 for the predicted arm"); read from the
+   configuration so the sensitivity ablation can vary it. *)
+let taken_probability () = Config.current.Config.branch_probability
+
+let negate = function Taken -> NotTaken | NotTaken -> Taken
+
+(* --- individual heuristics; each returns None when inapplicable ------- *)
+
+let constant_heuristic tc (cond : Ast.expr) : prediction option =
+  match Const_fold.eval tc cond with
+  | Some v -> Some (if Const_fold.is_true v then Taken else NotTaken)
+  | None -> None
+
+let is_pointer_ty tc (e : Ast.expr) =
+  match Typecheck.type_of tc e with
+  | Ctypes.Tptr _ -> true
+  | _ -> false
+
+let is_null_const tc (e : Ast.expr) =
+  match Const_fold.eval tc e with
+  | Some v -> not (Const_fold.is_true v)
+  | None -> false
+
+(* Pointers are unlikely to be NULL; pointer equality is unlikely. *)
+let rec pointer_heuristic tc (cond : Ast.expr) : prediction option =
+  match cond.Ast.enode with
+  | Ast.Binop (Ast.Beq, a, b)
+    when (is_pointer_ty tc a && is_null_const tc b)
+         || (is_pointer_ty tc b && is_null_const tc a) ->
+    Some NotTaken
+  | Ast.Binop (Ast.Bne, a, b)
+    when (is_pointer_ty tc a && is_null_const tc b)
+         || (is_pointer_ty tc b && is_null_const tc a) ->
+    Some Taken
+  | Ast.Binop (Ast.Beq, a, b) when is_pointer_ty tc a && is_pointer_ty tc b
+    ->
+    Some NotTaken
+  | Ast.Binop (Ast.Bne, a, b) when is_pointer_ty tc a && is_pointer_ty tc b
+    ->
+    Some Taken
+  | Ast.Unop (Ast.Unot, a) ->
+    Option.map negate (pointer_heuristic tc a)
+  | _ when is_pointer_ty tc cond -> Some Taken (* if (p) ... *)
+  | _ -> None
+
+(* Does [s] (shallowly, without entering nested function scopes — there
+   are none in C) contain a call to an error-exit routine? *)
+let calls_error tc (s : Ast.stmt) : bool =
+  let found = ref false in
+  Ast.iter_stmt s
+    ~on_stmt:(fun _ -> ())
+    ~on_expr:(fun (e : Ast.expr) ->
+      match e.Ast.enode with
+      | Ast.Call ({ Ast.enode = Ast.Ident name; _ } as fn, _) -> begin
+        match Typecheck.resolution_of tc fn with
+        | Some (Typecheck.Rbuiltin b)
+          when List.mem b Typecheck.error_call_names ->
+          found := true
+        | _ -> if List.mem name [ "error"; "fatal"; "panic"; "die" ] then
+                 found := true
+      end
+      | _ -> ());
+  !found
+
+let error_call_heuristic tc ~(then_arm : Ast.stmt option)
+    ~(else_arm : Ast.stmt option) : prediction option =
+  let then_err = Option.fold ~none:false ~some:(calls_error tc) then_arm in
+  let else_err = Option.fold ~none:false ~some:(calls_error tc) else_arm in
+  match (then_err, else_err) with
+  | true, false -> Some NotTaken
+  | false, true -> Some Taken
+  | _ -> None
+
+(* Ball/Larus-style opcode heuristic: integer < 0 / <= 0 and equality
+   comparisons are unlikely to succeed. Only fires on comparisons whose
+   shape is informative. *)
+let opcode_heuristic tc (cond : Ast.expr) : prediction option =
+  let is_zero e = is_null_const tc e in
+  match cond.Ast.enode with
+  | Ast.Binop (Ast.Blt, _, z) when is_zero z -> Some NotTaken
+  | Ast.Binop (Ast.Ble, _, z) when is_zero z -> Some NotTaken
+  | Ast.Binop (Ast.Bge, _, z) when is_zero z -> Some Taken
+  | Ast.Binop (Ast.Bgt, z, _) when is_zero z -> Some NotTaken
+  | Ast.Binop (Ast.Beq, _, _) -> Some NotTaken
+  | Ast.Binop (Ast.Bne, _, _) -> Some Taken
+  | _ -> None
+
+(* Multiple logical ANDs make a condition less likely. *)
+let multi_and_heuristic (cond : Ast.expr) : prediction option =
+  if Ast.count_conjuncts cond >= 2 then Some NotTaken else None
+
+(* An arm that stores to a variable read elsewhere is more likely. *)
+let store_heuristic tc (usage : Usage.t) (if_stmt : Ast.stmt)
+    ~(then_arm : Ast.stmt option) ~(else_arm : Ast.stmt option) :
+    prediction option =
+  let arm_stores arm =
+    match arm with
+    | None -> false
+    | Some s ->
+      Usage.any_write_read_outside usage if_stmt (Usage.writes_of_stmt tc s)
+  in
+  match (arm_stores then_arm, arm_stores else_arm) with
+  | true, false -> Some Taken
+  | false, true -> Some NotTaken
+  | _ -> None
+
+(* An arm that returns early is less likely. *)
+let return_heuristic ~(then_arm : Ast.stmt option)
+    ~(else_arm : Ast.stmt option) : prediction option =
+  let returns arm =
+    match arm with
+    | None -> false
+    | Some s ->
+      let found = ref false in
+      Ast.iter_stmt s
+        ~on_stmt:(fun (x : Ast.stmt) ->
+          match x.Ast.snode with
+          | Ast.Sreturn _ -> found := true
+          | _ -> ())
+        ~on_expr:(fun _ -> ());
+      !found
+  in
+  match (returns then_arm, returns else_arm) with
+  | true, false -> Some NotTaken
+  | false, true -> Some Taken
+  | _ -> None
+
+(* --- the combined predictor ------------------------------------------ *)
+
+(* Predict an if-branch at the AST level. Each heuristic fires only when
+   enabled in the configuration (the ablation experiments switch them off
+   one at a time). *)
+let predict_if tc (usage : Usage.t) (if_stmt : Ast.stmt) (cond : Ast.expr)
+    ~(then_arm : Ast.stmt option) ~(else_arm : Ast.stmt option) :
+    prediction * reason =
+  let cfg = Config.current in
+  let when_ enabled f = if enabled then f () else None in
+  let chain =
+    [ (fun () -> Option.map (fun p -> (p, Hconstant)) (constant_heuristic tc cond));
+      (fun () ->
+        when_ cfg.Config.heuristic_pointer (fun () -> pointer_heuristic tc cond)
+        |> Option.map (fun p -> (p, Hpointer)));
+      (fun () ->
+        when_ cfg.Config.heuristic_error_call (fun () ->
+            error_call_heuristic tc ~then_arm ~else_arm)
+        |> Option.map (fun p -> (p, Herror_call)));
+      (fun () ->
+        when_ cfg.Config.heuristic_opcode (fun () -> opcode_heuristic tc cond)
+        |> Option.map (fun p -> (p, Hopcode)));
+      (fun () ->
+        when_ cfg.Config.heuristic_multi_and (fun () -> multi_and_heuristic cond)
+        |> Option.map (fun p -> (p, Hmulti_and)));
+      (fun () ->
+        when_ cfg.Config.heuristic_store (fun () ->
+            store_heuristic tc usage if_stmt ~then_arm ~else_arm)
+        |> Option.map (fun p -> (p, Hstore)));
+      (fun () ->
+        when_ cfg.Config.heuristic_return (fun () ->
+            return_heuristic ~then_arm ~else_arm)
+        |> Option.map (fun p -> (p, Hreturn))) ]
+  in
+  let rec first = function
+    | [] -> (Taken, Hdefault)
+    | f :: rest -> ( match f () with Some r -> r | None -> first rest)
+  in
+  first chain
+
+(* Predict a CFG branch: loop branches are predicted taken (the loop
+   continues); if-branches go through the heuristic chain. *)
+let predict tc (usage : Usage.t) (br : Cfg.branch) : prediction * reason =
+  match br.Cfg.br_kind with
+  | Cfg.Kwhile | Cfg.Kdo | Cfg.Kfor -> begin
+    match constant_heuristic tc br.Cfg.br_cond with
+    | Some p -> (p, Hconstant)
+    | None -> (Taken, Hloop)
+  end
+  | Cfg.Kif | Cfg.Kcond ->
+    predict_if tc usage br.Cfg.br_stmt br.Cfg.br_cond
+      ~then_arm:br.Cfg.br_then_arm ~else_arm:br.Cfg.br_else_arm
+
+(* ------------------------------------------------------------------ *)
+(* Probability-generating prediction (the paper's closing open question:
+   "whether static branch prediction can be accurate enough to make good
+   use of the intra-procedural Markov model (for example, by using a
+   static predictor that generates probabilities directly, rather than a
+   true/false guess)"). Following Wu and Larus (MICRO-27, 1994), each
+   heuristic carries an empirically calibrated taken-probability and all
+   applicable heuristics are combined with the Dempster-Shafer rule:
+
+     combine p1 p2 = p1*p2 / (p1*p2 + (1-p1)*(1-p2))
+
+   The per-heuristic probabilities below are the Ball/Larus-measured hit
+   rates Wu and Larus used. *)
+
+let heuristic_probability : reason -> float option = function
+  | Hpointer -> Some 0.60
+  | Herror_call -> Some 0.78 (* the Ball/Larus call heuristic *)
+  | Hopcode -> Some 0.84
+  | Hmulti_and -> Some 0.55 (* weak evidence, like the store heuristic *)
+  | Hstore -> Some 0.55
+  | Hreturn -> Some 0.72
+  | Hconstant | Hloop | Hdefault -> None
+
+let dempster_shafer p1 p2 =
+  let num = p1 *. p2 in
+  num /. (num +. ((1.0 -. p1) *. (1.0 -. p2)))
+
+(* The probability that an if-condition is true, combining the evidence
+   of every applicable heuristic. Heuristics vote with their calibrated
+   probability oriented by their predicted direction. *)
+let probability_true_combined tc (usage : Usage.t) (if_stmt : Ast.stmt)
+    (cond : Ast.expr) ~(then_arm : Ast.stmt option)
+    ~(else_arm : Ast.stmt option) : float =
+  match constant_heuristic tc cond with
+  | Some Taken -> 1.0
+  | Some NotTaken -> 0.0
+  | None ->
+    let cfg = Config.current in
+    let votes =
+      List.filter_map
+        (fun (enabled, reason, result) ->
+          if not enabled then None
+          else
+            match result with
+            | Some direction ->
+              Option.map
+                (fun p ->
+                  match direction with Taken -> p | NotTaken -> 1.0 -. p)
+                (heuristic_probability reason)
+            | None -> None)
+        [ (cfg.Config.heuristic_pointer, Hpointer, pointer_heuristic tc cond);
+          (cfg.Config.heuristic_error_call, Herror_call,
+           error_call_heuristic tc ~then_arm ~else_arm);
+          (cfg.Config.heuristic_opcode, Hopcode, opcode_heuristic tc cond);
+          (cfg.Config.heuristic_multi_and, Hmulti_and,
+           multi_and_heuristic cond);
+          (cfg.Config.heuristic_store, Hstore,
+           store_heuristic tc usage if_stmt ~then_arm ~else_arm);
+          (cfg.Config.heuristic_return, Hreturn,
+           return_heuristic ~then_arm ~else_arm) ]
+    in
+    List.fold_left dempster_shafer 0.5 votes
+
+(* The probability that the branch condition is true. Loop branches use
+   the loop model's continue probability; ifs the predicted-arm rule. *)
+let probability_true tc (usage : Usage.t) (br : Cfg.branch) : float =
+  match br.Cfg.br_kind with
+  | Cfg.Kwhile | Cfg.Kdo | Cfg.Kfor -> begin
+    match predict tc usage br with
+    | Taken, _ -> Loop_model.continue_probability ()
+    | NotTaken, _ -> 1.0 -. Loop_model.continue_probability ()
+  end
+  | Cfg.Kif | Cfg.Kcond -> begin
+    match predict tc usage br with
+    | Taken, _ -> taken_probability ()
+    | NotTaken, _ -> 1.0 -. taken_probability ()
+  end
+
+(* The naive 50/50 probability used by the "loop" estimator: loops still
+   get the standard count, everything else is an even split. *)
+let probability_true_naive (br : Cfg.branch) : float =
+  match br.Cfg.br_kind with
+  | Cfg.Kwhile | Cfg.Kdo | Cfg.Kfor -> Loop_model.continue_probability ()
+  | Cfg.Kif | Cfg.Kcond -> 0.5

@@ -1,0 +1,82 @@
+(** The paper's "smart" static branch predictor (section 4.1).
+
+    Operates on the abstract syntax and the C type system. Heuristics fire
+    in a fixed priority order — constant, pointer, error-call, opcode,
+    multi-AND, store, return — with a "taken" default; loop back edges are
+    always predicted taken. Each heuristic can be disabled through
+    {!Config} for the ablation experiments.
+
+    Also provides the Wu-Larus probability-combining extension answering
+    the paper's closing open question. *)
+
+module Ast = Cfront.Ast
+module Ctypes = Cfront.Ctypes
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Const_fold = Cfront.Const_fold
+module Cfg = Cfg_ir.Cfg
+
+(** A predicted branch direction; [Taken] means the condition is true. *)
+type prediction = Taken | NotTaken
+
+(** Which heuristic decided the prediction. *)
+type reason =
+  | Hconstant   (** condition folds to a constant *)
+  | Hloop       (** loop back edge *)
+  | Hpointer    (** NULL test / pointer comparison *)
+  | Herror_call (** arm calls exit/abort/assert *)
+  | Hopcode     (** comparison shape: x < 0, x == y, ... *)
+  | Hmulti_and  (** several && conjuncts *)
+  | Hstore      (** arm writes a variable read elsewhere *)
+  | Hreturn     (** arm returns early *)
+  | Hdefault
+
+val reason_to_string : reason -> string
+
+(** Probability of the predicted arm (paper footnote 5; default 0.8),
+    read from {!Config}. *)
+val taken_probability : unit -> float
+
+val negate : prediction -> prediction
+
+(** Predict an if-branch at the AST level: [predict_if tc usage if_stmt
+    cond ~then_arm ~else_arm]. *)
+val predict_if :
+  Typecheck.t ->
+  Usage.t ->
+  Ast.stmt ->
+  Ast.expr ->
+  then_arm:Ast.stmt option ->
+  else_arm:Ast.stmt option ->
+  prediction * reason
+
+(** Predict a CFG branch: loop branches are taken; if-branches go through
+    the heuristic chain. *)
+val predict : Typecheck.t -> Usage.t -> Cfg.branch -> prediction * reason
+
+(** The Dempster-Shafer combination of two probabilities (Wu-Larus). *)
+val dempster_shafer : float -> float -> float
+
+(** The calibrated taken-probability a heuristic carries in the Wu-Larus
+    combination, if it participates. *)
+val heuristic_probability : reason -> float option
+
+(** P(condition true) by combining the evidence of every applicable
+    heuristic with {!dempster_shafer} — the probability-generating
+    predictor of the paper's closing open question. *)
+val probability_true_combined :
+  Typecheck.t ->
+  Usage.t ->
+  Ast.stmt ->
+  Ast.expr ->
+  then_arm:Ast.stmt option ->
+  else_arm:Ast.stmt option ->
+  float
+
+(** P(condition true) under the paper's model: the loop continue
+    probability for loop branches, the 0.8/0.2 rule for ifs. *)
+val probability_true : Typecheck.t -> Usage.t -> Cfg.branch -> float
+
+(** The naive model used by the [loop] estimator: loops keep the standard
+    count, everything else is 50/50. *)
+val probability_true_naive : Cfg.branch -> float

@@ -1,0 +1,33 @@
+(* Global call-site frequency estimation (paper section 5.3).
+
+   The estimated absolute frequency of a call site is its local block
+   frequency (per one invocation of the containing function) multiplied
+   by the estimated invocation count of that function. Calls through
+   pointers are omitted, as they cannot be inlined. *)
+
+module Cfg = Cfg_ir.Cfg
+
+(* [inter] gives the estimated invocation count per function name. *)
+let estimate (p : Cfg.program) ~(intra : string -> float array)
+    ~(inter : string -> float) : (Cfg.call_site * float) list =
+  Cfg.direct_sites p
+  |> List.map (fun (cs : Cfg.call_site) ->
+       let local = (intra cs.Cfg.cs_fun).(cs.Cfg.cs_block) in
+       (cs, local *. inter cs.Cfg.cs_fun))
+
+(* Actual call-site counts from a profile, aligned with [direct_sites]. *)
+let actual (p : Cfg.program) (profile : Cinterp.Profile.t) :
+    (Cfg.call_site * float) list =
+  Cfg.direct_sites p
+  |> List.map (fun (cs : Cfg.call_site) ->
+       (cs, profile.Cinterp.Profile.site_counts.(cs.Cfg.cs_id)))
+
+(* Human-readable label for a call site. *)
+let describe (cs : Cfg.call_site) : string =
+  let callee =
+    match cs.Cfg.cs_callee with
+    | Cfg.Direct f -> f
+    | Cfg.Builtin f -> f
+    | Cfg.Indirect -> "<indirect>"
+  in
+  Printf.sprintf "%s->%s@B%d" cs.Cfg.cs_fun callee cs.Cfg.cs_block

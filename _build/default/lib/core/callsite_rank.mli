@@ -1,0 +1,21 @@
+(** Global call-site frequency estimation (paper section 5.3): a site's
+    estimated absolute frequency is its local block frequency times the
+    estimated invocation count of the containing function. Calls through
+    pointers are omitted, as they cannot be inlined. *)
+
+module Cfg = Cfg_ir.Cfg
+
+(** [estimate prog ~intra ~inter] pairs every direct call site with its
+    estimated absolute frequency, in {!Cfg.direct_sites} order. *)
+val estimate :
+  Cfg.program ->
+  intra:(string -> float array) ->
+  inter:(string -> float) ->
+  (Cfg.call_site * float) list
+
+(** Measured call-site counts from a profile, same order. *)
+val actual :
+  Cfg.program -> Cinterp.Profile.t -> (Cfg.call_site * float) list
+
+(** Human-readable label, e.g. ["insert->new_node@B1"]. *)
+val describe : Cfg.call_site -> string

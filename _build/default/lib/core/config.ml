@@ -1,0 +1,56 @@
+(* Estimator configuration knobs.
+
+   The paper fixes these (loops iterate 5 times, predicted arms get 0.8,
+   switch arms weighted by case labels, all heuristics on) but discusses
+   each choice: footnote 5 claims the exact branch probability "did not
+   have a significant effect", section 4.1 justifies the standard loop
+   count, and footnote 3 reports the switch-weighting comparison. The
+   ablation experiments vary one knob at a time to check those claims;
+   everything else reads the current configuration. *)
+
+type t = {
+  mutable loop_iterations : float;
+      (* the standard loop count: test executions per loop entry *)
+  mutable branch_probability : float;
+      (* probability given to the predicted arm of a binary branch *)
+  mutable switch_by_labels : bool;
+      (* weight switch arms by label count (true) or equally (false) *)
+  (* individual heuristic toggles for the smart predictor *)
+  mutable heuristic_pointer : bool;
+  mutable heuristic_error_call : bool;
+  mutable heuristic_opcode : bool;
+  mutable heuristic_multi_and : bool;
+  mutable heuristic_store : bool;
+  mutable heuristic_return : bool;
+}
+
+let defaults () : t =
+  { loop_iterations = 5.0;
+    branch_probability = 0.8;
+    switch_by_labels = true;
+    heuristic_pointer = true;
+    heuristic_error_call = true;
+    heuristic_opcode = true;
+    heuristic_multi_and = true;
+    heuristic_store = true;
+    heuristic_return = true }
+
+let current : t = defaults ()
+
+let reset () =
+  let d = defaults () in
+  current.loop_iterations <- d.loop_iterations;
+  current.branch_probability <- d.branch_probability;
+  current.switch_by_labels <- d.switch_by_labels;
+  current.heuristic_pointer <- d.heuristic_pointer;
+  current.heuristic_error_call <- d.heuristic_error_call;
+  current.heuristic_opcode <- d.heuristic_opcode;
+  current.heuristic_multi_and <- d.heuristic_multi_and;
+  current.heuristic_store <- d.heuristic_store;
+  current.heuristic_return <- d.heuristic_return
+
+(* Run [f] with [set] applied to the configuration, restoring the
+   defaults afterwards even on exceptions. *)
+let with_settings (set : t -> unit) (f : unit -> 'a) : 'a =
+  set current;
+  Fun.protect ~finally:reset f

@@ -1,0 +1,35 @@
+(** Estimator configuration knobs.
+
+    The paper fixes these constants (loops iterate 5 times, predicted arms
+    get probability 0.8, switch arms weighted by case labels, all
+    heuristics enabled) but discusses each choice; the ablation
+    experiments vary one knob at a time through this module. All
+    estimators read {!current} at use time. *)
+
+type t = {
+  mutable loop_iterations : float;
+      (** The standard loop count: test executions per loop entry. *)
+  mutable branch_probability : float;
+      (** Probability given to the predicted arm of a binary branch. *)
+  mutable switch_by_labels : bool;
+      (** Weight switch arms by label count (true) or equally (false). *)
+  mutable heuristic_pointer : bool;
+  mutable heuristic_error_call : bool;
+  mutable heuristic_opcode : bool;
+  mutable heuristic_multi_and : bool;
+  mutable heuristic_store : bool;
+  mutable heuristic_return : bool;
+}
+
+(** A fresh configuration with the paper's values. *)
+val defaults : unit -> t
+
+(** The live configuration every estimator consults. *)
+val current : t
+
+(** Restore {!current} to the paper's values. *)
+val reset : unit -> unit
+
+(** [with_settings set f] applies [set] to {!current}, runs [f], and
+    restores the defaults afterwards — even if [f] raises. *)
+val with_settings : (t -> unit) -> (unit -> 'a) -> 'a

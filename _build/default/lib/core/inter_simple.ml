@@ -1,0 +1,107 @@
+(* The simple function-invocation estimators (paper section 4.3).
+
+   All four combine per-function intra-procedural block frequencies
+   (normalized to one entry) with the static call graph, without solving
+   a global flow problem:
+
+   - [Call_site]: a function's invocation count is the sum of the basic
+     block counts of its call sites.
+   - [Direct]: [Call_site], with directly-recursive functions multiplied
+     by the standard factor 5.
+   - [All_rec]: functions involved in *any* recursion multiplied by 5.
+   - [All_rec2]: use the [All_rec] counts to scale callers' block counts,
+     then reapply the algorithm.
+
+   Indirect call-site counts are summed and divided among address-taken
+   functions in proportion to their static address-of counts. *)
+
+module Cfg = Cfg_ir.Cfg
+module Callgraph = Cfg_ir.Callgraph
+
+type kind = Call_site | Direct | All_rec | All_rec2
+
+let kind_to_string = function
+  | Call_site -> "call_site"
+  | Direct -> "direct"
+  | All_rec -> "all_rec"
+  | All_rec2 -> "all_rec2"
+
+let all_kinds = [ Call_site; Direct; All_rec; All_rec2 ]
+
+(* One accumulation pass: every call site contributes its local block
+   frequency scaled by [scale caller]. *)
+let accumulate (g : Callgraph.t) ~(intra : string -> float array)
+    ~(scale : string -> float) : float array =
+  let n = Callgraph.n_nodes g in
+  let inv = Array.make n 0.0 in
+  let site_weight (cs : Cfg.call_site) =
+    scale cs.Cfg.cs_fun *. (intra cs.Cfg.cs_fun).(cs.Cfg.cs_block)
+  in
+  (* direct arcs *)
+  Hashtbl.iter
+    (fun (_, callee) sites ->
+      List.iter
+        (fun cs -> inv.(callee) <- inv.(callee) +. site_weight cs)
+        sites)
+    g.Callgraph.direct_arcs;
+  (* indirect pool, apportioned by the address-taken census *)
+  let pool =
+    Hashtbl.fold
+      (fun _ sites acc ->
+        List.fold_left (fun acc cs -> acc +. site_weight cs) acc sites)
+      g.Callgraph.indirect_by_caller 0.0
+  in
+  let total_addr = float_of_int (Callgraph.total_address_taken g) in
+  if pool > 0.0 && total_addr > 0.0 then
+    Hashtbl.iter
+      (fun name count ->
+        match Callgraph.node_of_name g name with
+        | Some i ->
+          inv.(i) <- inv.(i) +. (pool *. float_of_int count /. total_addr)
+        | None -> ())
+      g.Callgraph.address_taken;
+  (* the external invocation of main *)
+  Option.iter (fun m -> inv.(m) <- inv.(m) +. 1.0) g.Callgraph.main_index;
+  inv
+
+let apply_recursion_multiplier (g : Callgraph.t) (inv : float array)
+    ~(recursive : int -> bool) : unit =
+  for i = 0 to Array.length inv - 1 do
+    if recursive i then inv.(i) <- inv.(i) *. Loop_model.recursion_multiplier ()
+  done;
+  ignore g
+
+(* Estimated invocation counts under the given model, in call-graph node
+   order. *)
+let estimate (g : Callgraph.t) ~(intra : string -> float array)
+    (kind : kind) : (string * float) list =
+  let ones _ = 1.0 in
+  let in_rec = lazy (Callgraph.in_recursion g) in
+  let base = accumulate g ~intra ~scale:ones in
+  let inv =
+    match kind with
+    | Call_site -> base
+    | Direct ->
+      apply_recursion_multiplier g base ~recursive:(fun i ->
+          Callgraph.directly_recursive g i);
+      base
+    | All_rec ->
+      apply_recursion_multiplier g base ~recursive:(fun i ->
+          (Lazy.force in_rec).(i));
+      base
+    | All_rec2 ->
+      (* first round: all_rec *)
+      apply_recursion_multiplier g base ~recursive:(fun i ->
+          (Lazy.force in_rec).(i));
+      (* second round: scale callers by the first-round counts *)
+      let scale name =
+        match Callgraph.node_of_name g name with
+        | Some i -> base.(i)
+        | None -> 1.0
+      in
+      let second = accumulate g ~intra ~scale in
+      apply_recursion_multiplier g second ~recursive:(fun i ->
+          (Lazy.force in_rec).(i));
+      second
+  in
+  Array.to_list (Array.mapi (fun i v -> (g.Callgraph.names.(i), v)) inv)

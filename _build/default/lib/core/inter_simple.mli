@@ -1,0 +1,25 @@
+(** The simple function-invocation estimators (paper section 4.3):
+    [call_site], [direct], [all_rec] and [all_rec2]. All combine
+    per-function intra-procedural block frequencies with the static call
+    graph, without solving a global flow problem. Indirect call-site
+    counts are divided among address-taken functions in proportion to the
+    static address-of census. *)
+
+module Cfg = Cfg_ir.Cfg
+module Callgraph = Cfg_ir.Callgraph
+
+type kind =
+  | Call_site  (** sum of the call sites' local block frequencies *)
+  | Direct     (** [Call_site]; directly-recursive functions x5 *)
+  | All_rec    (** functions in any recursive SCC x5 *)
+  | All_rec2   (** one propagation round: callers scale their callees *)
+
+val kind_to_string : kind -> string
+
+val all_kinds : kind list
+
+(** [estimate graph ~intra kind] returns estimated invocation counts per
+    defined function, in call-graph node order. [intra] supplies each
+    function's block frequencies normalized to one entry. *)
+val estimate :
+  Callgraph.t -> intra:(string -> float array) -> kind -> (string * float) list

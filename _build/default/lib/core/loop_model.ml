@@ -1,0 +1,37 @@
+(* The paper's loop model (section 4.1): "a very simple loop model,
+   predicting that all loops iterate five times". Five iterations means
+   the loop test executes 5 times per loop entry and the body 4 times
+   (Figure 3), i.e. a continue probability of 0.8.
+
+   The standard count is read from [Config] so the ablation experiments
+   can vary it; the default is the paper's 5. *)
+
+let standard_iterations () = Config.current.Config.loop_iterations
+
+(* P(loop test is true) = (k-1)/k for a test executed k times per entry. *)
+let continue_probability () =
+  let k = standard_iterations () in
+  (k -. 1.0) /. k
+
+(* Per loop entry: the number of times the test runs. *)
+let test_executions () = standard_iterations ()
+
+(* Per loop entry: the number of times the body of a top-tested loop
+   (while/for) runs. *)
+let body_executions () = standard_iterations () -. 1.0
+
+(* A bottom-tested loop (do/while) runs its body as often as its test. *)
+let do_body_executions () = standard_iterations ()
+
+(* Multiplier applied to recursive functions by the [direct] and [all_rec]
+   simple inter-procedural estimators (section 4.3): the standard count. *)
+let recursion_multiplier () = standard_iterations ()
+
+(* Ceiling for per-SCC Markov subproblem solutions (section 5.2.2,
+   footnote 6: "After some experimentation, we chose a ceiling of 5"). *)
+let scc_solution_ceiling = 5.0
+
+(* Probability used to replace invalid (> 1) direct-recursion arc weights
+   (section 5.2.2: "recursive arcs with a probability greater than 1 are
+   changed to a standard value of 0.8"). *)
+let recursive_arc_probability = 0.8

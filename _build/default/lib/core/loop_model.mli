@@ -1,0 +1,29 @@
+(** The paper's loop model (section 4.1): "a very simple loop model,
+    predicting that all loops iterate five times". The standard count is
+    read from {!Config} so the ablations can vary it. *)
+
+(** The standard loop count (default 5). *)
+val standard_iterations : unit -> float
+
+(** P(loop test is true) = (k-1)/k for the standard count [k]. *)
+val continue_probability : unit -> float
+
+(** Test executions per loop entry (= the standard count). *)
+val test_executions : unit -> float
+
+(** Body executions per entry of a top-tested (while/for) loop. *)
+val body_executions : unit -> float
+
+(** Body executions per entry of a bottom-tested (do/while) loop. *)
+val do_body_executions : unit -> float
+
+(** Multiplier for recursive functions in the simple inter-procedural
+    estimators (paper section 4.3). *)
+val recursion_multiplier : unit -> float
+
+(** Ceiling for per-SCC Markov subproblem solutions (paper footnote 6). *)
+val scc_solution_ceiling : float
+
+(** Replacement for impossible (> 1) direct-recursion arc weights (paper
+    section 5.2.2). *)
+val recursive_arc_probability : float

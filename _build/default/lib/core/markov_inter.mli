@@ -1,0 +1,43 @@
+(** Markov model over the call graph (paper section 5.2).
+
+    Functions are states; arcs carry the estimated calls per invocation of
+    the caller (sites merged per caller/callee pair); [main] receives one
+    unit of external flow. Function pointers route through a distinguished
+    {e pointer node} split by the static address-of census (section
+    5.2.1); impossible recursion weights are clamped and, if needed,
+    whole SCCs are re-solved in isolation and scaled down until valid
+    (section 5.2.2). *)
+
+module Cfg = Cfg_ir.Cfg
+module Callgraph = Cfg_ir.Callgraph
+
+(** Diagnostics from the recursion-repair machinery. *)
+type diag = {
+  clamped_self_arcs : (int * float) list;
+      (** node and original weight of each clamped self-arc *)
+  repaired_sccs : int;       (** SCC subproblems that needed rescaling *)
+  scale_iterations : int;    (** total scale-down steps *)
+}
+
+type result = {
+  freqs : (string * float) list;  (** defined functions, node order *)
+  pointer_freq : float option;    (** the pointer node, when present *)
+  diag : diag;
+}
+
+(** Estimated invocation frequencies for all defined functions. Total:
+    clamping and SCC repair guarantee a finite, non-negative solution. *)
+val estimate :
+  Callgraph.t -> intra:(string -> float array) -> result
+
+(** The raw (unclamped, unrepaired) solution — demonstrates the invalid
+    negative frequencies of the paper's Figure 8. [None] if singular. *)
+val estimate_raw :
+  Callgraph.t -> intra:(string -> float array) -> (string * float) list option
+
+(** The merged arc weights by function name (the pointer node prints as
+    ["<pointer>"]), for presentation and tests. *)
+val arc_weights :
+  Callgraph.t ->
+  intra:(string -> float array) ->
+  (string * string * float) list

@@ -1,0 +1,51 @@
+(** Markov model of control flow within one function (paper section 5.1).
+
+    The CFG becomes a Markov chain: states are basic blocks, transition
+    probabilities come from the branch predictor, and the relative block
+    frequencies solve the linear system of the paper's Figure 7, with the
+    entry block pinned at one external entry. Unlike the AST walk, this
+    model sees break/continue/goto/return edges. *)
+
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Cfg = Cfg_ir.Cfg
+module Linsolve = Linalg.Linsolve
+
+(** Outgoing arc probabilities of a block. [branch_prob] overrides the
+    P(condition true) model (default: the paper's first-match 0.8/0.2
+    rule). *)
+val arc_probs :
+  ?branch_prob:(Cfg.branch -> float) ->
+  Typecheck.t ->
+  Usage.t ->
+  Cfg.block ->
+  (int * float) list
+
+(** All weighted arcs of a function under the probability model. *)
+val arcs_of_fn :
+  ?branch_prob:(Cfg.branch -> float) ->
+  Typecheck.t ->
+  Usage.t ->
+  Cfg.fn ->
+  (int * int * float) list
+
+(** Solve the chain; probability-1 cycles (infinite goto loops) are damped
+    until the system is regular, so the solver is total. *)
+val solve_blocks :
+  n:int -> entry:int -> (int * int * float) list -> float array
+
+(** Estimated relative block frequencies (entry = 1). *)
+val block_freqs : Typecheck.t -> Cfg.fn -> float array
+
+(** The Wu-Larus variant: if-branch probabilities from combined heuristic
+    evidence instead of the binary guess. *)
+val block_freqs_combined : Typecheck.t -> Cfg.fn -> float array
+
+(** The system in presentable form (paper Figures 6-7). *)
+type presented = {
+  equations : (int * (int * float) list) list;
+      (** per block: the weighted predecessor list of its equation *)
+  solution : float array;
+}
+
+val present : Typecheck.t -> Cfg.fn -> presented

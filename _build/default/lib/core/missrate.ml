@@ -1,0 +1,83 @@
+(* Branch-prediction miss rates against a measured profile (Figure 2).
+
+   The rate is the fraction of *dynamic* branch executions whose direction
+   was mispredicted. Following the paper (section 2), branches whose
+   condition constant-folds are predicted but excluded from the score, and
+   switch statements are excluded entirely (they are not Tbranch
+   terminators, so that exclusion is structural).
+
+   Three predictors are scored:
+   - the static "smart" predictor,
+   - profiling: the majority direction per branch in a training profile
+     (an aggregate of the *other* inputs),
+   - the perfect static predictor (PSP): the majority direction in the
+     *evaluation* profile itself — the floor for any static scheme. *)
+
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Const_fold = Cfront.Const_fold
+module Cfg = Cfg_ir.Cfg
+module Profile = Cinterp.Profile
+
+type predictor = fn:Cfg.fn -> block:int -> Cfg.branch -> Branch_predictor.prediction
+
+(* Dynamic (mispredicted, total) over all non-constant branches. *)
+let tally (p : Cfg.program) (eval_profile : Profile.t)
+    (predict : predictor) : float * float =
+  let tc = p.Cfg.prog_tc in
+  let missed = ref 0.0 and total = ref 0.0 in
+  List.iter
+    (fun fn ->
+      let counters = Profile.fn_counters eval_profile fn.Cfg.fn_name in
+      List.iter
+        (fun (bid, br) ->
+          if not (Const_fold.is_constant_condition tc br.Cfg.br_cond) then begin
+            let taken = counters.Profile.branch_taken.(bid) in
+            let not_taken = counters.Profile.branch_not_taken.(bid) in
+            let executions = taken +. not_taken in
+            if executions > 0.0 then begin
+              let wrong =
+                match predict ~fn ~block:bid br with
+                | Branch_predictor.Taken -> not_taken
+                | Branch_predictor.NotTaken -> taken
+              in
+              missed := !missed +. wrong;
+              total := !total +. executions
+            end
+          end)
+        (Cfg.branches fn))
+    p.Cfg.prog_fns;
+  (!missed, !total)
+
+let rate (p : Cfg.program) (eval_profile : Profile.t) (predict : predictor)
+    : float =
+  let missed, total = tally p eval_profile predict in
+  if total = 0.0 then 0.0 else missed /. total
+
+(* The static heuristic predictor. *)
+let smart_predictor (p : Cfg.program) : predictor =
+  let tc = p.Cfg.prog_tc in
+  let usages = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      Hashtbl.replace usages fn.Cfg.fn_name
+        (Usage.of_fun tc fn.Cfg.fn_def))
+    p.Cfg.prog_fns;
+  fun ~fn ~block:_ br ->
+    fst (Branch_predictor.predict tc (Hashtbl.find usages fn.Cfg.fn_name) br)
+
+(* Majority direction per branch in a training profile. Branches never
+   executed in training fall back to "taken". *)
+let majority_predictor (training : Profile.t) : predictor =
+ fun ~fn ~block br ->
+  ignore br;
+  let counters = Profile.fn_counters training fn.Cfg.fn_name in
+  let taken = counters.Profile.branch_taken.(block) in
+  let not_taken = counters.Profile.branch_not_taken.(block) in
+  if taken >= not_taken then Branch_predictor.Taken
+  else Branch_predictor.NotTaken
+
+(* Perfect static predictor: majority direction in the evaluation profile
+   itself (paper footnote 4: the upper bound on static prediction). *)
+let psp_rate (p : Cfg.program) (eval_profile : Profile.t) : float =
+  rate p eval_profile (majority_predictor eval_profile)

@@ -1,0 +1,34 @@
+(** Branch-prediction miss rates against measured profiles (paper
+    Figure 2): the fraction of dynamic branch executions whose direction
+    was mispredicted. Branches with constant-foldable conditions are
+    predicted but excluded from the score, and switches are excluded
+    entirely, as in the paper. *)
+
+module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
+module Const_fold = Cfront.Const_fold
+module Cfg = Cfg_ir.Cfg
+module Profile = Cinterp.Profile
+
+(** A static direction choice for each branch of each function. *)
+type predictor =
+  fn:Cfg.fn -> block:int -> Cfg.branch -> Branch_predictor.prediction
+
+(** Dynamic [(mispredicted, total)] counts over all scored branches. *)
+val tally : Cfg.program -> Profile.t -> predictor -> float * float
+
+(** The miss rate in [0, 1]; [0] when no branch executes. *)
+val rate : Cfg.program -> Profile.t -> predictor -> float
+
+(** The paper's heuristic predictor, with per-function usage analyses
+    precomputed. *)
+val smart_predictor : Cfg.program -> predictor
+
+(** Majority direction per branch in a training profile; unexecuted
+    branches default to taken. This is "profiling with alternate inputs"
+    when trained on the aggregate of the other inputs. *)
+val majority_predictor : Profile.t -> predictor
+
+(** The perfect static predictor: majority direction in the evaluation
+    profile itself — the floor for any static scheme (paper footnote 4). *)
+val psp_rate : Cfg.program -> Profile.t -> float

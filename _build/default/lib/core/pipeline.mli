@@ -1,0 +1,118 @@
+(** End-to-end orchestration: compile C source, profile it on inputs, and
+    score every estimator with the paper's protocol (section 3): a static
+    estimate is scored against each profile separately and averaged;
+    profiling-as-estimate is scored by matching each profile against the
+    normalized aggregate of the others. *)
+
+module Ast = Cfront.Ast
+module Typecheck = Cfront.Typecheck
+module Parser = Cfront.Parser
+module Cfg = Cfg_ir.Cfg
+module Build = Cfg_ir.Build
+module Callgraph = Cfg_ir.Callgraph
+module Eval = Cinterp.Eval
+module Profile = Cinterp.Profile
+
+(** A compiled program: typed AST, CFGs and call graph. *)
+type compiled = {
+  name : string;
+  source : string;
+  tc : Typecheck.t;
+  prog : Cfg.program;
+  graph : Callgraph.t;
+}
+
+(** [compile ?defines ~name source] runs preprocess → parse → typecheck →
+    CFG construction → call-graph construction.
+
+    @raise Cfront.Parser.Error or {!Typecheck.Error} on invalid source. *)
+val compile : ?defines:(string * string) list -> name:string -> string -> compiled
+
+(** One profiling run: command-line arguments and stdin contents. *)
+type run = { argv : string list; input : string }
+
+(** Interpret the program once, collecting a profile. *)
+val run_once : ?fuel:int -> compiled -> run -> Eval.outcome
+
+(** Profiles for a list of runs. *)
+val profile_runs : ?fuel:int -> compiled -> run list -> Profile.t list
+
+(** {1 Intra-procedural estimates} *)
+
+type intra_kind =
+  | Iloop        (** AST walk, branches 50/50 *)
+  | Ismart       (** AST walk + branch heuristics *)
+  | Imarkov      (** CFG Markov chain *)
+  | Istructural  (** CFG-only dominance-based extension *)
+  | Icombined    (** Markov chain with Wu-Larus probabilities *)
+
+val intra_kind_to_string : intra_kind -> string
+
+(** Per-function block-frequency arrays for every defined function. *)
+val intra_table : compiled -> intra_kind -> (string, float array) Hashtbl.t
+
+(** As {!intra_table}, memoized behind a lookup function. *)
+val intra_provider : compiled -> intra_kind -> string -> float array
+
+(** A profile's block counts viewed as an intra estimate (the metric's
+    profiling column). *)
+val intra_of_profile : Profile.t -> string -> float array
+
+(** Invocation-weighted per-function weight-matching score against one
+    profile (the Figure 4 metric). *)
+val intra_score :
+  compiled ->
+  estimate:(string -> float array) ->
+  Profile.t ->
+  cutoff:float ->
+  float
+
+(** {1 Inter-procedural estimates} *)
+
+type inter_kind = Isimple of Inter_simple.kind | Imarkov_inter
+
+val inter_kind_to_string : inter_kind -> string
+
+(** Estimated invocation counts in call-graph node order. *)
+val inter_estimate :
+  compiled -> intra:(string -> float array) -> inter_kind -> float array
+
+(** Measured invocation counts, same order. *)
+val inter_actual : compiled -> Profile.t -> float array
+
+val inter_score :
+  estimate:float array -> actual:float array -> cutoff:float -> float
+
+(** {1 Call-site ranking} *)
+
+(** Estimated direct-call-site frequencies in {!Cfg.direct_sites} order. *)
+val callsite_estimate :
+  compiled -> intra:(string -> float array) -> inter_kind -> float array
+
+val callsite_actual : compiled -> Profile.t -> float array
+
+(** {1 Cross-validation protocol} *)
+
+(** Mean score of a fixed estimate against each profile. *)
+val mean_over_profiles : Profile.t list -> (Profile.t -> float) -> float
+
+(** Mean score of profiling-as-estimate: each profile is evaluated against
+    the aggregate of the others (or itself, if it is the only one). *)
+val cross_profile_mean :
+  compiled ->
+  Profile.t list ->
+  (train:Profile.t -> eval_p:Profile.t -> float) ->
+  float
+
+(** {1 The Figure 10 cost model} *)
+
+(** Static cost per block: one unit plus one per expression node. *)
+val block_costs : Cfg.fn -> float array
+
+(** Cost factor of blocks in "optimized" functions (0.5 ~ -O2 on
+    compress-like integer code). *)
+val optimized_cost_factor : float
+
+(** Modelled run time of [profile] when [optimized] functions are compiled
+    with optimization. *)
+val modelled_time : compiled -> Profile.t -> optimized:string list -> float

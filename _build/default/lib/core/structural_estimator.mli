@@ -1,0 +1,14 @@
+(** Structural (CFG-only) frequency estimation — the executable-level
+    baseline the paper contrasts its AST-based techniques with: loops are
+    recovered from back edges via dominators, and each block's frequency
+    is the standard count raised to its natural-loop nesting depth. *)
+
+module Cfg = Cfg_ir.Cfg
+module Dominance = Cfg_ir.Dominance
+
+(** Frequency = iterations^depth per block. *)
+val block_freqs : Cfg.fn -> float array
+
+(** As {!block_freqs}, but loop headers count one extra test execution
+    per entry, matching the AST model's treatment of loop tests. *)
+val block_freqs_refined : Cfg.fn -> float array

@@ -1,0 +1,64 @@
+(* Wall's weight-matching metric (paper section 3).
+
+   Given an estimate and a measurement for the same set of entities and a
+   cutoff fraction q, select the top q-quantile by estimate and by actual
+   value; the score is the actual weight captured by the estimated
+   quantile divided by the actual weight of the actual quantile.
+
+   When q*N is not an integer we round up and weight the extra item
+   fractionally (paper footnote 2). A perfect estimate scores 1.0; ties in
+   the actual values can also produce 1.0 with differing rankings. *)
+
+type ranked = { index : int; value : float }
+
+(* Indices sorted by value descending; equal values keep index order so
+   the metric is deterministic. *)
+let rank (values : float array) : ranked array =
+  let items = Array.mapi (fun index value -> { index; value }) values in
+  let cmp a b =
+    match compare b.value a.value with 0 -> compare a.index b.index | c -> c
+  in
+  Array.sort cmp items;
+  items
+
+(* Sum of [actual] over the top [cutoff] quantile of [order], with the
+   boundary item weighted fractionally. *)
+let quantile_weight (order : ranked array) (actual : float array)
+    (cutoff : float) : float =
+  let n = Array.length order in
+  let exact = cutoff *. float_of_int n in
+  let full = int_of_float (floor exact) in
+  let frac = exact -. float_of_int full in
+  let sum = ref 0.0 in
+  for i = 0 to min full n - 1 do
+    sum := !sum +. actual.(order.(i).index)
+  done;
+  if frac > 0.0 && full < n then
+    sum := !sum +. (frac *. actual.(order.(full).index));
+  !sum
+
+(* The weight-matching score of [estimate] against [actual] at [cutoff]
+   (a fraction in (0, 1]). Returns a value in [0, 1]. *)
+let score ~(estimate : float array) ~(actual : float array)
+    ~(cutoff : float) : float =
+  if Array.length estimate <> Array.length actual then
+    invalid_arg "Weight_matching.score: length mismatch";
+  if cutoff <= 0.0 || cutoff > 1.0 then
+    invalid_arg "Weight_matching.score: cutoff out of range";
+  if Array.length actual = 0 then 1.0
+  else begin
+    let est_rank = rank estimate in
+    let act_rank = rank actual in
+    let denominator = quantile_weight act_rank actual cutoff in
+    if denominator <= 0.0 then 1.0
+    else quantile_weight est_rank actual cutoff /. denominator
+  end
+
+(* Weighted mean of per-entity scores, e.g. per-function intra-procedural
+   scores weighted by dynamic invocation counts (paper section 4.2). *)
+let weighted_mean (pairs : (float * float) list) : float =
+  let wsum = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if wsum <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc (score, w) -> acc +. (score *. w)) 0.0 pairs
+    /. wsum

@@ -1,0 +1,34 @@
+(** Wall's weight-matching metric (paper section 3).
+
+    Given an estimate and a measurement for the same entities and a cutoff
+    fraction [q], select the top [q]-quantile by estimate and by actual
+    value; the score is the actual weight captured by the estimated
+    quantile divided by the actual weight of the actual quantile. When
+    [q * n] is not an integer, the boundary item is weighted fractionally
+    (paper footnote 2). *)
+
+(** An index paired with its value, as produced by {!rank}. *)
+type ranked = { index : int; value : float }
+
+(** [rank values] returns the indices sorted by value descending; equal
+    values keep index order, making every score deterministic. *)
+val rank : float array -> ranked array
+
+(** [quantile_weight order actual cutoff] sums [actual] over the top
+    [cutoff] fraction of [order], weighting the boundary item
+    fractionally. *)
+val quantile_weight : ranked array -> float array -> float -> float
+
+(** [score ~estimate ~actual ~cutoff] is the weight-matching score in
+    [0, 1]. A perfect estimate (or one that only differs within ties of
+    [actual]) scores [1.0]; an empty entity set or an all-zero [actual]
+    scores [1.0] by convention.
+
+    @raise Invalid_argument if the arrays differ in length or [cutoff] is
+    outside [(0, 1]]. *)
+val score : estimate:float array -> actual:float array -> cutoff:float -> float
+
+(** [weighted_mean pairs] averages [(score, weight)] pairs, e.g.
+    per-function scores weighted by dynamic invocation counts (paper
+    section 4.2). Returns [0.0] when the total weight is zero. *)
+val weighted_mean : (float * float) list -> float

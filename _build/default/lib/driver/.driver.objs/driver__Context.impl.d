@@ -1,0 +1,1 @@
+lib/driver/context.ml: Cinterp Core Hashtbl List Suite

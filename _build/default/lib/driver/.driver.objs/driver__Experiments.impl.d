@@ -1,0 +1,1 @@
+lib/driver/experiments.ml: Array Buffer Cfg_ir Cfront Cinterp Context Core Hashtbl List Option Printf String Suite Text_table

@@ -1,0 +1,1 @@
+lib/driver/text_table.ml: Array Buffer List Printf String

@@ -1,0 +1,41 @@
+(* Shared, memoized experiment context: each suite program compiled once
+   and profiled once per input. Every experiment draws from this cache so
+   running all of them costs one pass over the suite. *)
+
+module Pipeline = Core.Pipeline
+module Profile = Cinterp.Profile
+
+type prog_data = {
+  bench : Suite.Bench_prog.t;
+  compiled : Pipeline.compiled;
+  profiles : Profile.t list;
+}
+
+let cache : (string, prog_data) Hashtbl.t = Hashtbl.create 16
+
+let load (bench : Suite.Bench_prog.t) : prog_data =
+  match Hashtbl.find_opt cache bench.Suite.Bench_prog.name with
+  | Some d -> d
+  | None ->
+    let compiled =
+      Pipeline.compile ~name:bench.Suite.Bench_prog.name
+        bench.Suite.Bench_prog.source
+    in
+    let runs =
+      List.map
+        (fun (r : Suite.Bench_prog.run) ->
+          { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+            input = r.Suite.Bench_prog.r_input })
+        bench.Suite.Bench_prog.runs
+    in
+    let profiles = Pipeline.profile_runs compiled runs in
+    let d = { bench; compiled; profiles } in
+    Hashtbl.replace cache bench.Suite.Bench_prog.name d;
+    d
+
+let all () : prog_data list = List.map load Suite.Registry.all
+
+let by_name (name : string) : prog_data =
+  match Suite.Registry.find name with
+  | Some bench -> load bench
+  | None -> invalid_arg ("unknown suite program " ^ name)

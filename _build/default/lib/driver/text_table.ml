@@ -1,0 +1,50 @@
+(* Fixed-width text tables for the experiment reports. *)
+
+type align = Left | Right
+
+(* Render [rows] under [headers]; column widths fit the content. *)
+let render ?(aligns : align list = []) (headers : string list)
+    (rows : string list list) : string =
+  let ncols = List.length headers in
+  let align i =
+    match List.nth_opt aligns i with Some a -> a | None -> Right
+  in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = String.length cell in
+    if n >= w then cell
+    else
+      match align i with
+      | Left -> cell ^ String.make (w - n) ' '
+      | Right -> String.make (w - n) ' ' ^ cell
+  in
+  let line cells =
+    String.concat "  " (List.mapi pad cells)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let pct (v : float) : string = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let f2 (v : float) : string = Printf.sprintf "%.2f" v

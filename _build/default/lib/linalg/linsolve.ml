@@ -1,0 +1,85 @@
+(* Gaussian elimination with partial pivoting.
+
+   The Markov models translate a CFG or call graph into the linear system
+   (I - P^T) x = e (paper Figure 7); the systems are small (n = number of
+   blocks or functions), dense solving is entirely adequate, and partial
+   pivoting keeps the elimination stable. Singular systems are reported
+   with the offending column so callers can diagnose structurally dead
+   nodes. *)
+
+exception Singular of int (* pivot column with no usable pivot *)
+
+let epsilon = 1e-12
+
+(* Solve A x = b in place on copies; returns x. *)
+let solve (a : Matrix.t) (b : float array) : float array =
+  let n = a.Matrix.rows in
+  if a.Matrix.cols <> n then invalid_arg "Linsolve.solve: not square";
+  if Array.length b <> n then invalid_arg "Linsolve.solve: bad rhs";
+  let m = Matrix.copy a in
+  let x = Array.copy b in
+  let data = m.Matrix.data in
+  let idx i j = (i * n) + j in
+  for col = 0 to n - 1 do
+    (* partial pivot: largest |value| in this column at or below [col] *)
+    let pivot_row = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float data.(idx r col) > abs_float data.(idx !pivot_row col)
+      then pivot_row := r
+    done;
+    let pivot = data.(idx !pivot_row col) in
+    if abs_float pivot < epsilon then raise (Singular col);
+    if !pivot_row <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = data.(idx col j) in
+        data.(idx col j) <- data.(idx !pivot_row j);
+        data.(idx !pivot_row j) <- tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot_row);
+      x.(!pivot_row) <- tmp
+    end;
+    (* eliminate below *)
+    for r = col + 1 to n - 1 do
+      let factor = data.(idx r col) /. data.(idx col col) in
+      if factor <> 0.0 then begin
+        data.(idx r col) <- 0.0;
+        for j = col + 1 to n - 1 do
+          data.(idx r j) <- data.(idx r j) -. (factor *. data.(idx col j))
+        done;
+        x.(r) <- x.(r) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* back substitution *)
+  for row = n - 1 downto 0 do
+    let s = ref x.(row) in
+    for j = row + 1 to n - 1 do
+      s := !s -. (data.(idx row j) *. x.(j))
+    done;
+    x.(row) <- !s /. data.(idx row row)
+  done;
+  x
+
+(* Solve the Markov frequency system:
+     x_source = 1 + sum over arcs (j -> source, p) of p * x_j
+     x_i      =     sum over arcs (j -> i, p)      of p * x_j
+   [arcs] lists weighted arcs (from, to, p). The source gets one unit of
+   external flow (the function entry / the invocation of main); incoming
+   arcs still contribute, which matters when the entry block is also a
+   loop header or main is called recursively. Nodes unreachable from the
+   source get frequency 0. *)
+let markov_frequencies ~(n : int) ~(source : int)
+    ~(arcs : (int * int * float) list) : float array =
+  if n = 0 then [||]
+  else begin
+    let a = Matrix.create n n in
+    (* x_i - sum_j p_ji x_j = [i = source] *)
+    for i = 0 to n - 1 do
+      Matrix.set a i i 1.0
+    done;
+    let b = Array.make n 0.0 in
+    b.(source) <- 1.0;
+    List.iter (fun (src, dst, p) -> Matrix.add_to a dst src (-.p)) arcs;
+    solve a b
+  end

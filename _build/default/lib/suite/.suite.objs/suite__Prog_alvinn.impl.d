@@ -1,0 +1,1 @@
+lib/suite/prog_alvinn.ml: Bench_prog

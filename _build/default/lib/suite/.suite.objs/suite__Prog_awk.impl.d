@@ -1,0 +1,1 @@
+lib/suite/prog_awk.ml: Bench_prog Buffer List Printf

@@ -1,0 +1,1 @@
+lib/suite/prog_bison.ml: Bench_prog Buffer Printf String

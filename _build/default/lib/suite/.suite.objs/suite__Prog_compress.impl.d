@@ -1,0 +1,1 @@
+lib/suite/prog_compress.ml: Bench_prog Buffer Char

@@ -1,0 +1,1 @@
+lib/suite/prog_eqntott.ml: Bench_prog String

@@ -1,0 +1,1 @@
+lib/suite/prog_espresso.ml: Bench_prog List String

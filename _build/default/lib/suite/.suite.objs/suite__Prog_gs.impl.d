@@ -1,0 +1,1 @@
+lib/suite/prog_gs.ml: Bench_prog Buffer Printf

@@ -1,0 +1,1 @@
+lib/suite/prog_hash.ml: Bench_prog Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/suite/prog_lisp.ml: Bench_prog List Printf String

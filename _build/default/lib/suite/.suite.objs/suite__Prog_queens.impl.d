@@ -1,0 +1,1 @@
+lib/suite/prog_queens.ml: Bench_prog

@@ -1,0 +1,1 @@
+lib/suite/prog_sort.ml: Bench_prog

@@ -1,0 +1,1 @@
+lib/suite/prog_strlib.ml: Bench_prog List Printf String

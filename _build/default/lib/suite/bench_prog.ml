@@ -1,0 +1,26 @@
+(* A benchmark program: C source in the supported subset plus a set of
+   profiling inputs. Mirrors the paper's Table 1 suite: each mini program
+   reproduces the control-flow personality of one of the originals. *)
+
+type run = {
+  r_argv : string list; (* argv[1..] *)
+  r_input : string;     (* stdin contents *)
+}
+
+type t = {
+  name : string;
+  description : string;    (* Table 1 description column *)
+  analogue : string;       (* which paper program it stands in for *)
+  source : string;
+  runs : run list;         (* >= 4 inputs, as in the paper *)
+}
+
+let run ?(argv = []) ?(input = "") () = { r_argv = argv; r_input = input }
+
+(* Source lines of code (non-blank), for the Table 1 line-count column. *)
+let loc (p : t) : int =
+  String.split_on_char '\n' p.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let n_runs (p : t) = List.length p.runs

@@ -1,0 +1,118 @@
+(* alvinn_mini: a small fully-connected neural network trained by
+   back-propagation on synthetic data — the analogue of SPEC's alvinn.
+   The paper singles it out: "values for alvinn are uniformly low
+   (0.23%), because its only branches are for loops that iterate many
+   times". This program has essentially no conditional control flow
+   besides its loop nests, so the loop heuristic alone should predict it
+   almost perfectly. *)
+
+let source = {|
+#define N_IN 48
+#define N_HID 24
+#define N_OUT 8
+
+double w_ih[N_IN][N_HID];
+double w_ho[N_HID][N_OUT];
+double hid[N_HID];
+double out[N_OUT];
+double delta_o[N_OUT];
+double delta_h[N_HID];
+double inputs[N_IN];
+double targets[N_OUT];
+
+/* logistic activation via exp() */
+double sigmoid(double x) {
+  return 1.0 / (1.0 + exp(-x));
+}
+
+void init_weights(int seed) {
+  int i, j, state = seed;
+  for (i = 0; i < N_IN; i++) {
+    for (j = 0; j < N_HID; j++) {
+      state = (state * 1103515245 + 12345) & 0x7fffffff;
+      w_ih[i][j] = (double)(state % 200 - 100) / 500.0;
+    }
+  }
+  for (i = 0; i < N_HID; i++) {
+    for (j = 0; j < N_OUT; j++) {
+      state = (state * 1103515245 + 12345) & 0x7fffffff;
+      w_ho[i][j] = (double)(state % 200 - 100) / 500.0;
+    }
+  }
+}
+
+/* Synthetic pattern k: a smooth function of the input index. */
+void make_pattern(int k) {
+  int i;
+  for (i = 0; i < N_IN; i++)
+    inputs[i] = sigmoid((double)((i + k) % N_IN) / 4.0 - 2.0);
+  for (i = 0; i < N_OUT; i++)
+    targets[i] = ((k >> i) & 1) ? 0.9 : 0.1;
+}
+
+void forward(void) {
+  int i, j;
+  double acc;
+  for (j = 0; j < N_HID; j++) {
+    acc = 0.0;
+    for (i = 0; i < N_IN; i++) acc += inputs[i] * w_ih[i][j];
+    hid[j] = sigmoid(acc);
+  }
+  for (j = 0; j < N_OUT; j++) {
+    acc = 0.0;
+    for (i = 0; i < N_HID; i++) acc += hid[i] * w_ho[i][j];
+    out[j] = sigmoid(acc);
+  }
+}
+
+double backward(double rate) {
+  int i, j;
+  double err = 0.0, diff, acc;
+  for (j = 0; j < N_OUT; j++) {
+    diff = targets[j] - out[j];
+    err += diff * diff;
+    delta_o[j] = diff * out[j] * (1.0 - out[j]);
+  }
+  for (i = 0; i < N_HID; i++) {
+    acc = 0.0;
+    for (j = 0; j < N_OUT; j++) acc += delta_o[j] * w_ho[i][j];
+    delta_h[i] = acc * hid[i] * (1.0 - hid[i]);
+  }
+  for (j = 0; j < N_OUT; j++)
+    for (i = 0; i < N_HID; i++)
+      w_ho[i][j] += rate * delta_o[j] * hid[i];
+  for (j = 0; j < N_HID; j++)
+    for (i = 0; i < N_IN; i++)
+      w_ih[i][j] += rate * delta_h[j] * inputs[i];
+  return err;
+}
+
+int main(int argc, char **argv) {
+  int epochs = 20, patterns = 12, e, k, seed = 3;
+  double err = 0.0;
+  if (argc > 1) epochs = atoi(argv[1]);
+  if (argc > 2) seed = atoi(argv[2]);
+  init_weights(seed);
+  for (e = 0; e < epochs; e++) {
+    err = 0.0;
+    for (k = 0; k < patterns; k++) {
+      make_pattern(k);
+      forward();
+      err += backward(1.2);
+    }
+  }
+  printf("epochs=%d err=%.5f out0=%.4f\n", epochs, err, out[0]);
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "alvinn_mini";
+    description = "Back-propagation neural network training";
+    analogue = "alvinn";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "20"; "3" ] ();
+        Bench_prog.run ~argv:[ "30"; "9" ] ();
+        Bench_prog.run ~argv:[ "12"; "27" ] ();
+        Bench_prog.run ~argv:[ "25"; "1" ] () ] }

@@ -1,0 +1,142 @@
+(* awk_mini: a line-oriented pattern scanner — glob-style matching with
+   '*' and '?', field splitting, and per-pattern action counters. The
+   analogue of awk: string-heavy control flow, recursion in the matcher,
+   and early exits. Patterns arrive via argv; text via stdin. *)
+
+let source = {|
+#define MAX_LINE 256
+#define MAX_FIELDS 32
+
+char line_buf[MAX_LINE];
+int line_count;
+int match_count;
+int field_total;
+long char_total;
+
+/* Recursive glob matcher: '*' any run, '?' any one char. */
+int glob_match(char *pat, char *txt) {
+  if (*pat == 0) return *txt == 0;
+  if (*pat == '*') {
+    while (*(pat + 1) == '*') pat++;
+    if (*(pat + 1) == 0) return 1;
+    while (*txt) {
+      if (glob_match(pat + 1, txt)) return 1;
+      txt++;
+    }
+    return glob_match(pat + 1, txt);
+  }
+  if (*txt == 0) return 0;
+  if (*pat == '?' || *pat == *txt) return glob_match(pat + 1, txt + 1);
+  return 0;
+}
+
+/* Does the pattern match anywhere in the line (unanchored)? */
+int search_line(char *pat, char *txt) {
+  if (glob_match(pat, txt)) return 1;
+  while (*txt) {
+    if (glob_match(pat, txt)) return 1;
+    txt++;
+  }
+  return 0;
+}
+
+int read_line(void) {
+  int c, n = 0;
+  c = getchar();
+  if (c == EOF) return -1;
+  while (c != '\n' && c != EOF) {
+    if (n < MAX_LINE - 1) {
+      line_buf[n] = c;
+      n++;
+    }
+    c = getchar();
+  }
+  line_buf[n] = 0;
+  return n;
+}
+
+int is_space_ch(int c) { return c == ' ' || c == '\t'; }
+
+/* Split the line into whitespace-separated fields; returns the count and
+   fills starts[] with field offsets. */
+int split_fields(int *starts) {
+  int i = 0, n = 0;
+  while (line_buf[i]) {
+    while (line_buf[i] && is_space_ch(line_buf[i])) i++;
+    if (!line_buf[i]) break;
+    if (n < MAX_FIELDS) {
+      starts[n] = i;
+      n++;
+    }
+    while (line_buf[i] && !is_space_ch(line_buf[i])) i++;
+  }
+  return n;
+}
+
+int line_length(void) {
+  int n = 0;
+  while (line_buf[n]) n++;
+  return n;
+}
+
+int main(int argc, char **argv) {
+  int starts[MAX_FIELDS];
+  int len, p, nf;
+  int per_pattern[8];
+  for (p = 0; p < 8; p++) per_pattern[p] = 0;
+  line_count = 0;
+  match_count = 0;
+  field_total = 0;
+  char_total = 0;
+  while ((len = read_line()) >= 0) {
+    line_count++;
+    char_total += len;
+    nf = split_fields(starts);
+    field_total += nf;
+    for (p = 1; p < argc && p < 9; p++) {
+      if (search_line(argv[p], line_buf)) {
+        match_count++;
+        per_pattern[p - 1]++;
+      }
+    }
+  }
+  printf("lines=%d fields=%d chars=%d matches=%d", line_count, field_total,
+         (int)char_total, match_count);
+  for (p = 1; p < argc && p < 9; p++)
+    printf(" p%d=%d", p, per_pattern[p - 1]);
+  printf("\n");
+  return 0;
+}
+|}
+
+let text_corpus =
+  let lines =
+    [ "the quick brown fox jumps over the lazy dog";
+      "pack my box with five dozen liquor jugs";
+      "how vexingly quick daft zebras jump";
+      "sphinx of black quartz judge my vow";
+      "errors should never pass silently";
+      "in the face of ambiguity refuse the temptation to guess";
+      "now is better than never although never is often better";
+      "special cases are not special enough to break the rules";
+      "although practicality beats purity";
+      "simple is better than complex and complex is better than complicated" ]
+  in
+  let buf = Buffer.create 4096 in
+  for i = 0 to 60 do
+    Buffer.add_string buf (List.nth lines (i mod List.length lines));
+    Buffer.add_string buf (Printf.sprintf " line%d\n" i)
+  done;
+  Buffer.contents buf
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "awk_mini";
+    description = "Glob pattern scanner with field splitting";
+    analogue = "awk";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "*quick*"; "*jum??*" ] ~input:text_corpus ();
+        Bench_prog.run ~argv:[ "*better*"; "*the*"; "*z*" ] ~input:text_corpus ();
+        Bench_prog.run ~argv:[ "line1*" ] ~input:text_corpus ();
+        Bench_prog.run ~argv:[ "*never*"; "*box*"; "*qu*"; "*xyz*" ]
+          ~input:text_corpus () ] }

@@ -1,0 +1,248 @@
+(* bison_mini: a table-driven shift-reduce expression parser — the
+   analogue of an LALR parser generator's generated automaton. A small
+   "grammar compilation" phase fills the precedence/associativity tables;
+   the runtime loop shifts tokens and reduces by table lookup, evaluating
+   as it goes. Deeply stack-driven control flow like a yacc skeleton. *)
+
+let source = {|
+#define T_NUM 0
+#define T_PLUS 1
+#define T_MINUS 2
+#define T_STAR 3
+#define T_SLASH 4
+#define T_PCT 5
+#define T_LPAR 6
+#define T_RPAR 7
+#define T_NEG 8
+#define T_EOF 9
+#define N_TOKENS 10
+
+#define MAX_STACK 128
+
+int prec_table[N_TOKENS];
+int right_assoc[N_TOKENS];
+
+int op_stack[MAX_STACK];
+int val_stack[MAX_STACK];
+int op_top;
+int val_top;
+
+int shift_count;
+int reduce_count;
+int expr_count;
+int error_count;
+
+/* ---- "parser generation": fill the tables from the grammar ---- */
+
+void compile_grammar(void) {
+  int t;
+  for (t = 0; t < N_TOKENS; t++) {
+    prec_table[t] = 0;
+    right_assoc[t] = 0;
+  }
+  prec_table[T_PLUS] = 1;
+  prec_table[T_MINUS] = 1;
+  prec_table[T_STAR] = 2;
+  prec_table[T_SLASH] = 2;
+  prec_table[T_PCT] = 2;
+  prec_table[T_NEG] = 3;
+  right_assoc[T_NEG] = 1;
+}
+
+/* ---- lexer ---- */
+
+int peeked;
+int have_peek;
+int tok_value;
+
+int peek_ch(void) {
+  if (!have_peek) { peeked = getchar(); have_peek = 1; }
+  return peeked;
+}
+
+int next_ch(void) {
+  int c = peek_ch();
+  have_peek = 0;
+  return c;
+}
+
+/* Returns the next token type; numbers set tok_value. Newline and EOF
+   both end an expression. */
+int next_token(void) {
+  int c;
+  while (peek_ch() == ' ' || peek_ch() == '\t') next_ch();
+  c = peek_ch();
+  if (c == EOF || c == '\n') return T_EOF;
+  if (c >= '0' && c <= '9') {
+    tok_value = 0;
+    while (peek_ch() >= '0' && peek_ch() <= '9')
+      tok_value = tok_value * 10 + (next_ch() - '0');
+    return T_NUM;
+  }
+  next_ch();
+  switch (c) {
+  case '+': return T_PLUS;
+  case '-': return T_MINUS;
+  case '*': return T_STAR;
+  case '/': return T_SLASH;
+  case '%': return T_PCT;
+  case '(': return T_LPAR;
+  case ')': return T_RPAR;
+  default: error_count++; return T_EOF;
+  }
+}
+
+/* ---- the automaton ---- */
+
+void push_op(int op) {
+  if (op_top < MAX_STACK) { op_stack[op_top] = op; op_top++; }
+  shift_count++;
+}
+
+void push_val(int v) {
+  if (val_top < MAX_STACK) { val_stack[val_top] = v; val_top++; }
+}
+
+int pop_val(void) {
+  if (val_top <= 0) { error_count++; return 0; }
+  val_top--;
+  return val_stack[val_top];
+}
+
+/* Apply the operator on top of the stack to the value stack. */
+void reduce_once(void) {
+  int op, a, b;
+  if (op_top <= 0) { error_count++; return; }
+  op_top--;
+  op = op_stack[op_top];
+  reduce_count++;
+  if (op == T_NEG) {
+    a = pop_val();
+    push_val(-a);
+    return;
+  }
+  b = pop_val();
+  a = pop_val();
+  if (op == T_PLUS) push_val(a + b);
+  else if (op == T_MINUS) push_val(a - b);
+  else if (op == T_STAR) push_val(a * b);
+  else if (op == T_SLASH) push_val(b == 0 ? 0 : a / b);
+  else if (op == T_PCT) push_val(b == 0 ? 0 : a % b);
+  else error_count++;
+}
+
+/* Reduce while the stack-top operator has precedence >= the incoming
+   token (taking associativity into account). */
+void reduce_for(int tok) {
+  int top;
+  while (op_top > 0) {
+    top = op_stack[op_top - 1];
+    if (top == T_LPAR) return;
+    if (prec_table[top] > prec_table[tok]
+        || (prec_table[top] == prec_table[tok] && !right_assoc[tok]))
+      reduce_once();
+    else
+      return;
+  }
+}
+
+/* Parse and evaluate one expression; returns its value. *ok reports
+   whether the line was well-formed. */
+int parse_expr(int *ok) {
+  int tok, expecting_operand = 1;
+  op_top = 0;
+  val_top = 0;
+  *ok = 1;
+  while (1) {
+    tok = next_token();
+    if (tok == T_EOF) break;
+    if (tok == T_NUM) {
+      if (!expecting_operand) *ok = 0;
+      push_val(tok_value);
+      expecting_operand = 0;
+    } else if (tok == T_LPAR) {
+      push_op(T_LPAR);
+      expecting_operand = 1;
+    } else if (tok == T_RPAR) {
+      while (op_top > 0 && op_stack[op_top - 1] != T_LPAR) reduce_once();
+      if (op_top > 0) op_top--;
+      else *ok = 0;
+      expecting_operand = 0;
+    } else if (tok == T_MINUS && expecting_operand) {
+      reduce_for(T_NEG);
+      push_op(T_NEG);
+    } else {
+      if (expecting_operand) *ok = 0;
+      reduce_for(tok);
+      push_op(tok);
+      expecting_operand = 1;
+    }
+  }
+  while (op_top > 0) {
+    if (op_stack[op_top - 1] == T_LPAR) { op_top--; *ok = 0; }
+    else reduce_once();
+  }
+  if (val_top != 1) *ok = 0;
+  return pop_val();
+}
+
+int main(void) {
+  int v, ok, checksum = 0;
+  compile_grammar();
+  while (1) {
+    /* skip blank lines and stop at EOF */
+    while (peek_ch() == '\n') next_ch();
+    if (peek_ch() == EOF) break;
+    v = parse_expr(&ok);
+    expr_count++;
+    if (ok) {
+      printf("= %d\n", v);
+      checksum = (checksum * 31 + v) & 0xffffff;
+    } else {
+      printf("syntax error\n");
+    }
+    if (peek_ch() == '\n') next_ch();
+  }
+  printf("exprs=%d shifts=%d reduces=%d errors=%d sum=%x\n", expr_count,
+         shift_count, reduce_count, error_count, checksum);
+  return 0;
+}
+|}
+
+let input_basic =
+  String.concat "\n"
+    [ "1 + 2 * 3"; "(1 + 2) * 3"; "10 - 4 - 3"; "100 / 7 % 5";
+      "-5 + - - 3"; "2 * (3 + (4 * (5 + 6)))" ]
+
+let input_deep =
+  let rec nest n = if n = 0 then "1" else "(" ^ nest (n - 1) ^ " + 2)" in
+  String.concat "\n" [ nest 30; nest 15 ^ " * " ^ nest 10; "-" ^ nest 20 ]
+
+let input_long =
+  let buf = Buffer.create 1024 in
+  for i = 1 to 120 do
+    Buffer.add_string buf (string_of_int i);
+    if i < 120 then
+      Buffer.add_string buf (match i mod 4 with 0 -> " + " | 1 -> " * " | 2 -> " - " | _ -> " % ")
+  done;
+  Buffer.add_char buf '\n';
+  for i = 1 to 40 do
+    Buffer.add_string buf (Printf.sprintf "%d * %d + " i (i + 1))
+  done;
+  Buffer.add_string buf "0\n";
+  Buffer.contents buf
+
+let input_errors =
+  String.concat "\n"
+    [ "1 + + 2"; "(1 + 2"; "3 * 4)"; "5 5"; "7 + 8"; ""; "9 * (2 + 1)" ]
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "bison_mini";
+    description = "Table-driven shift-reduce expression parser";
+    analogue = "bison";
+    source;
+    runs =
+      [ Bench_prog.run ~input:input_basic ();
+        Bench_prog.run ~input:input_deep ();
+        Bench_prog.run ~input:input_long ();
+        Bench_prog.run ~input:input_errors () ] }

@@ -1,0 +1,132 @@
+(* cholesky_mini: dense Cholesky factorization with verification, the
+   suite's sparse-cholesky stand-in. Pure numeric triple loops with
+   simple control flow — the "numerical programs with simple control
+   flow" category for which the paper notes the standard loop count works
+   well despite large true iteration counts. *)
+
+let source = {|
+#define MAX_N 40
+
+double mat_a[MAX_N][MAX_N];
+double mat_l[MAX_N][MAX_N];
+int n_dim;
+
+/* Build a symmetric positive-definite matrix A = B * B^T + n*I. */
+void build_spd(int seed) {
+  int i, j, k;
+  double acc;
+  double b[MAX_N][MAX_N];
+  int state = seed;
+  for (i = 0; i < n_dim; i++) {
+    for (j = 0; j < n_dim; j++) {
+      state = (state * 1103515245 + 12345) & 0x7fffffff;
+      b[i][j] = (double)(state % 1000) / 250.0 - 2.0;
+    }
+  }
+  for (i = 0; i < n_dim; i++) {
+    for (j = 0; j < n_dim; j++) {
+      acc = 0.0;
+      for (k = 0; k < n_dim; k++) acc += b[i][k] * b[j][k];
+      mat_a[i][j] = acc;
+    }
+    mat_a[i][i] += (double)n_dim;
+  }
+}
+
+/* The factorization kernel: A = L * L^T. Hot. */
+int factor(void) {
+  int i, j, k;
+  double sum;
+  for (j = 0; j < n_dim; j++) {
+    sum = mat_a[j][j];
+    for (k = 0; k < j; k++) sum -= mat_l[j][k] * mat_l[j][k];
+    if (sum <= 0.0) return 0;
+    mat_l[j][j] = sqrt(sum);
+    for (i = j + 1; i < n_dim; i++) {
+      sum = mat_a[i][j];
+      for (k = 0; k < j; k++) sum -= mat_l[i][k] * mat_l[j][k];
+      mat_l[i][j] = sum / mat_l[j][j];
+    }
+  }
+  return 1;
+}
+
+/* Forward/back substitution solving A x = b via L. */
+void solve_system(double *b, double *x) {
+  int i, k;
+  double sum;
+  double y[MAX_N];
+  for (i = 0; i < n_dim; i++) {
+    sum = b[i];
+    for (k = 0; k < i; k++) sum -= mat_l[i][k] * y[k];
+    y[i] = sum / mat_l[i][i];
+  }
+  for (i = n_dim - 1; i >= 0; i--) {
+    sum = y[i];
+    for (k = i + 1; k < n_dim; k++) sum -= mat_l[k][i] * x[k];
+    x[i] = sum / mat_l[i][i];
+  }
+}
+
+/* Max |A - L L^T| over all entries. */
+double residual(void) {
+  int i, j, k;
+  double acc, err, worst = 0.0;
+  for (i = 0; i < n_dim; i++) {
+    for (j = 0; j <= i; j++) {
+      acc = 0.0;
+      for (k = 0; k <= j; k++) acc += mat_l[i][k] * mat_l[j][k];
+      err = fabs(acc - mat_a[i][j]);
+      if (err > worst) worst = err;
+    }
+  }
+  return worst;
+}
+
+double verify_solve(void) {
+  int i, k;
+  double b[MAX_N];
+  double x[MAX_N];
+  double acc, err, worst = 0.0;
+  for (i = 0; i < n_dim; i++) b[i] = (double)(i + 1);
+  solve_system(b, x);
+  for (i = 0; i < n_dim; i++) {
+    acc = 0.0;
+    for (k = 0; k < n_dim; k++) acc += mat_a[i][k] * x[k];
+    err = fabs(acc - b[i]);
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+int main(int argc, char **argv) {
+  int seed = 1, reps, r, ok = 1;
+  n_dim = 24;
+  reps = 3;
+  if (argc > 1) n_dim = atoi(argv[1]);
+  if (argc > 2) seed = atoi(argv[2]);
+  if (n_dim > MAX_N) n_dim = MAX_N;
+  for (r = 0; r < reps; r++) {
+    build_spd(seed + r);
+    if (!factor()) ok = 0;
+  }
+  if (!ok) {
+    printf("not positive definite\n");
+    return 1;
+  }
+  printf("n=%d residual=%g solve_err=%g l00=%.4f\n", n_dim, residual(),
+         verify_solve(), mat_l[0][0]);
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "cholesky_mini";
+    description = "Dense Cholesky factorization + triangular solves";
+    analogue = "cholesky";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "24"; "1" ] ();
+        Bench_prog.run ~argv:[ "32"; "7" ] ();
+        Bench_prog.run ~argv:[ "16"; "3" ] ();
+        Bench_prog.run ~argv:[ "38"; "11" ] () ] }

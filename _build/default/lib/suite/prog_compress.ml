@@ -1,0 +1,229 @@
+(* compress_mini: an LZW-style compressor, the suite's analogue of the
+   SPEC92 "compress" utility. Deliberately written with exactly 16
+   functions so the selective-optimization experiment (paper Figure 10:
+   "The run time of the program is dominated by 4 of its 16 functions")
+   can be reproduced one-for-one. The hot four are the hash probe, the
+   code emitter, the main compression loop and the output byte sink. *)
+
+let source = {|
+#define TABLE_SIZE 4096
+#define HASH_SIZE 5003
+#define MAX_CODE 4095
+#define FIRST_FREE 256
+
+int hash_head[HASH_SIZE];
+int hash_next[TABLE_SIZE];
+int tab_prefix[TABLE_SIZE];
+int tab_suffix[TABLE_SIZE];
+int next_code;
+
+char in_buf[20000];
+int in_len;
+char out_buf[30000];
+int out_len;
+
+int bit_acc;
+int bit_cnt;
+int codes_emitted;
+int literals_seen;
+
+/* ---- table management ---- */
+
+void reset_table(void) {
+  int i;
+  for (i = 0; i < HASH_SIZE; i++) hash_head[i] = -1;
+  next_code = FIRST_FREE;
+}
+
+void init_table(void) {
+  int i;
+  for (i = 0; i < TABLE_SIZE; i++) {
+    hash_next[i] = -1;
+    tab_prefix[i] = -1;
+    tab_suffix[i] = -1;
+  }
+  reset_table();
+}
+
+int hash_key(int prefix, int suffix) {
+  int h = (prefix << 8) ^ suffix;
+  h = h % HASH_SIZE;
+  if (h < 0) h = h + HASH_SIZE;
+  return h;
+}
+
+/* Walk the chain looking for (prefix, suffix); hot function. */
+int hash_probe(int prefix, int suffix) {
+  int h = hash_key(prefix, suffix);
+  int node = hash_head[h];
+  while (node != -1) {
+    if (tab_prefix[node] == prefix && tab_suffix[node] == suffix)
+      return node;
+    node = hash_next[node];
+  }
+  return -1;
+}
+
+int table_full(void) {
+  return next_code > MAX_CODE;
+}
+
+void add_code(int prefix, int suffix) {
+  int h, code;
+  if (table_full()) return;
+  code = next_code;
+  next_code++;
+  tab_prefix[code] = prefix;
+  tab_suffix[code] = suffix;
+  h = hash_key(prefix, suffix);
+  hash_next[code] = hash_head[h];
+  hash_head[h] = code;
+}
+
+/* ---- bit-packed output ---- */
+
+void out_byte(int b) {
+  if (out_len < 30000) {
+    out_buf[out_len] = b & 0xff;
+    out_len++;
+  }
+}
+
+void emit_code(int code) {
+  bit_acc = (bit_acc << 12) | (code & 0xfff);
+  bit_cnt = bit_cnt + 12;
+  codes_emitted++;
+  while (bit_cnt >= 8) {
+    bit_cnt = bit_cnt - 8;
+    out_byte((bit_acc >> bit_cnt) & 0xff);
+  }
+}
+
+void flush_bits(void) {
+  if (bit_cnt > 0) {
+    out_byte((bit_acc << (8 - bit_cnt)) & 0xff);
+    bit_cnt = 0;
+  }
+  bit_acc = 0;
+}
+
+/* ---- driver ---- */
+
+/* Fetch one input byte into the buffer; returns it or -1. */
+int next_byte(int n) {
+  int c = getchar();
+  if (c == EOF) return -1;
+  if (n < 20000) in_buf[n] = c;
+  return c & 0xff;
+}
+
+int read_all(void) {
+  int n = 0;
+  while (next_byte(n) >= 0) n++;
+  if (n > 20000) n = 20000;
+  return n;
+}
+
+/* Extend the current prefix by one byte; returns the new prefix code.
+   The per-byte heart of the algorithm — hot function. */
+int process_byte(int prefix, int suffix) {
+  int node;
+  literals_seen++;
+  node = hash_probe(prefix, suffix);
+  if (node != -1) return node;
+  emit_code(prefix);
+  add_code(prefix, suffix);
+  if (table_full()) reset_table();
+  return suffix;
+}
+
+/* The main LZW loop. */
+void compress_buf(void) {
+  int i, prefix;
+  if (in_len == 0) return;
+  prefix = in_buf[0] & 0xff;
+  literals_seen++;
+  for (i = 1; i < in_len; i++)
+    prefix = process_byte(prefix, in_buf[i] & 0xff);
+  emit_code(prefix);
+}
+
+int checksum(void) {
+  int i, h = 5381;
+  for (i = 0; i < out_len; i++) {
+    h = ((h << 5) + h) ^ (out_buf[i] & 0xff);
+    h = h & 0x7fffffff;
+  }
+  return h;
+}
+
+void report(void) {
+  int ratio = in_len == 0 ? 100 : (out_len * 100) / in_len;
+  printf("in=%d out=%d ratio=%d%% codes=%d lits=%d sum=%d\n",
+         in_len, out_len, ratio, codes_emitted,
+         literals_seen, checksum());
+}
+
+int main(void) {
+  init_table();
+  bit_acc = 0;
+  bit_cnt = 0;
+  out_len = 0;
+  codes_emitted = 0;
+  literals_seen = 0;
+  in_len = read_all();
+  compress_buf();
+  flush_bits();
+  report();
+  return 0;
+}
+|}
+
+(* Inputs with different redundancy profiles (highly repetitive, English
+   text, binary-ish, alternating) exercise different table behaviours. *)
+let make_input kind n =
+  let buf = Buffer.create n in
+  (match kind with
+  | `Repeat ->
+    while Buffer.length buf < n do
+      Buffer.add_string buf "abababcdcdcd"
+    done
+  | `Text ->
+    while Buffer.length buf < n do
+      Buffer.add_string buf
+        "the quick brown fox jumps over the lazy dog and the cat sat on the mat. "
+    done
+  | `Counter ->
+    let i = ref 0 in
+    while Buffer.length buf < n do
+      Buffer.add_string buf (string_of_int !i);
+      Buffer.add_char buf ' ';
+      incr i
+    done
+  | `Mixed ->
+    let i = ref 0 in
+    while Buffer.length buf < n do
+      Buffer.add_string buf (if !i mod 3 = 0 then "xyzzy " else "hello world ");
+      incr i
+    done
+  | `Random ->
+    (* low-redundancy bytes: the table misses constantly, so the output
+       path (emit_code/out_byte) dominates, as with pre-compressed data *)
+    let state = ref 123457 in
+    while Buffer.length buf < n do
+      state := (!state * 1103515245 + 12345) land 0x7FFFFFFF;
+      Buffer.add_char buf (Char.chr (32 + (!state mod 95)))
+    done);
+  Buffer.sub buf 0 n
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "compress_mini";
+    description = "LZW compression utility (16 functions)";
+    analogue = "compress";
+    source;
+    runs =
+      [ Bench_prog.run ~input:(make_input `Repeat 6000) ();
+        Bench_prog.run ~input:(make_input `Text 8000) ();
+        Bench_prog.run ~input:(make_input `Counter 7000) ();
+        Bench_prog.run ~input:(make_input `Mixed 9000) ();
+        Bench_prog.run ~input:(make_input `Random 8000) () ] }

@@ -1,0 +1,200 @@
+(* eqntott_mini: translate boolean expressions into truth tables, the
+   analogue of SPEC's eqntott. A recursive-descent parser builds an
+   expression tree; the hot loop enumerates all 2^n input assignments and
+   evaluates the tree for each — the same "tight enumeration over a
+   parsed structure" shape as the original. *)
+
+let source = {|
+#define MAX_NODES 512
+#define MAX_VARS 12
+
+#define OP_VAR 0
+#define OP_NOT 1
+#define OP_AND 2
+#define OP_OR 3
+#define OP_XOR 4
+
+int node_op[MAX_NODES];
+int node_a[MAX_NODES];
+int node_b[MAX_NODES];
+int n_nodes;
+
+char var_names[MAX_VARS];
+int n_vars;
+
+int peeked;
+int have_peek;
+
+int peek_ch(void) {
+  if (!have_peek) { peeked = getchar(); have_peek = 1; }
+  return peeked;
+}
+
+int next_ch(void) {
+  int c = peek_ch();
+  have_peek = 0;
+  return c;
+}
+
+void skip_blank(void) {
+  while (peek_ch() == ' ' || peek_ch() == '\t') next_ch();
+}
+
+int new_node(int op, int a, int b) {
+  int id = n_nodes;
+  if (n_nodes >= MAX_NODES) { printf("too many nodes\n"); exit(1); }
+  n_nodes++;
+  node_op[id] = op;
+  node_a[id] = a;
+  node_b[id] = b;
+  return id;
+}
+
+int var_index(int c) {
+  int i;
+  for (i = 0; i < n_vars; i++)
+    if (var_names[i] == c) return i;
+  if (n_vars >= MAX_VARS) { printf("too many variables\n"); exit(1); }
+  var_names[n_vars] = c;
+  n_vars++;
+  return n_vars - 1;
+}
+
+/* grammar: or := xor ('|' xor)*  ; xor := and ('^' and)*
+   and := unary ('&' unary)* ; unary := '!' unary | '(' or ')' | var */
+
+int parse_or(void);
+
+int parse_unary(void) {
+  int c, sub;
+  skip_blank();
+  c = peek_ch();
+  if (c == '!') {
+    next_ch();
+    sub = parse_unary();
+    return new_node(OP_NOT, sub, -1);
+  }
+  if (c == '(') {
+    next_ch();
+    sub = parse_or();
+    skip_blank();
+    if (peek_ch() == ')') next_ch();
+    return sub;
+  }
+  next_ch();
+  return new_node(OP_VAR, var_index(c), -1);
+}
+
+int parse_and(void) {
+  int left = parse_unary(), right;
+  skip_blank();
+  while (peek_ch() == '&') {
+    next_ch();
+    right = parse_unary();
+    left = new_node(OP_AND, left, right);
+    skip_blank();
+  }
+  return left;
+}
+
+int parse_xor(void) {
+  int left = parse_and(), right;
+  skip_blank();
+  while (peek_ch() == '^') {
+    next_ch();
+    right = parse_and();
+    left = new_node(OP_XOR, left, right);
+    skip_blank();
+  }
+  return left;
+}
+
+int parse_or(void) {
+  int left = parse_xor(), right;
+  skip_blank();
+  while (peek_ch() == '|') {
+    next_ch();
+    right = parse_xor();
+    left = new_node(OP_OR, left, right);
+    skip_blank();
+  }
+  return left;
+}
+
+/* Evaluate node [id] under assignment bitmask [bits]; hot function. */
+int eval_node(int id, int bits) {
+  int op = node_op[id];
+  if (op == OP_VAR) return (bits >> node_a[id]) & 1;
+  if (op == OP_NOT) return !eval_node(node_a[id], bits);
+  if (op == OP_AND) return eval_node(node_a[id], bits) && eval_node(node_b[id], bits);
+  if (op == OP_OR) return eval_node(node_a[id], bits) || eval_node(node_b[id], bits);
+  return eval_node(node_a[id], bits) ^ eval_node(node_b[id], bits);
+}
+
+/* Enumerate the full truth table; prints a compact summary per row
+   block to keep output bounded. */
+void print_table(int root) {
+  int rows = 1 << n_vars;
+  int bits, v, ones = 0, sig = 0;
+  for (bits = 0; bits < rows; bits++) {
+    v = eval_node(root, bits);
+    if (v) {
+      ones++;
+      sig = (sig * 31 + bits) & 0xffffff;
+    }
+  }
+  printf("vars=%d rows=%d ones=%d sig=%x\n", n_vars, rows, ones, sig);
+}
+
+int main(void) {
+  int root, c;
+  while (1) {
+    skip_blank();
+    c = peek_ch();
+    if (c == EOF) break;
+    if (c == '\n' || c == '\r') { next_ch(); continue; }
+    n_nodes = 0;
+    n_vars = 0;
+    root = parse_or();
+    print_table(root);
+    /* consume to end of line */
+    while (peek_ch() != '\n' && peek_ch() != EOF) next_ch();
+  }
+  return 0;
+}
+|}
+
+let input_small =
+  String.concat "\n"
+    [ "a & b | !c"; "(a ^ b) & (c | d)"; "!a & !b & !c"; "a | b | c | d" ]
+
+let input_wide =
+  String.concat "\n"
+    [ "(a&b)|(c&d)|(e&f)|(g&h)";
+      "a ^ b ^ c ^ d ^ e ^ f ^ g ^ h";
+      "!(a & b) | (c ^ (d & e)) & !(f | g)" ]
+
+let input_deep =
+  String.concat "\n"
+    [ "((((a&b)|c)&d)|e)&(((f|g)&h)|i)";
+      "!(!(!(a))) ^ (b & (c | (d & (e | f))))";
+      "(a|b)&(a|c)&(b|c)&(a|d)" ]
+
+let input_mixed =
+  String.concat "\n"
+    [ "a&b&c&d&e&f&g&h&i&j";
+      "a|b";
+      "(a^b)|(b^c)|(c^d)|(d^e)";
+      "!a";
+      "(a&!b)|(!a&b)" ]
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "eqntott_mini";
+    description = "Boolean expressions to truth tables";
+    analogue = "eqntott";
+    source;
+    runs =
+      [ Bench_prog.run ~input:input_small ();
+        Bench_prog.run ~input:input_wide ();
+        Bench_prog.run ~input:input_deep ();
+        Bench_prog.run ~input:input_mixed () ] }

@@ -1,0 +1,170 @@
+(* espresso_mini: two-level logic minimization in the style of espresso's
+   inner loops — cube (implicant) merging over a bit-vector cover. Reads
+   minterms of an n-variable function and repeatedly merges distance-1
+   cubes (the Quine-McCluskey step espresso approximates), then counts
+   the prime cover. Branch-heavy bit manipulation with irregular loop
+   trip counts, like the original. *)
+
+let source = {|
+#define MAX_CUBES 4096
+
+/* A cube is (mask, bits): mask has 1 where the variable is a don't-care;
+   bits holds the values of the cared-for variables. */
+int cube_mask[MAX_CUBES];
+int cube_bits[MAX_CUBES];
+int cube_live[MAX_CUBES];
+int n_cubes;
+int n_vars;
+
+int merges_done;
+int passes_done;
+
+int popcount(int x) {
+  int n = 0;
+  while (x) {
+    n += x & 1;
+    x >>= 1;
+  }
+  return n;
+}
+
+int add_cube(int mask, int bits) {
+  int i;
+  /* suppress duplicates */
+  for (i = 0; i < n_cubes; i++) {
+    if (cube_live[i] && cube_mask[i] == mask && cube_bits[i] == bits)
+      return 0;
+  }
+  if (n_cubes >= MAX_CUBES) { printf("cover overflow\n"); exit(1); }
+  cube_mask[n_cubes] = mask;
+  cube_bits[n_cubes] = bits;
+  cube_live[n_cubes] = 1;
+  n_cubes++;
+  return 1;
+}
+
+/* Can cubes i and j merge? They must agree on mask and differ in exactly
+   one cared bit. Returns the merged-away bit or -1. */
+int merge_distance(int i, int j) {
+  int diff;
+  if (cube_mask[i] != cube_mask[j]) return -1;
+  diff = cube_bits[i] ^ cube_bits[j];
+  if (diff == 0) return -1;
+  if ((diff & (diff - 1)) != 0) return -1;  /* more than one bit */
+  return diff;
+}
+
+/* One pass of pairwise merging; returns number of merges. Hot. */
+int merge_pass(void) {
+  int i, j, d, merged = 0, limit = n_cubes;
+  for (i = 0; i < limit; i++) {
+    if (!cube_live[i]) continue;
+    for (j = i + 1; j < limit; j++) {
+      if (!cube_live[j]) continue;
+      d = merge_distance(i, j);
+      if (d > 0) {
+        if (add_cube(cube_mask[i] | d, cube_bits[i] & ~d)) {
+          cube_live[i] = 0;
+          cube_live[j] = 0;
+          merged++;
+          merges_done++;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+/* Does live cube [c] contain minterm [m]? */
+int covers(int c, int m) {
+  return (cube_bits[c] & ~cube_mask[c]) == (m & ~cube_mask[c]);
+}
+
+int count_live(void) {
+  int i, n = 0;
+  for (i = 0; i < n_cubes; i++)
+    if (cube_live[i]) n++;
+  return n;
+}
+
+/* Verify the cover still covers all original minterms. */
+int verify_cover(int *minterms, int n_min) {
+  int k, c, ok, all_ok = 1;
+  for (k = 0; k < n_min; k++) {
+    ok = 0;
+    for (c = 0; c < n_cubes && !ok; c++) {
+      if (cube_live[c] && covers(c, minterms[k])) ok = 1;
+    }
+    if (!ok) all_ok = 0;
+  }
+  return all_ok;
+}
+
+int cover_cost(void) {
+  int i, cost = 0;
+  for (i = 0; i < n_cubes; i++)
+    if (cube_live[i]) cost += n_vars - popcount(cube_mask[i]);
+  return cost;
+}
+
+int read_int(void) {
+  int c, v = 0, seen = 0;
+  c = getchar();
+  while (c == ' ' || c == '\n' || c == '\t' || c == '\r') c = getchar();
+  while (c >= '0' && c <= '9') {
+    v = v * 10 + (c - '0');
+    seen = 1;
+    c = getchar();
+  }
+  if (!seen) return -1;
+  return v;
+}
+
+int main(void) {
+  int minterms[2048];
+  int n_min = 0, m;
+  n_vars = read_int();
+  if (n_vars <= 0 || n_vars > 16) { printf("bad var count\n"); return 1; }
+  while ((m = read_int()) >= 0) {
+    if (n_min < 2048) {
+      minterms[n_min] = m;
+      n_min++;
+    }
+  }
+  n_cubes = 0;
+  for (m = 0; m < n_min; m++) add_cube(0, minterms[m]);
+  passes_done = 0;
+  while (merge_pass() > 0) {
+    passes_done++;
+    if (passes_done > 32) break;
+  }
+  printf("vars=%d minterms=%d primes=%d cost=%d merges=%d passes=%d ok=%d\n",
+         n_vars, n_min, count_live(), cover_cost(), merges_done,
+         passes_done, verify_cover(minterms, n_min));
+  return 0;
+}
+|}
+
+(* Inputs: first number is the variable count, the rest are minterms. *)
+let gen_input n_vars pred =
+  let minterms = ref [] in
+  for m = (1 lsl n_vars) - 1 downto 0 do
+    if pred m then minterms := m :: !minterms
+  done;
+  string_of_int n_vars ^ "\n"
+  ^ String.concat " " (List.map string_of_int !minterms)
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "espresso_mini";
+    description = "Two-level logic (cube cover) minimization";
+    analogue = "espresso";
+    source;
+    runs =
+      [ (* parity-ish: hard to merge *)
+        Bench_prog.run ~input:(gen_input 7 (fun m -> (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) mod 2 = 1)) ();
+        (* threshold function: merges well *)
+        Bench_prog.run ~input:(gen_input 8 (fun m -> m >= 96)) ();
+        (* sparse random-ish *)
+        Bench_prog.run ~input:(gen_input 9 (fun m -> (m * 2654435761) land 0xff < 40)) ();
+        (* intervals *)
+        Bench_prog.run ~input:(gen_input 8 (fun m -> (m >= 32 && m < 96) || m >= 200)) () ] }

@@ -1,0 +1,232 @@
+(* gs_mini: a PostScript-flavoured RPN stack machine whose ~45 operators
+   are *all* dispatched through a function-pointer table — the analogue
+   of ghostscript, where "some 650 functions (about half the functions in
+   the program) are referenced indirectly. Here both the Markov and the
+   simple heuristics do badly" (paper section 5.2.1). This program exists
+   to reproduce that failure case: the pointer node must split its flow
+   so many ways that no estimator can rank the operators. *)
+
+let source = {|
+#define STACK_MAX 256
+#define REG_MAX 10
+
+int stack[STACK_MAX];
+int sp;
+int regs[REG_MAX];
+int op_count;
+int errors;
+
+/* ---- stack primitives ---- */
+
+void push(int v) {
+  if (sp < STACK_MAX) { stack[sp] = v; sp++; }
+  else errors++;
+}
+
+int pop(void) {
+  if (sp > 0) { sp--; return stack[sp]; }
+  errors++;
+  return 0;
+}
+
+int peek(int depth) {
+  if (depth < sp) return stack[sp - 1 - depth];
+  errors++;
+  return 0;
+}
+
+/* ---- the operators; every one is called through the table ---- */
+
+void op_add(void) { int b = pop(); push(pop() + b); }
+void op_sub(void) { int b = pop(); push(pop() - b); }
+void op_mul(void) { int b = pop(); push(pop() * b); }
+void op_div(void) { int b = pop(); int a = pop(); push(b == 0 ? 0 : a / b); }
+void op_mod(void) { int b = pop(); int a = pop(); push(b == 0 ? 0 : a % b); }
+void op_neg(void) { push(-pop()); }
+void op_abs(void) { int a = pop(); push(a < 0 ? -a : a); }
+void op_inc(void) { push(pop() + 1); }
+void op_dec(void) { push(pop() - 1); }
+void op_dbl(void) { push(pop() * 2); }
+void op_hlv(void) { push(pop() / 2); }
+void op_sq(void) { int a = pop(); push(a * a); }
+void op_sign(void) { int a = pop(); push(a > 0 ? 1 : (a < 0 ? -1 : 0)); }
+
+void op_dup(void) { push(peek(0)); }
+void op_pop(void) { pop(); }
+void op_exch(void) { int b = pop(); int a = pop(); push(b); push(a); }
+void op_over(void) { push(peek(1)); }
+void op_rot(void) {
+  int c = pop(); int b = pop(); int a = pop();
+  push(b); push(c); push(a);
+}
+void op_depth(void) { push(sp); }
+void op_clear(void) { sp = 0; }
+void op_index(void) { push(peek(pop())); }
+
+void op_eq(void) { int b = pop(); push(pop() == b); }
+void op_ne(void) { int b = pop(); push(pop() != b); }
+void op_lt(void) { int b = pop(); push(pop() < b); }
+void op_gt(void) { int b = pop(); push(pop() > b); }
+void op_le(void) { int b = pop(); push(pop() <= b); }
+void op_ge(void) { int b = pop(); push(pop() >= b); }
+void op_min(void) { int b = pop(); int a = pop(); push(a < b ? a : b); }
+void op_max(void) { int b = pop(); int a = pop(); push(a > b ? a : b); }
+
+void op_and(void) { int b = pop(); push(pop() & b); }
+void op_or(void) { int b = pop(); push(pop() | b); }
+void op_xor(void) { int b = pop(); push(pop() ^ b); }
+void op_not(void) { push(~pop()); }
+void op_shl(void) { int b = pop(); push(pop() << (b & 31)); }
+void op_shr(void) { int b = pop(); push(pop() >> (b & 31)); }
+
+void op_store(void) { int r = pop(); int v = pop(); if (r >= 0 && r < REG_MAX) regs[r] = v; }
+void op_load(void) { int r = pop(); push(r >= 0 && r < REG_MAX ? regs[r] : 0); }
+
+void op_sumall(void) {
+  int s = 0, i;
+  for (i = 0; i < sp; i++) s += stack[i];
+  sp = 0;
+  push(s);
+}
+void op_maxall(void) {
+  int m, i;
+  if (sp == 0) { push(0); return; }
+  m = stack[0];
+  for (i = 1; i < sp; i++) if (stack[i] > m) m = stack[i];
+  sp = 0;
+  push(m);
+}
+void op_ops(void) { push(op_count); }
+void op_print(void) { printf("%d\n", peek(0)); }
+void op_pstack(void) {
+  int i;
+  for (i = sp - 1; i >= 0; i--) printf("| %d\n", stack[i]);
+}
+
+struct opdef {
+  char name[8];
+  void (*fn)(void);
+};
+
+struct opdef op_table[44] = {
+  { "add", op_add }, { "sub", op_sub }, { "mul", op_mul },
+  { "div", op_div }, { "mod", op_mod }, { "neg", op_neg },
+  { "abs", op_abs }, { "inc", op_inc }, { "dec", op_dec },
+  { "dbl", op_dbl }, { "hlv", op_hlv }, { "sq", op_sq },
+  { "sign", op_sign }, { "dup", op_dup }, { "pop", op_pop },
+  { "exch", op_exch }, { "over", op_over }, { "rot", op_rot },
+  { "depth", op_depth }, { "clear", op_clear }, { "index", op_index },
+  { "eq", op_eq }, { "ne", op_ne }, { "lt", op_lt }, { "gt", op_gt },
+  { "le", op_le }, { "ge", op_ge }, { "min", op_min }, { "max", op_max },
+  { "and", op_and }, { "or", op_or }, { "xor", op_xor }, { "not", op_not },
+  { "shl", op_shl }, { "shr", op_shr }, { "store", op_store },
+  { "load", op_load }, { "sumall", op_sumall }, { "maxall", op_maxall },
+  { "count", op_ops }, { "print", op_print }, { "pstack", op_pstack },
+  { "clear2", op_clear }, { "dup2", op_dup }
+};
+
+/* ---- tokenizer + dispatch loop ---- */
+
+char tok_buf[16];
+
+int read_token(void) {
+  int c, n = 0;
+  c = getchar();
+  while (c == ' ' || c == '\n' || c == '\t' || c == '\r') c = getchar();
+  if (c == EOF) return 0;
+  while (c != ' ' && c != '\n' && c != '\t' && c != '\r' && c != EOF) {
+    if (n < 15) { tok_buf[n] = c; n++; }
+    c = getchar();
+  }
+  tok_buf[n] = 0;
+  return 1;
+}
+
+int is_number(char *s) {
+  int i = 0;
+  if (s[0] == '-' && s[1]) i = 1;
+  if (!s[i]) return 0;
+  while (s[i]) {
+    if (s[i] < '0' || s[i] > '9') return 0;
+    i++;
+  }
+  return 1;
+}
+
+void dispatch(char *name) {
+  int i;
+  for (i = 0; i < 44; i++) {
+    if (strcmp(op_table[i].name, name) == 0) {
+      op_table[i].fn();
+      op_count++;
+      return;
+    }
+  }
+  errors++;
+}
+
+int main(void) {
+  sp = 0;
+  op_count = 0;
+  errors = 0;
+  while (read_token()) {
+    if (is_number(tok_buf)) push(atoi(tok_buf));
+    else dispatch(tok_buf);
+  }
+  printf("ops=%d errors=%d depth=%d top=%d\n", op_count, errors, sp,
+         sp > 0 ? peek(0) : 0);
+  return 0;
+}
+|}
+
+(* RPN workloads with different operator mixes. *)
+let input_arith =
+  let buf = Buffer.create 1024 in
+  for i = 1 to 60 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d add %d mul 7 mod dup sq exch pop " i (i + 1)
+         (i mod 9))
+  done;
+  Buffer.add_string buf "depth sumall print";
+  Buffer.contents buf
+
+let input_stack_games =
+  let buf = Buffer.create 1024 in
+  for i = 1 to 40 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d rot over exch dup depth min max " i (i * 2)
+         (i * 3))
+  done;
+  Buffer.add_string buf "maxall print";
+  Buffer.contents buf
+
+let input_bits =
+  let buf = Buffer.create 1024 in
+  for i = 0 to 50 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d and %d or 3 shl 1 shr not neg abs " (i * 7)
+         (i * 5) i)
+  done;
+  Buffer.add_string buf "sumall print";
+  Buffer.contents buf
+
+let input_registers =
+  let buf = Buffer.create 1024 in
+  for i = 0 to 30 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d store %d load inc %d store " (i * i) (i mod 10)
+         (i mod 10) (i mod 10))
+  done;
+  Buffer.add_string buf "depth print pstack";
+  Buffer.contents buf
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "gs_mini";
+    description = "RPN stack machine; all operators via pointer table";
+    analogue = "gs (ghostscript)";
+    source;
+    runs =
+      [ Bench_prog.run ~input:input_arith ();
+        Bench_prog.run ~input:input_stack_games ();
+        Bench_prog.run ~input:input_bits ();
+        Bench_prog.run ~input:input_registers () ] }

@@ -1,0 +1,170 @@
+(* hash_mini: separate-chaining hash table doing word frequency counting
+   over stdin, plus a resize. Pointer chasing, string hashing with
+   overflow wraparound, and skewed bucket-chain lengths — the gcc-like
+   "symbol table" inner loops. *)
+
+let source = {|
+#define INITIAL_BUCKETS 64
+#define MAX_WORD 32
+
+struct entry {
+  char word[MAX_WORD];
+  int count;
+  struct entry *next;
+};
+
+struct entry **buckets;
+int n_buckets;
+int n_entries;
+int total_words;
+int collisions;
+int resizes;
+
+int hash_string(char *s) {
+  int h = 5381;
+  while (*s) {
+    h = ((h << 5) + h) ^ *s;
+    s++;
+  }
+  return h & 0x7fffffff;
+}
+
+struct entry *bucket_find(struct entry *chain, char *word) {
+  while (chain != NULL) {
+    if (strcmp(chain->word, word) == 0) return chain;
+    collisions++;
+    chain = chain->next;
+  }
+  return NULL;
+}
+
+void bucket_push(struct entry **table, int size, struct entry *e) {
+  int h = hash_string(e->word) % size;
+  e->next = table[h];
+  table[h] = e;
+}
+
+void resize_table(void) {
+  struct entry **fresh;
+  struct entry *e, *next;
+  int i, new_size = n_buckets * 2;
+  fresh = (struct entry **)calloc(new_size, sizeof(struct entry *));
+  if (fresh == NULL) { printf("oom\n"); exit(1); }
+  for (i = 0; i < n_buckets; i++) {
+    e = buckets[i];
+    while (e != NULL) {
+      next = e->next;
+      bucket_push(fresh, new_size, e);
+      e = next;
+    }
+  }
+  free(buckets);
+  buckets = fresh;
+  n_buckets = new_size;
+  resizes++;
+}
+
+void add_word(char *word) {
+  struct entry *e;
+  int h = hash_string(word) % n_buckets;
+  e = bucket_find(buckets[h], word);
+  if (e != NULL) {
+    e->count++;
+    return;
+  }
+  e = (struct entry *)malloc(sizeof(struct entry));
+  if (e == NULL) { printf("oom\n"); exit(1); }
+  strncpy(e->word, word, MAX_WORD - 1);
+  e->count = 1;
+  e->next = buckets[h];
+  buckets[h] = e;
+  n_entries++;
+  if (n_entries > n_buckets * 2) resize_table();
+}
+
+/* Longest chain and the most frequent word. */
+int longest_chain(void) {
+  int i, len, best = 0;
+  struct entry *e;
+  for (i = 0; i < n_buckets; i++) {
+    len = 0;
+    for (e = buckets[i]; e != NULL; e = e->next) len++;
+    if (len > best) best = len;
+  }
+  return best;
+}
+
+int max_count(void) {
+  int i, best = 0;
+  struct entry *e;
+  for (i = 0; i < n_buckets; i++) {
+    for (e = buckets[i]; e != NULL; e = e->next) {
+      if (e->count > best) best = e->count;
+    }
+  }
+  return best;
+}
+
+char word_buf[MAX_WORD];
+
+int read_word(void) {
+  int c, n = 0;
+  c = getchar();
+  while (c == ' ' || c == '\n' || c == '\t' || c == '\r') c = getchar();
+  if (c == EOF) return 0;
+  while (c != ' ' && c != '\n' && c != '\t' && c != '\r' && c != EOF) {
+    if (n < MAX_WORD - 1) {
+      word_buf[n] = c;
+      n++;
+    }
+    c = getchar();
+  }
+  word_buf[n] = 0;
+  return 1;
+}
+
+int main(void) {
+  n_buckets = INITIAL_BUCKETS;
+  buckets = (struct entry **)calloc(n_buckets, sizeof(struct entry *));
+  if (buckets == NULL) { printf("oom\n"); return 1; }
+  total_words = 0;
+  while (read_word()) {
+    total_words++;
+    add_word(word_buf);
+  }
+  printf("words=%d distinct=%d buckets=%d chains<=%d top=%d coll=%d resizes=%d\n",
+         total_words, n_entries, n_buckets, longest_chain(), max_count(),
+         collisions, resizes);
+  return 0;
+}
+|}
+
+let words_skewed =
+  let buf = Buffer.create 4096 in
+  for i = 0 to 800 do
+    (* Zipf-ish: word k appears ~ 800/k times *)
+    let k = 1 + (i mod 40) in
+    if i mod k = 0 then Buffer.add_string buf (Printf.sprintf "common%d " k)
+    else Buffer.add_string buf (Printf.sprintf "rare%d " i)
+  done;
+  Buffer.contents buf
+
+let words_uniform =
+  String.concat " " (List.init 700 (fun i -> Printf.sprintf "w%d" (i mod 350)))
+
+let words_few =
+  String.concat " " (List.init 900 (fun i -> Printf.sprintf "k%d" (i mod 9)))
+
+let words_unique =
+  String.concat " " (List.init 500 (fun i -> Printf.sprintf "unique%d" i))
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "hash_mini";
+    description = "Chained hash table word-frequency counter";
+    analogue = "gcc (symbol-table loops)";
+    source;
+    runs =
+      [ Bench_prog.run ~input:words_skewed ();
+        Bench_prog.run ~input:words_uniform ();
+        Bench_prog.run ~input:words_few ();
+        Bench_prog.run ~input:words_unique () ] }

@@ -1,0 +1,105 @@
+(* life_mini: Conway's game of life on a torus with generation hashing —
+   the mpeg-like "frame loop over a 2D grid" workload: regular nested
+   loops, neighbor stencils, and a per-frame summary. *)
+
+let source = {|
+#define MAX_W 48
+#define MAX_H 48
+
+char grid_a[MAX_H][MAX_W];
+char grid_b[MAX_H][MAX_W];
+int width;
+int height;
+int generation;
+int births;
+int deaths;
+
+int wrap(int v, int limit) {
+  if (v < 0) return v + limit;
+  if (v >= limit) return v - limit;
+  return v;
+}
+
+int neighbors(char src[MAX_H][MAX_W], int y, int x) {
+  int dy, dx, n = 0, yy, xx;
+  for (dy = -1; dy <= 1; dy++) {
+    for (dx = -1; dx <= 1; dx++) {
+      if (dy == 0 && dx == 0) continue;
+      yy = wrap(y + dy, height);
+      xx = wrap(x + dx, width);
+      if (src[yy][xx]) n++;
+    }
+  }
+  return n;
+}
+
+/* One generation from src into dst; returns live count. Hot. */
+int step(char src[MAX_H][MAX_W], char dst[MAX_H][MAX_W]) {
+  int y, x, n, alive = 0, cell;
+  for (y = 0; y < height; y++) {
+    for (x = 0; x < width; x++) {
+      n = neighbors(src, y, x);
+      cell = src[y][x];
+      if (cell) {
+        if (n == 2 || n == 3) dst[y][x] = 1;
+        else { dst[y][x] = 0; deaths++; }
+      } else {
+        if (n == 3) { dst[y][x] = 1; births++; }
+        else dst[y][x] = 0;
+      }
+      if (dst[y][x]) alive++;
+    }
+  }
+  return alive;
+}
+
+int grid_hash(char g[MAX_H][MAX_W]) {
+  int y, x, h = 17;
+  for (y = 0; y < height; y++)
+    for (x = 0; x < width; x++)
+      h = ((h * 31) + g[y][x]) & 0xffffff;
+  return h;
+}
+
+void seed_grid(int seed, int density) {
+  int y, x, state = seed;
+  for (y = 0; y < height; y++) {
+    for (x = 0; x < width; x++) {
+      state = (state * 1103515245 + 12345) & 0x7fffffff;
+      grid_a[y][x] = (state % 100) < density ? 1 : 0;
+    }
+  }
+}
+
+int main(int argc, char **argv) {
+  int gens = 30, g, alive = 0, seed = 11, density = 35;
+  width = 36;
+  height = 36;
+  if (argc > 1) gens = atoi(argv[1]);
+  if (argc > 2) seed = atoi(argv[2]);
+  if (argc > 3) density = atoi(argv[3]);
+  seed_grid(seed, density);
+  births = 0;
+  deaths = 0;
+  for (g = 0; g < gens; g++) {
+    if (g % 2 == 0) alive = step(grid_a, grid_b);
+    else alive = step(grid_b, grid_a);
+    generation++;
+  }
+  printf("gens=%d alive=%d births=%d deaths=%d hash=%x\n", generation,
+         alive, births, deaths,
+         gens % 2 == 0 ? grid_hash(grid_a) : grid_hash(grid_b));
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "life_mini";
+    description = "Game of life on a torus (2D stencil frames)";
+    analogue = "mpeg";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "30"; "11"; "35" ] ();
+        Bench_prog.run ~argv:[ "50"; "3"; "20" ] ();
+        Bench_prog.run ~argv:[ "15"; "77"; "60" ] ();
+        Bench_prog.run ~argv:[ "40"; "123"; "45" ] () ] }

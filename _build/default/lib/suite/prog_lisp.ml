@@ -1,0 +1,466 @@
+(* lisp_mini: a small Lisp interpreter, the analogue of xlisp. All
+   built-in functions are reached through a table of function pointers,
+   exactly the structure that forces the call-graph Markov model to route
+   flow through its pointer node (paper section 5.2.1). Like xlisp, the
+   program still spends its time in the read/eval/print loop, which the
+   model identifies despite the indirection. *)
+
+let source = {|
+#define TAG_NUM 0
+#define TAG_SYM 1
+#define TAG_CONS 2
+#define TAG_NIL 3
+
+struct obj {
+  int tag;
+  int ival;
+  char name[16];
+  struct obj *car;
+  struct obj *cdr;
+};
+
+struct obj *nil_obj;
+struct obj *global_env;
+int eval_count;
+int alloc_count;
+
+/* ---- constructors ---- */
+
+struct obj *new_obj(int tag) {
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  if (o == NULL) { printf("out of memory\n"); exit(1); }
+  o->tag = tag;
+  o->ival = 0;
+  o->name[0] = 0;
+  o->car = NULL;
+  o->cdr = NULL;
+  alloc_count++;
+  return o;
+}
+
+struct obj *make_num(int v) {
+  struct obj *o = new_obj(TAG_NUM);
+  o->ival = v;
+  return o;
+}
+
+struct obj *make_sym(char *s) {
+  struct obj *o = new_obj(TAG_SYM);
+  strncpy(o->name, s, 15);
+  return o;
+}
+
+struct obj *cons(struct obj *a, struct obj *d) {
+  struct obj *o = new_obj(TAG_CONS);
+  o->car = a;
+  o->cdr = d;
+  return o;
+}
+
+int is_nil(struct obj *o) { return o == NULL || o->tag == TAG_NIL; }
+
+int list_length(struct obj *o) {
+  int n = 0;
+  while (!is_nil(o)) { n++; o = o->cdr; }
+  return n;
+}
+
+struct obj *nth(struct obj *o, int i) {
+  while (i > 0 && !is_nil(o)) { o = o->cdr; i--; }
+  if (is_nil(o)) return nil_obj;
+  return o->car;
+}
+
+int num_val(struct obj *o) {
+  if (o == NULL || o->tag != TAG_NUM) return 0;
+  return o->ival;
+}
+
+/* ---- builtins, all called through the dispatch table ---- */
+
+struct obj *bi_add(struct obj *args) {
+  int acc = 0;
+  while (!is_nil(args)) { acc += num_val(args->car); args = args->cdr; }
+  return make_num(acc);
+}
+
+struct obj *bi_sub(struct obj *args) {
+  int acc;
+  if (is_nil(args)) return make_num(0);
+  acc = num_val(args->car);
+  args = args->cdr;
+  if (is_nil(args)) return make_num(-acc);
+  while (!is_nil(args)) { acc -= num_val(args->car); args = args->cdr; }
+  return make_num(acc);
+}
+
+struct obj *bi_mul(struct obj *args) {
+  int acc = 1;
+  while (!is_nil(args)) { acc *= num_val(args->car); args = args->cdr; }
+  return make_num(acc);
+}
+
+struct obj *bi_div(struct obj *args) {
+  int acc, d;
+  if (is_nil(args)) return make_num(0);
+  acc = num_val(args->car);
+  args = args->cdr;
+  while (!is_nil(args)) {
+    d = num_val(args->car);
+    if (d == 0) return make_num(0);
+    acc /= d;
+    args = args->cdr;
+  }
+  return make_num(acc);
+}
+
+struct obj *bi_mod(struct obj *args) {
+  int a = num_val(nth(args, 0));
+  int b = num_val(nth(args, 1));
+  if (b == 0) return make_num(0);
+  return make_num(a % b);
+}
+
+struct obj *bi_lt(struct obj *args) {
+  return make_num(num_val(nth(args, 0)) < num_val(nth(args, 1)));
+}
+
+struct obj *bi_gt(struct obj *args) {
+  return make_num(num_val(nth(args, 0)) > num_val(nth(args, 1)));
+}
+
+struct obj *bi_eq(struct obj *args) {
+  return make_num(num_val(nth(args, 0)) == num_val(nth(args, 1)));
+}
+
+struct obj *bi_not(struct obj *args) {
+  return make_num(num_val(nth(args, 0)) == 0);
+}
+
+struct obj *bi_max(struct obj *args) {
+  int best, v;
+  if (is_nil(args)) return make_num(0);
+  best = num_val(args->car);
+  args = args->cdr;
+  while (!is_nil(args)) {
+    v = num_val(args->car);
+    if (v > best) best = v;
+    args = args->cdr;
+  }
+  return make_num(best);
+}
+
+struct obj *bi_min(struct obj *args) {
+  int best, v;
+  if (is_nil(args)) return make_num(0);
+  best = num_val(args->car);
+  args = args->cdr;
+  while (!is_nil(args)) {
+    v = num_val(args->car);
+    if (v < best) best = v;
+    args = args->cdr;
+  }
+  return make_num(best);
+}
+
+struct obj *bi_abs(struct obj *args) {
+  int v = num_val(nth(args, 0));
+  if (v < 0) v = -v;
+  return make_num(v);
+}
+
+struct obj *bi_car(struct obj *args) {
+  struct obj *l = nth(args, 0);
+  if (l != NULL && l->tag == TAG_CONS) return l->car;
+  return nil_obj;
+}
+
+struct obj *bi_cdr(struct obj *args) {
+  struct obj *l = nth(args, 0);
+  if (l != NULL && l->tag == TAG_CONS && l->cdr != NULL) return l->cdr;
+  return nil_obj;
+}
+
+struct obj *bi_cons(struct obj *args) {
+  return cons(nth(args, 0), nth(args, 1));
+}
+
+struct obj *bi_list(struct obj *args) { return args; }
+
+struct obj *bi_len(struct obj *args) {
+  return make_num(list_length(nth(args, 0)));
+}
+
+struct obj *bi_nullp(struct obj *args) {
+  return make_num(is_nil(nth(args, 0)));
+}
+
+struct obj *bi_sum_to(struct obj *args) {
+  int n = num_val(nth(args, 0));
+  int i, acc = 0;
+  for (i = 1; i <= n; i++) acc += i;
+  return make_num(acc);
+}
+
+struct builtin {
+  char name[8];
+  struct obj *(*fn)(struct obj *args);
+};
+
+struct builtin builtins[19] = {
+  { "+", bi_add }, { "-", bi_sub }, { "*", bi_mul }, { "/", bi_div },
+  { "mod", bi_mod }, { "<", bi_lt }, { ">", bi_gt }, { "=", bi_eq },
+  { "not", bi_not }, { "max", bi_max }, { "min", bi_min },
+  { "abs", bi_abs }, { "car", bi_car }, { "cdr", bi_cdr },
+  { "cons", bi_cons }, { "list", bi_list }, { "len", bi_len },
+  { "null", bi_nullp }, { "sumto", bi_sum_to }
+};
+
+/* ---- reader ---- */
+
+int peeked;
+int have_peek;
+
+int peek_ch(void) {
+  if (!have_peek) { peeked = getchar(); have_peek = 1; }
+  return peeked;
+}
+
+int next_ch(void) {
+  int c = peek_ch();
+  have_peek = 0;
+  return c;
+}
+
+void skip_space(void) {
+  int c;
+  while (1) {
+    c = peek_ch();
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') next_ch();
+    else if (c == ';') {
+      while (c != '\n' && c != EOF) c = next_ch();
+    }
+    else break;
+  }
+}
+
+int is_digit_ch(int c) { return c >= '0' && c <= '9'; }
+
+int is_sym_ch(int c) {
+  if (c == '(' || c == ')' || c == ' ' || c == '\n' || c == '\t') return 0;
+  if (c == EOF || c == '\r' || c == ';') return 0;
+  return 1;
+}
+
+struct obj *read_expr(void);
+
+struct obj *read_list(void) {
+  struct obj *head = NULL, *tail = NULL, *node;
+  skip_space();
+  while (peek_ch() != ')' && peek_ch() != EOF) {
+    node = cons(read_expr(), NULL);
+    if (head == NULL) head = node;
+    else tail->cdr = node;
+    tail = node;
+    skip_space();
+  }
+  if (peek_ch() == ')') next_ch();
+  if (head == NULL) return nil_obj;
+  return head;
+}
+
+struct obj *read_expr(void) {
+  int c, v, neg;
+  char buf[16];
+  int n;
+  skip_space();
+  c = peek_ch();
+  if (c == EOF) return NULL;
+  if (c == '(') {
+    next_ch();
+    return read_list();
+  }
+  if (is_digit_ch(c) || c == '-') {
+    neg = 0;
+    if (c == '-') {
+      next_ch();
+      if (!is_digit_ch(peek_ch())) {
+        /* a lone "-" is the subtraction symbol */
+        buf[0] = '-';
+        buf[1] = 0;
+        return make_sym(buf);
+      }
+      neg = 1;
+    }
+    v = 0;
+    while (is_digit_ch(peek_ch())) v = v * 10 + (next_ch() - '0');
+    if (neg) v = -v;
+    return make_num(v);
+  }
+  n = 0;
+  while (is_sym_ch(peek_ch()) && n < 15) { buf[n] = next_ch(); n++; }
+  buf[n] = 0;
+  return make_sym(buf);
+}
+
+/* ---- environment (assoc list of (sym . value) pairs) ---- */
+
+struct obj *env_lookup(char *name) {
+  struct obj *e = global_env, *pair;
+  while (!is_nil(e)) {
+    pair = e->car;
+    if (strcmp(pair->car->name, name) == 0) return pair->cdr;
+    e = e->cdr;
+  }
+  return NULL;
+}
+
+void env_define(char *name, struct obj *value) {
+  struct obj *pair = cons(make_sym(name), value);
+  global_env = cons(pair, global_env);
+}
+
+/* ---- evaluator ---- */
+
+struct obj *eval(struct obj *e);
+
+struct obj *eval_args(struct obj *args) {
+  struct obj *head = NULL, *tail = NULL, *node;
+  while (!is_nil(args)) {
+    node = cons(eval(args->car), NULL);
+    if (head == NULL) head = node;
+    else tail->cdr = node;
+    tail = node;
+    args = args->cdr;
+  }
+  if (head == NULL) return nil_obj;
+  return head;
+}
+
+struct obj *apply_builtin(char *name, struct obj *args) {
+  int i;
+  for (i = 0; i < 19; i++) {
+    if (strcmp(builtins[i].name, name) == 0)
+      return builtins[i].fn(args);
+  }
+  printf("unknown function: %s\n", name);
+  return nil_obj;
+}
+
+struct obj *eval(struct obj *e) {
+  struct obj *head, *v;
+  eval_count++;
+  if (e == NULL) return nil_obj;
+  if (e->tag == TAG_NUM || e->tag == TAG_NIL) return e;
+  if (e->tag == TAG_SYM) {
+    v = env_lookup(e->name);
+    if (v != NULL) return v;
+    return e;
+  }
+  /* a list: special forms first */
+  head = e->car;
+  if (head != NULL && head->tag == TAG_SYM) {
+    if (strcmp(head->name, "quote") == 0) return nth(e, 1);
+    if (strcmp(head->name, "if") == 0) {
+      if (num_val(eval(nth(e, 1))) != 0) return eval(nth(e, 2));
+      return eval(nth(e, 3));
+    }
+    if (strcmp(head->name, "define") == 0) {
+      v = eval(nth(e, 2));
+      env_define(nth(e, 1)->name, v);
+      return v;
+    }
+    return apply_builtin(head->name, eval_args(e->cdr));
+  }
+  return nil_obj;
+}
+
+/* ---- printer ---- */
+
+void print_obj(struct obj *o) {
+  int first;
+  if (is_nil(o)) { printf("()"); return; }
+  if (o->tag == TAG_NUM) { printf("%d", o->ival); return; }
+  if (o->tag == TAG_SYM) { printf("%s", o->name); return; }
+  printf("(");
+  first = 1;
+  while (!is_nil(o)) {
+    if (!first) printf(" ");
+    print_obj(o->car);
+    first = 0;
+    o = o->cdr;
+  }
+  printf(")");
+}
+
+int main(void) {
+  struct obj *e, *v;
+  nil_obj = new_obj(TAG_NIL);
+  global_env = nil_obj;
+  have_peek = 0;
+  while (1) {
+    skip_space();
+    if (peek_ch() == EOF) break;
+    e = read_expr();
+    if (e == NULL) break;
+    v = eval(e);
+    print_obj(v);
+    printf("\n");
+  }
+  printf("; evals=%d allocs=%d\n", eval_count, alloc_count);
+  return 0;
+}
+|}
+
+(* Four programs exercising different builtin mixes. *)
+let input_arith =
+  String.concat "\n"
+    [ "(+ 1 2 3 4 5)";
+      "(* (+ 1 2) (- 10 4) (max 2 3 1))";
+      "(define x 10)";
+      "(define y (* x x))";
+      "(+ x y (min 5 2 9))";
+      "(if (< x y) (sumto 50) (sumto 5))";
+      "(mod (sumto 100) 97)";
+      "(abs (- 3 42))" ]
+
+let input_lists =
+  String.concat "\n"
+    [ "(define l (list 1 2 3 4 5 6 7 8))";
+      "(len l)";
+      "(car (cdr (cdr l)))";
+      "(cons 0 l)";
+      "(null (quote ()))";
+      "(len (cons 9 (cons 8 (list 1 2 3))))";
+      "(list (car l) (len l) (null l))" ]
+
+let input_recursive_arith =
+  let exprs = ref [] in
+  for i = 1 to 30 do
+    exprs :=
+      Printf.sprintf "(if (> (mod %d 3) 0) (sumto %d) (* %d %d))" i (i * 7) i i
+      :: !exprs
+  done;
+  String.concat "\n" (List.rev !exprs)
+
+let input_mixed =
+  String.concat "\n"
+    [ "(define a 7)";
+      "(define b (sumto a))";
+      "(define l (list a b (+ a b)))";
+      "(if (null l) 0 (len l))";
+      "(max (car l) (sumto 20) (* a a))";
+      "(= (mod b a) (mod (sumto 14) a))";
+      "(list (min 1 2) (max 1 2) (abs (- 1 2)))";
+      "(sumto (len (list 1 2 3 4 5 6 7 8 9 10)))" ]
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "lisp_mini";
+    description = "Lisp interpreter; builtins via function pointers";
+    analogue = "xlisp";
+    source;
+    runs =
+      [ Bench_prog.run ~input:input_arith ();
+        Bench_prog.run ~input:input_lists ();
+        Bench_prog.run ~input:input_recursive_arith ();
+        Bench_prog.run ~input:input_mixed () ] }

@@ -1,0 +1,88 @@
+(* queens_mini: N-queens backtracking with solution counting and a first
+   solution printer — deep recursion with data-dependent pruning, the
+   classic "alvinn-like deep loop nest" counterpoint: here almost all
+   branches are pruning tests. *)
+
+let source = {|
+#define MAX_N 14
+
+int col_of[MAX_N];
+int n_size;
+int solutions;
+int nodes_visited;
+int prunes;
+
+int safe(int row, int col) {
+  int r;
+  for (r = 0; r < row; r++) {
+    if (col_of[r] == col) return 0;
+    if (col_of[r] - r == col - row) return 0;
+    if (col_of[r] + r == col + row) return 0;
+  }
+  return 1;
+}
+
+void place(int row) {
+  int col;
+  nodes_visited++;
+  if (row == n_size) {
+    solutions++;
+    return;
+  }
+  for (col = 0; col < n_size; col++) {
+    if (safe(row, col)) {
+      col_of[row] = col;
+      place(row + 1);
+    } else {
+      prunes++;
+    }
+  }
+}
+
+/* Find lexicographically first solution; returns 1 on success. */
+int first_solution(int row) {
+  int col;
+  if (row == n_size) return 1;
+  for (col = 0; col < n_size; col++) {
+    if (safe(row, col)) {
+      col_of[row] = col;
+      if (first_solution(row + 1)) return 1;
+    }
+  }
+  return 0;
+}
+
+void print_solution(void) {
+  int r;
+  printf("first:");
+  for (r = 0; r < n_size; r++) printf(" %d", col_of[r]);
+  printf("\n");
+}
+
+int main(int argc, char **argv) {
+  n_size = 8;
+  if (argc > 1) n_size = atoi(argv[1]);
+  if (n_size > MAX_N) n_size = MAX_N;
+  if (n_size < 1) n_size = 1;
+  solutions = 0;
+  nodes_visited = 0;
+  prunes = 0;
+  place(0);
+  printf("n=%d solutions=%d nodes=%d prunes=%d\n", n_size, solutions,
+         nodes_visited, prunes);
+  if (first_solution(0)) print_solution();
+  else printf("no solution\n");
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "queens_mini";
+    description = "N-queens backtracking search";
+    analogue = "recursive search workload";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "8" ] ();
+        Bench_prog.run ~argv:[ "9" ] ();
+        Bench_prog.run ~argv:[ "7" ] ();
+        Bench_prog.run ~argv:[ "10" ] () ] }

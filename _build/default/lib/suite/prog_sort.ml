@@ -1,0 +1,166 @@
+(* sort_bench: three sorting algorithms (quicksort, heapsort, insertion
+   sort) raced on the same data, standing in for sc's compute kernels —
+   recursion (quicksort), tight loops with data-dependent branches
+   (insertion), and index arithmetic (heap sift). *)
+
+let source = {|
+#define MAX_N 4000
+
+int data_a[MAX_N];
+int data_b[MAX_N];
+int data_c[MAX_N];
+int n_elems;
+
+int cmp_count;
+int swap_count;
+
+void swap_elems(int *arr, int i, int j) {
+  int t = arr[i];
+  arr[i] = arr[j];
+  arr[j] = t;
+  swap_count++;
+}
+
+int less_than(int a, int b) {
+  cmp_count++;
+  return a < b;
+}
+
+/* ---- quicksort with median-of-three ---- */
+
+int median3(int *arr, int lo, int hi) {
+  int mid = (lo + hi) / 2;
+  if (less_than(arr[mid], arr[lo])) swap_elems(arr, lo, mid);
+  if (less_than(arr[hi], arr[lo])) swap_elems(arr, lo, hi);
+  if (less_than(arr[hi], arr[mid])) swap_elems(arr, mid, hi);
+  return arr[mid];
+}
+
+void insertion_range(int *arr, int lo, int hi) {
+  int i, j, key;
+  for (i = lo + 1; i <= hi; i++) {
+    key = arr[i];
+    j = i - 1;
+    while (j >= lo && less_than(key, arr[j])) {
+      arr[j + 1] = arr[j];
+      j--;
+    }
+    arr[j + 1] = key;
+  }
+}
+
+void quicksort(int *arr, int lo, int hi) {
+  int pivot, i, j;
+  if (hi - lo < 12) {
+    insertion_range(arr, lo, hi);
+    return;
+  }
+  pivot = median3(arr, lo, hi);
+  i = lo;
+  j = hi;
+  while (i <= j) {
+    while (less_than(arr[i], pivot)) i++;
+    while (less_than(pivot, arr[j])) j--;
+    if (i <= j) {
+      swap_elems(arr, i, j);
+      i++;
+      j--;
+    }
+  }
+  if (lo < j) quicksort(arr, lo, j);
+  if (i < hi) quicksort(arr, i, hi);
+}
+
+/* ---- heapsort ---- */
+
+void sift_down(int *arr, int start, int end) {
+  int root = start, child;
+  while (root * 2 + 1 <= end) {
+    child = root * 2 + 1;
+    if (child + 1 <= end && less_than(arr[child], arr[child + 1]))
+      child = child + 1;
+    if (less_than(arr[root], arr[child])) {
+      swap_elems(arr, root, child);
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+void heapsort(int *arr, int n) {
+  int start, end;
+  for (start = (n - 2) / 2; start >= 0; start--)
+    sift_down(arr, start, n - 1);
+  for (end = n - 1; end > 0; end--) {
+    swap_elems(arr, 0, end);
+    sift_down(arr, 0, end - 1);
+  }
+}
+
+/* ---- verification ---- */
+
+int is_sorted(int *arr, int n) {
+  int i;
+  for (i = 1; i < n; i++)
+    if (arr[i - 1] > arr[i]) return 0;
+  return 1;
+}
+
+int sum_mod(int *arr, int n) {
+  int i, s = 0;
+  for (i = 0; i < n; i++) s = (s + arr[i]) & 0xffffff;
+  return s;
+}
+
+/* ---- data generation: argv[1] selects the pattern ---- */
+
+int next_rand(int *state) {
+  *state = (*state * 1103515245 + 12345) & 0x7fffffff;
+  return *state;
+}
+
+void generate(int pattern, int n) {
+  int i, state = 42;
+  for (i = 0; i < n; i++) {
+    if (pattern == 0) data_a[i] = next_rand(&state) % 10000;
+    else if (pattern == 1) data_a[i] = i;                 /* sorted */
+    else if (pattern == 2) data_a[i] = n - i;             /* reversed */
+    else data_a[i] = next_rand(&state) % 8;               /* few values */
+  }
+  for (i = 0; i < n; i++) {
+    data_b[i] = data_a[i];
+    data_c[i] = data_a[i];
+  }
+}
+
+int main(int argc, char **argv) {
+  int pattern = 0, n = 2000;
+  if (argc > 1) pattern = atoi(argv[1]);
+  if (argc > 2) n = atoi(argv[2]);
+  if (n > MAX_N) n = MAX_N;
+  n_elems = n;
+  generate(pattern, n);
+  cmp_count = 0;
+  swap_count = 0;
+  quicksort(data_a, 0, n - 1);
+  heapsort(data_b, n);
+  insertion_range(data_c, 0, n - 1);
+  printf("n=%d ok=%d%d%d cmp=%d swap=%d sum=%d\n", n,
+         is_sorted(data_a, n), is_sorted(data_b, n), is_sorted(data_c, n),
+         cmp_count, swap_count, sum_mod(data_a, n));
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "sort_bench";
+    description = "Quicksort / heapsort / insertion sort race";
+    analogue = "sc (compute kernels)";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "0"; "2000" ] ();
+        Bench_prog.run ~argv:[ "1"; "1500" ] ();
+        Bench_prog.run ~argv:[ "2"; "1200" ] ();
+        Bench_prog.run ~argv:[ "3"; "2500" ] ();
+        Bench_prog.run ~argv:[ "0"; "800" ] () ] }

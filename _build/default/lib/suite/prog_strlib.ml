@@ -1,0 +1,166 @@
+(* strlib_mini: hand-written string-library routines plus a driver. The
+   [my_strchr] function is the paper's running example (Figure 1); having
+   it here means every experiment table includes the exact function the
+   paper dissects. *)
+
+let source = {|
+/* Find first occurrence of a character in a string (paper Figure 1). */
+char *my_strchr(char *str, int c) {
+  while (*str) {
+    if (*str == c) return str;
+    str++;
+  }
+  return NULL;
+}
+
+int my_strlen(char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  return n;
+}
+
+int my_strcmp(char *a, char *b) {
+  while (*a && *a == *b) {
+    a++;
+    b++;
+  }
+  return (*a & 0xff) - (*b & 0xff);
+}
+
+char *my_strstr(char *hay, char *needle) {
+  char *h, *n;
+  if (*needle == 0) return hay;
+  while (*hay) {
+    h = hay;
+    n = needle;
+    while (*h && *n && *h == *n) {
+      h++;
+      n++;
+    }
+    if (*n == 0) return hay;
+    hay++;
+  }
+  return NULL;
+}
+
+void my_strrev(char *s) {
+  int i = 0, j = my_strlen(s) - 1, t;
+  while (i < j) {
+    t = s[i];
+    s[i] = s[j];
+    s[j] = t;
+    i++;
+    j--;
+  }
+}
+
+int to_lower_ch(int c) {
+  if (c >= 'A' && c <= 'Z') return c + 32;
+  return c;
+}
+
+/* Character classification with a many-label switch arm: ten case
+   labels share the "vowel" target, so the label-count weighting of
+   switch arms (paper footnote 3) has something to chew on. */
+int is_vowel_ch(int c) {
+  switch (c) {
+  case 'a': case 'e': case 'i': case 'o': case 'u':
+  case 'A': case 'E': case 'I': case 'O': case 'U':
+    return 1;
+  default:
+    return 0;
+  }
+}
+
+int count_vowels(char *s) {
+  int n = 0;
+  while (*s) {
+    if (is_vowel_ch(*s)) n++;
+    s++;
+  }
+  return n;
+}
+
+int is_palindrome(char *s) {
+  int i = 0, j = my_strlen(s) - 1;
+  while (i < j) {
+    if (to_lower_ch(s[i]) != to_lower_ch(s[j])) return 0;
+    i++;
+    j--;
+  }
+  return 1;
+}
+
+/* Simple word tokenizer over the input; applies all routines per word. */
+char word_buf[64];
+
+int read_word(void) {
+  int c, n = 0;
+  c = getchar();
+  while (c == ' ' || c == '\n' || c == '\t' || c == '\r') c = getchar();
+  if (c == EOF) return 0;
+  while (c != ' ' && c != '\n' && c != '\t' && c != '\r' && c != EOF) {
+    if (n < 63) {
+      word_buf[n] = c;
+      n++;
+    }
+    c = getchar();
+  }
+  word_buf[n] = 0;
+  return 1;
+}
+
+int main(void) {
+  int words = 0, vowels = 0, pals = 0, found = 0, cmp_sum = 0;
+  char prev[64];
+  char rev[64];
+  int i, len;
+  prev[0] = 0;
+  while (read_word()) {
+    words++;
+    vowels += count_vowels(word_buf);
+    if (is_palindrome(word_buf)) pals++;
+    if (my_strchr(word_buf, 'e') != NULL) found++;
+    if (my_strstr(word_buf, "th") != NULL) found++;
+    cmp_sum += my_strcmp(word_buf, prev) > 0 ? 1 : 0;
+    /* copy into prev and build a reversed copy */
+    len = my_strlen(word_buf);
+    for (i = 0; i <= len; i++) {
+      prev[i] = word_buf[i];
+      rev[i] = word_buf[i];
+    }
+    my_strrev(rev);
+    if (my_strcmp(rev, word_buf) == 0 && len > 2) pals++;
+  }
+  printf("words=%d vowels=%d pals=%d found=%d ascending=%d\n", words,
+         vowels, pals, found, cmp_sum);
+  return 0;
+}
+|}
+
+let text_a =
+  "madam the level civic radar was rotator noon kayak deified a \
+   rotor redder stats tenet wow racecar abba otto anna"
+
+let text_b =
+  "the quick brown fox jumps over the lazy dog while the cat naps \
+   in the warm sun near the old oak tree all afternoon"
+
+let text_c =
+  String.concat " "
+    (List.init 120 (fun i -> Printf.sprintf "word%d them%d" i (i mod 7)))
+
+let text_d =
+  "a bb ccc dddd eeeee ffffff ggggggg hhhhhhhh the that this those \
+   these there then than thy three through threw"
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "strlib_mini";
+    description = "String library (contains the paper's strchr)";
+    analogue = "paper Figure 1 running example";
+    source;
+    runs =
+      [ Bench_prog.run ~input:text_a ();
+        Bench_prog.run ~input:text_b ();
+        Bench_prog.run ~input:text_c ();
+        Bench_prog.run ~input:text_d () ] }

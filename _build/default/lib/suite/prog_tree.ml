@@ -1,0 +1,143 @@
+(* tree_mini: binary search tree workload. Contains the paper's Figure 8
+   function [count_nodes] verbatim — the NULL-test branch that the
+   pointer heuristic mispredicts (a binary tree always has more empty
+   child slots than filled ones), giving the recursive call-graph arc an
+   impossible weight and exercising the Markov repair machinery. *)
+
+let source = {|
+struct tree_node {
+  int key;
+  int count;
+  struct tree_node *left;
+  struct tree_node *right;
+};
+
+struct tree_node *root;
+int insert_count;
+int lookup_hits;
+int lookup_misses;
+
+struct tree_node *new_node(int key) {
+  struct tree_node *n = (struct tree_node *)malloc(sizeof(struct tree_node));
+  if (n == NULL) { printf("oom\n"); exit(1); }
+  n->key = key;
+  n->count = 1;
+  n->left = NULL;
+  n->right = NULL;
+  return n;
+}
+
+struct tree_node *insert(struct tree_node *node, int key) {
+  if (node == NULL) {
+    insert_count++;
+    return new_node(key);
+  }
+  if (key < node->key) node->left = insert(node->left, key);
+  else if (key > node->key) node->right = insert(node->right, key);
+  else node->count++;
+  return node;
+}
+
+struct tree_node *find(struct tree_node *node, int key) {
+  while (node != NULL) {
+    if (key == node->key) return node;
+    if (key < node->key) node = node->left;
+    else node = node->right;
+  }
+  return NULL;
+}
+
+/* Count the number of nodes in a binary tree (paper Figure 8). */
+int count_nodes(struct tree_node *node) {
+  if (node == NULL)
+    return 0;
+  else
+    return count_nodes(node->left) + count_nodes(node->right) + 1;
+}
+
+int tree_height(struct tree_node *node) {
+  int lh, rh;
+  if (node == NULL) return 0;
+  lh = tree_height(node->left);
+  rh = tree_height(node->right);
+  if (lh > rh) return lh + 1;
+  return rh + 1;
+}
+
+int sum_keys(struct tree_node *node) {
+  if (node == NULL) return 0;
+  return sum_keys(node->left) + sum_keys(node->right)
+       + node->key * node->count;
+}
+
+/* In-order minimum. */
+struct tree_node *tree_min(struct tree_node *node) {
+  if (node == NULL) return NULL;
+  while (node->left != NULL) node = node->left;
+  return node;
+}
+
+struct tree_node *delete_key(struct tree_node *node, int key) {
+  struct tree_node *successor;
+  if (node == NULL) return NULL;
+  if (key < node->key) {
+    node->left = delete_key(node->left, key);
+    return node;
+  }
+  if (key > node->key) {
+    node->right = delete_key(node->right, key);
+    return node;
+  }
+  if (node->left == NULL) return node->right;
+  if (node->right == NULL) return node->left;
+  successor = tree_min(node->right);
+  node->key = successor->key;
+  node->count = successor->count;
+  successor->count = 1;
+  node->right = delete_key(node->right, successor->key);
+  return node;
+}
+
+int next_rand(int *state) {
+  *state = (*state * 1103515245 + 12345) & 0x7fffffff;
+  return *state;
+}
+
+int main(int argc, char **argv) {
+  int n = 400, i, k, state = 99, dels;
+  if (argc > 1) n = atoi(argv[1]);
+  if (argc > 2) state = atoi(argv[2]);
+  root = NULL;
+  for (i = 0; i < n; i++) {
+    k = next_rand(&state) % (n * 2);
+    root = insert(root, k);
+  }
+  lookup_hits = 0;
+  lookup_misses = 0;
+  for (i = 0; i < n * 3; i++) {
+    k = next_rand(&state) % (n * 2);
+    if (find(root, k) != NULL) lookup_hits++;
+    else lookup_misses++;
+  }
+  dels = n / 4;
+  for (i = 0; i < dels; i++) {
+    k = next_rand(&state) % (n * 2);
+    root = delete_key(root, k);
+  }
+  printf("inserted=%d nodes=%d height=%d hits=%d misses=%d sum=%d\n",
+         insert_count, count_nodes(root), tree_height(root), lookup_hits,
+         lookup_misses, sum_keys(root) & 0xffffff);
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "tree_mini";
+    description = "Binary search tree (insert/find/delete/count)";
+    analogue = "paper Figure 8 workload";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "400"; "99" ] ();
+        Bench_prog.run ~argv:[ "900"; "5" ] ();
+        Bench_prog.run ~argv:[ "150"; "42" ] ();
+        Bench_prog.run ~argv:[ "600"; "1234" ] () ] }

@@ -1,0 +1,125 @@
+(* water_mini: a velocity-Verlet N-body simulation with a Lennard-Jones
+   style pair force and periodic boundaries — the analogue of the SPEC
+   "water" molecular-dynamics code. Double-precision inner loops over all
+   pairs, plus an energy check each step. *)
+
+let source = {|
+#define MAX_P 64
+
+double pos_x[MAX_P]; double pos_y[MAX_P]; double pos_z[MAX_P];
+double vel_x[MAX_P]; double vel_y[MAX_P]; double vel_z[MAX_P];
+double frc_x[MAX_P]; double frc_y[MAX_P]; double frc_z[MAX_P];
+int n_particles;
+double box_size;
+
+double wrap_coord(double x) {
+  while (x >= box_size) x -= box_size;
+  while (x < 0.0) x += box_size;
+  return x;
+}
+
+double min_image(double d) {
+  if (d > box_size * 0.5) return d - box_size;
+  if (d < -box_size * 0.5) return d + box_size;
+  return d;
+}
+
+void init_particles(int seed) {
+  int i, state = seed;
+  for (i = 0; i < n_particles; i++) {
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    pos_x[i] = (double)(state % 1000) * box_size / 1000.0;
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    pos_y[i] = (double)(state % 1000) * box_size / 1000.0;
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    pos_z[i] = (double)(state % 1000) * box_size / 1000.0;
+    vel_x[i] = 0.0;
+    vel_y[i] = 0.0;
+    vel_z[i] = 0.0;
+  }
+}
+
+void zero_forces(void) {
+  int i;
+  for (i = 0; i < n_particles; i++) {
+    frc_x[i] = 0.0;
+    frc_y[i] = 0.0;
+    frc_z[i] = 0.0;
+  }
+}
+
+/* Pairwise force accumulation; the O(n^2) hot loop. */
+double compute_forces(void) {
+  int i, j;
+  double dx, dy, dz, r2, inv2, inv6, f, pot = 0.0;
+  zero_forces();
+  for (i = 0; i < n_particles; i++) {
+    for (j = i + 1; j < n_particles; j++) {
+      dx = min_image(pos_x[i] - pos_x[j]);
+      dy = min_image(pos_y[i] - pos_y[j]);
+      dz = min_image(pos_z[i] - pos_z[j]);
+      r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < 0.81) r2 = 0.81;  /* soft-core clamp keeps the integrator stable */
+      if (r2 < 6.25) {
+        inv2 = 1.0 / r2;
+        inv6 = inv2 * inv2 * inv2;
+        f = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+        pot += 4.0 * inv6 * (inv6 - 1.0);
+        frc_x[i] += f * dx; frc_x[j] -= f * dx;
+        frc_y[i] += f * dy; frc_y[j] -= f * dy;
+        frc_z[i] += f * dz; frc_z[j] -= f * dz;
+      }
+    }
+  }
+  return pot;
+}
+
+void integrate(double dt) {
+  int i;
+  for (i = 0; i < n_particles; i++) {
+    vel_x[i] += frc_x[i] * dt;
+    vel_y[i] += frc_y[i] * dt;
+    vel_z[i] += frc_z[i] * dt;
+    pos_x[i] = wrap_coord(pos_x[i] + vel_x[i] * dt);
+    pos_y[i] = wrap_coord(pos_y[i] + vel_y[i] * dt);
+    pos_z[i] = wrap_coord(pos_z[i] + vel_z[i] * dt);
+  }
+}
+
+double kinetic_energy(void) {
+  int i;
+  double ke = 0.0;
+  for (i = 0; i < n_particles; i++)
+    ke += vel_x[i] * vel_x[i] + vel_y[i] * vel_y[i] + vel_z[i] * vel_z[i];
+  return ke * 0.5;
+}
+
+int main(int argc, char **argv) {
+  int steps = 40, step, n = 32;
+  double pot = 0.0, dt = 0.001;
+  if (argc > 1) n = atoi(argv[1]);
+  if (argc > 2) steps = atoi(argv[2]);
+  if (n > MAX_P) n = MAX_P;
+  n_particles = n;
+  box_size = 8.0;
+  init_particles(7);
+  for (step = 0; step < steps; step++) {
+    pot = compute_forces();
+    integrate(dt);
+  }
+  printf("n=%d steps=%d ke=%.4f pot=%.4f x0=%.4f\n", n_particles, steps,
+         kinetic_energy(), pot, pos_x[0]);
+  return 0;
+}
+|}
+
+let program : Bench_prog.t =
+  { Bench_prog.name = "water_mini";
+    description = "Lennard-Jones N-body dynamics (velocity Verlet)";
+    analogue = "water";
+    source;
+    runs =
+      [ Bench_prog.run ~argv:[ "32"; "40" ] ();
+        Bench_prog.run ~argv:[ "48"; "25" ] ();
+        Bench_prog.run ~argv:[ "16"; "80" ] ();
+        Bench_prog.run ~argv:[ "64"; "15" ] () ] }

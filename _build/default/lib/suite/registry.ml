@@ -1,0 +1,27 @@
+(* The benchmark suite: 16 programs mirroring the paper's Table 1 (its 14
+   workload classes, plus explicit analogues for the two personalities it
+   highlights: alvinn's pure loop nests and gs's massive indirect
+   dispatch). *)
+
+let all : Bench_prog.t list =
+  [ Prog_alvinn.program;
+    Prog_compress.program;
+    Prog_lisp.program;
+    Prog_eqntott.program;
+    Prog_espresso.program;
+    Prog_sort.program;
+    Prog_cholesky.program;
+    Prog_water.program;
+    Prog_awk.program;
+    Prog_bison.program;
+    Prog_tree.program;
+    Prog_strlib.program;
+    Prog_queens.program;
+    Prog_hash.program;
+    Prog_life.program;
+    Prog_gs.program ]
+
+let find (name : string) : Bench_prog.t option =
+  List.find_opt (fun p -> p.Bench_prog.name = name) all
+
+let names () = List.map (fun p -> p.Bench_prog.name) all

@@ -1,0 +1,1 @@
+test/test_branch_predictor.ml: Alcotest Cfg_ir Cfront Core List Option Parser Typecheck Usage

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg_ir Cfront Fun List Option Parser Printf QCheck QCheck_alcotest String Suite Typecheck

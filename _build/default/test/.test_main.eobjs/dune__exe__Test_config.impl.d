@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Cfg_ir Cfront Core List Option Parser Typecheck Usage

@@ -1,0 +1,1 @@
+test/test_const_fold.ml: Alcotest Ast Cfront Const_fold List Parser Printf Typecheck

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Buffer Cinterp Core Int32 List Printf QCheck QCheck_alcotest String

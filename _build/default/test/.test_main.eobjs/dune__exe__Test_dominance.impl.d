@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Array Cfg_ir Cfront Cinterp Core Float Hashtbl List Option Parser Printf Suite Typecheck

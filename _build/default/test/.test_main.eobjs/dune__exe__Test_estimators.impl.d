@@ -1,0 +1,1 @@
+test/test_estimators.ml: Alcotest Array Cfg_ir Cfront Cinterp Core Float List Option Parser Pretty Suite Typecheck

@@ -1,0 +1,1 @@
+test/test_inter.ml: Alcotest Array Cfg_ir Core Float Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Cfg_ir Cinterp Core Int32 List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Linalg List Printf QCheck QCheck_alcotest String

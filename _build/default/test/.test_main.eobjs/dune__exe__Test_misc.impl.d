@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Ast Cfg_ir Cfront Cinterp List Option Parser Pretty Printf String Typecheck Usage

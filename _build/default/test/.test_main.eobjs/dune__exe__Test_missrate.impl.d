@@ -1,0 +1,1 @@
+test/test_missrate.ml: Alcotest Cfg_ir Core List

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Cfront Ctypes Hashtbl List Parser Pretty Printf

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cfg_ir Cinterp Core Driver Lazy List Option String

@@ -1,0 +1,1 @@
+test/test_preproc.ml: Alcotest Cfront List Preproc String

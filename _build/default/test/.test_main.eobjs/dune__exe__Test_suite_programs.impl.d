@@ -1,0 +1,1 @@
+test/test_suite_programs.ml: Alcotest Cfg_ir Cinterp Core List Option Printf String Suite

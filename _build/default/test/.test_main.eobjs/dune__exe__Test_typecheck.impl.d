@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Array Ast Cfront Ctypes Hashtbl List Option Parser String Typecheck

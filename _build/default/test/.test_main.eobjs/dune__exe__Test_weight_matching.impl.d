@@ -1,0 +1,1 @@
+test/test_weight_matching.ml: Alcotest Array Core Printf QCheck QCheck_alcotest String

@@ -1,0 +1,189 @@
+(* Branch predictor tests: each heuristic firing on a purpose-built
+   branch, the priority order, and loop handling. *)
+
+open Cfront
+module BP = Core.Branch_predictor
+module Cfg = Cfg_ir.Cfg
+
+let compile src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let tc = Typecheck.check tu in
+  (tc, Cfg_ir.Build.build tc)
+
+(* Predict the branches of function f in source order of their blocks. *)
+let predictions src =
+  let tc, prog = compile src in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+  List.map
+    (fun (_, br) -> BP.predict tc usage br)
+    (Cfg.branches fn)
+
+let check_one name src expected_prediction expected_reason =
+  match predictions src with
+  | [ (p, r) ] ->
+    Alcotest.(check string)
+      (name ^ " reason") expected_reason (BP.reason_to_string r);
+    Alcotest.(check bool)
+      (name ^ " direction") true (p = expected_prediction)
+  | l -> Alcotest.failf "%s: expected 1 branch, got %d" name (List.length l)
+
+let test_loop_heuristic () =
+  check_one "while" "int f(int n) { while (n) n--; return n; }" BP.Taken
+    "loop";
+  check_one "for" "int f(int n) { int i; for (i = 0; i < n; i++); return i; }"
+    BP.Taken "loop";
+  check_one "do" "int f(int n) { do n--; while (n > 0); return n; }" BP.Taken
+    "loop"
+
+let test_pointer_heuristic () =
+  check_one "p == NULL unlikely"
+    "int f(int *p) { if (p == NULL) return 1; return 0; }" BP.NotTaken
+    "pointer";
+  check_one "p != NULL likely"
+    "int f(int *p) { if (p != NULL) return 1; return 0; }" BP.Taken
+    "pointer";
+  check_one "bare pointer truthy"
+    "int f(int *p) { if (p) return 1; return 0; }" BP.Taken "pointer";
+  check_one "!p unlikely" "int f(int *p) { if (!p) return 1; return 0; }"
+    BP.NotTaken "pointer";
+  check_one "pointer equality unlikely"
+    "int f(int *p, int *q) { if (p == q) return 1; return 0; }" BP.NotTaken
+    "pointer"
+
+let test_error_call_heuristic () =
+  check_one "exit in then-arm"
+    "int f(int n) { if (n > 1000) exit(1); return n; }" BP.NotTaken
+    "error-call";
+  check_one "abort in else-arm"
+    "int f(int n) { if (n < 100) n++; else abort(); return n; }" BP.Taken
+    "error-call"
+
+let test_opcode_heuristic () =
+  check_one "x < 0 unlikely" "int f(int x) { if (x < 0) return 1; return 0; }"
+    BP.NotTaken "opcode";
+  check_one "x >= 0 likely" "int f(int x) { if (x >= 0) return 1; return 0; }"
+    BP.Taken "opcode";
+  check_one "equality unlikely"
+    "int f(int x, int y) { if (x == y) return 1; return 0; }" BP.NotTaken
+    "opcode";
+  check_one "inequality likely"
+    "int f(int x, int y) { if (x != y) return 1; return 0; }" BP.Taken
+    "opcode"
+
+let test_multi_and_heuristic () =
+  check_one "two conjuncts"
+    "int f(int x, int y) { if (x > 1 && y > 1) return 1; return 0; }"
+    BP.NotTaken "multi-and";
+  check_one "three conjuncts"
+    "int f(int x, int y) { if (x > 1 && y > 1 && x > y) return 1; return 0; }"
+    BP.NotTaken "multi-and"
+
+let test_store_heuristic () =
+  check_one "then-arm writes a variable read later"
+    "int f(int x) { int r = 0; if (x > 1) { r = x; } else { x--; } return r; }"
+    BP.Taken "store"
+
+let test_return_heuristic () =
+  check_one "early return unlikely"
+    "int f(int x, int y) { if (x > y) { return y; } x += y; return x; }"
+    BP.NotTaken "return"
+
+let test_constant_heuristic () =
+  check_one "constant true" "int f(int x) { if (1) return 1; return 0; }"
+    BP.Taken "constant";
+  check_one "constant false via fold"
+    "int f(int x) { if (3 < 2) return 1; return 0; }" BP.NotTaken "constant"
+
+let test_priority_pointer_over_opcode () =
+  (* p == NULL matches both pointer and opcode(==); pointer must win *)
+  check_one "pointer beats opcode"
+    "int f(char *p) { if (p == NULL) return 1; return 0; }" BP.NotTaken
+    "pointer"
+
+let test_priority_error_over_return () =
+  (* the exit arm also returns; error-call fires first *)
+  check_one "error-call beats return"
+    "int f(int n) { if (n > 9) { exit(1); return 0; } return n; }"
+    BP.NotTaken "error-call"
+
+let test_default () =
+  check_one "no heuristic applies"
+    "int f(int x, int y) { if (x > y) x++; else y++; return x + y; }"
+    BP.Taken "default"
+
+let test_probabilities () =
+  Alcotest.(check (float 1e-9)) "taken prob" 0.8 (BP.taken_probability ());
+  let tc, prog =
+    compile "int f(int *p) { if (p == NULL) return 1; return 0; }"
+  in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+  let _, br = List.hd (Cfg.branches fn) in
+  Alcotest.(check (float 1e-9)) "not-taken prob" 0.2
+    (BP.probability_true tc usage br);
+  Alcotest.(check (float 1e-9)) "naive prob" 0.5
+    (BP.probability_true_naive br)
+
+(* Wu-Larus evidence combination (the paper's open-question extension). *)
+let combined_probability src =
+  let tc, prog = compile src in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+  let _, br = List.hd (Cfg.branches fn) in
+  BP.probability_true_combined tc usage br.Cfg.br_stmt br.Cfg.br_cond
+    ~then_arm:br.Cfg.br_then_arm ~else_arm:br.Cfg.br_else_arm
+
+let test_combined_probabilities () =
+  (* no evidence -> 0.5 *)
+  Alcotest.(check (float 1e-9)) "no evidence" 0.5
+    (combined_probability
+       "int f(int x, int y) { if (x > y) x++; else y++; return x + y; }");
+  (* single heuristic -> its calibrated probability *)
+  Alcotest.(check (float 1e-9)) "opcode alone" (1.0 -. 0.84)
+    (combined_probability
+       "int f(int x, int y) { if (x == y) x++; else y++; return x + y; }");
+  (* agreeing heuristics reinforce: pointer(ne: 0.6 taken) and
+     opcode(ne: 0.84 taken) combine above either alone *)
+  let p =
+    combined_probability
+      "int f(int *a, int *b) { int r = 0; if (a != b) r++; else r--; return r; }"
+  in
+  Alcotest.(check bool) "agreement reinforces" true (p > 0.84);
+  (* Dempster-Shafer algebra *)
+  Alcotest.(check (float 1e-9)) "ds formula"
+    (0.6 *. 0.84 /. ((0.6 *. 0.84) +. (0.4 *. 0.16)))
+    (BP.dempster_shafer 0.6 0.84);
+  Alcotest.(check (float 1e-9)) "0.5 is neutral" 0.7
+    (BP.dempster_shafer 0.5 0.7);
+  (* constants saturate *)
+  Alcotest.(check (float 1e-9)) "constant true" 1.0
+    (combined_probability
+       "int f(int x) { if (1 < 2) x++; else x--; return x; }")
+
+let test_constant_while_one () =
+  (* `while (1)` has two branches in f: the while and the inner if *)
+  match
+    predictions "int f(int x) { while (1) { if (x) return 1; } }"
+  with
+  | [ (BP.Taken, BP.Hconstant); _ ] | [ _; (BP.Taken, BP.Hconstant) ] -> ()
+  | _ -> Alcotest.fail "while(1) should be a constant-taken branch"
+
+let suite =
+  [ Alcotest.test_case "loop" `Quick test_loop_heuristic;
+    Alcotest.test_case "pointer" `Quick test_pointer_heuristic;
+    Alcotest.test_case "error call" `Quick test_error_call_heuristic;
+    Alcotest.test_case "opcode" `Quick test_opcode_heuristic;
+    Alcotest.test_case "multi-and" `Quick test_multi_and_heuristic;
+    Alcotest.test_case "store" `Quick test_store_heuristic;
+    Alcotest.test_case "return" `Quick test_return_heuristic;
+    Alcotest.test_case "constant" `Quick test_constant_heuristic;
+    Alcotest.test_case "pointer beats opcode" `Quick
+      test_priority_pointer_over_opcode;
+    Alcotest.test_case "error beats return" `Quick
+      test_priority_error_over_return;
+    Alcotest.test_case "default" `Quick test_default;
+    Alcotest.test_case "probabilities" `Quick test_probabilities;
+    Alcotest.test_case "combined probabilities" `Quick
+      test_combined_probabilities;
+    Alcotest.test_case "constant while(1)" `Quick test_constant_while_one ]

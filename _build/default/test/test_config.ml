@@ -1,0 +1,142 @@
+(* Configuration and ablation-machinery tests: knobs actually steer the
+   estimators, and settings are restored after [with_settings] even on
+   exceptions. *)
+
+open Cfront
+module Config = Core.Config
+module BP = Core.Branch_predictor
+module AE = Core.Ast_estimator
+module Cfg = Cfg_ir.Cfg
+
+let compile src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let tc = Typecheck.check tu in
+  (tc, Cfg_ir.Build.build tc)
+
+let test_restore () =
+  Config.with_settings
+    (fun c -> c.Config.loop_iterations <- 9.0)
+    (fun () ->
+      Alcotest.(check (float 1e-9)) "inside" 9.0
+        Config.current.Config.loop_iterations);
+  Alcotest.(check (float 1e-9)) "restored" 5.0
+    Config.current.Config.loop_iterations
+
+let test_restore_on_exception () =
+  (try
+     Config.with_settings
+       (fun c -> c.Config.branch_probability <- 0.99)
+       (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (float 1e-9)) "restored after raise" 0.8
+    Config.current.Config.branch_probability
+
+let test_loop_count_changes_estimates () =
+  let tc, prog =
+    compile "int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s++; return s; }"
+  in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let max_freq k =
+    Config.with_settings
+      (fun c -> c.Config.loop_iterations <- k)
+      (fun () ->
+        Array.fold_left max 0.0 (AE.block_freqs tc fn AE.Smart))
+  in
+  Alcotest.(check (float 1e-9)) "k=5 header" 5.0 (max_freq 5.0);
+  Alcotest.(check (float 1e-9)) "k=10 header" 10.0 (max_freq 10.0);
+  Alcotest.(check (float 1e-9)) "k=2 header" 2.0 (max_freq 2.0)
+
+let test_branch_probability_changes_estimates () =
+  let tc, prog =
+    compile "int f(int *p) { if (p == NULL) return 1; return 0; }"
+  in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let min_freq p =
+    Config.with_settings
+      (fun c -> c.Config.branch_probability <- p)
+      (fun () ->
+        Array.fold_left min infinity (AE.block_freqs tc fn AE.Smart))
+  in
+  (* the unlikely arm gets 1 - p *)
+  Alcotest.(check (float 1e-9)) "p=0.8" 0.2 (min_freq 0.8);
+  Alcotest.(check (float 1e-9)) "p=0.95" 0.05 (min_freq 0.95)
+
+let test_heuristic_toggle () =
+  let tc, prog =
+    compile "int f(int *p) { if (p == NULL) return 1; return 0; }"
+  in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+  let _, br = List.hd (Cfg.branches fn) in
+  (* with pointer disabled, the opcode heuristic fires on == instead *)
+  Config.with_settings
+    (fun c -> c.Config.heuristic_pointer <- false)
+    (fun () ->
+      match BP.predict tc usage br with
+      | BP.NotTaken, BP.Hopcode -> ()
+      | _, r ->
+        Alcotest.failf "expected opcode fallback, got %s"
+          (BP.reason_to_string r));
+  (* with both disabled, nothing applies: default taken *)
+  Config.with_settings
+    (fun c ->
+      c.Config.heuristic_pointer <- false;
+      c.Config.heuristic_opcode <- false;
+      c.Config.heuristic_return <- false)
+    (fun () ->
+      match BP.predict tc usage br with
+      | BP.Taken, BP.Hdefault -> ()
+      | _, r ->
+        Alcotest.failf "expected default, got %s" (BP.reason_to_string r))
+
+let test_loop_probability_follows_count () =
+  let tc, prog = compile "int f(int n) { while (n > 5) n--; return n; }" in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+  let _, br = List.hd (Cfg.branches fn) in
+  Config.with_settings
+    (fun c -> c.Config.loop_iterations <- 10.0)
+    (fun () ->
+      Alcotest.(check (float 1e-9)) "continue prob 0.9" 0.9
+        (BP.probability_true tc usage br))
+
+let test_switch_weighting_toggle () =
+  let tc, prog =
+    compile
+      {|
+int f(int c) {
+  switch (c) {
+  case 1: case 2: case 3: return 10;
+  default: return 0;
+  }
+}
+|}
+  in
+  let fn = Option.get (Cfg.find_fn prog "f") in
+  let arm_freq by_labels =
+    Config.with_settings
+      (fun c -> c.Config.switch_by_labels <- by_labels)
+      (fun () ->
+        let freqs = Core.Markov_intra.block_freqs tc fn in
+        (* the three-label arm's block: max non-entry frequency *)
+        let m = ref 0.0 in
+        Array.iteri
+          (fun i v -> if i <> fn.Cfg.fn_entry && v > !m then m := v)
+          freqs;
+        !m)
+  in
+  Alcotest.(check (float 1e-9)) "by labels 3/4" 0.75 (arm_freq true);
+  Alcotest.(check (float 1e-9)) "equal arms 1/2" 0.5 (arm_freq false)
+
+let suite =
+  [ Alcotest.test_case "restore" `Quick test_restore;
+    Alcotest.test_case "restore on exception" `Quick test_restore_on_exception;
+    Alcotest.test_case "loop count steers estimates" `Quick
+      test_loop_count_changes_estimates;
+    Alcotest.test_case "branch probability steers estimates" `Quick
+      test_branch_probability_changes_estimates;
+    Alcotest.test_case "heuristic toggles" `Quick test_heuristic_toggle;
+    Alcotest.test_case "loop probability follows count" `Quick
+      test_loop_probability_follows_count;
+    Alcotest.test_case "switch weighting toggle" `Quick
+      test_switch_weighting_toggle ]

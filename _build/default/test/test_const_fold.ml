@@ -1,0 +1,123 @@
+(* Constant folding tests: what folds, what must not, and the branch
+   exclusion predicate used by the miss-rate metric. *)
+
+open Cfront
+
+(* Fold the condition of the first if-statement in f. *)
+let fold_condition src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let tc = Typecheck.check tu in
+  let result = ref None in
+  List.iter
+    (function
+      | Ast.Gfun f ->
+        Ast.iter_stmt f.Ast.f_body
+          ~on_stmt:(fun s ->
+            match s.Ast.snode with
+            | Ast.Sif (c, _, _) when !result = None ->
+              result := Some (Const_fold.eval tc c)
+            | _ -> ())
+          ~on_expr:(fun _ -> ())
+      | _ -> ())
+    tu.Ast.globals;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "no if statement found"
+
+let wrap cond = Printf.sprintf "int f(int x) { if (%s) return 1; return 0; }" cond
+
+let check_int name cond expected =
+  match fold_condition (wrap cond) with
+  | Some (Const_fold.Cint n) -> Alcotest.(check int) name expected n
+  | Some (Const_fold.Cfloat _) -> Alcotest.failf "%s: folded to float" name
+  | None -> Alcotest.failf "%s: did not fold" name
+
+let check_none name cond =
+  match fold_condition (wrap cond) with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: should not fold" name
+
+let test_folds () =
+  check_int "arith" "1 + 2 * 3" 7;
+  check_int "comparison" "3 < 4" 1;
+  check_int "negation" "!(2 > 1)" 0;
+  check_int "bitops" "(0xF0 | 0x0F) & 0xFF" 255;
+  check_int "shift" "1 << 10" 1024;
+  check_int "conditional" "0 ? 9 : 8" 8;
+  check_int "char arith" "'a' + 1" 98;
+  check_int "cast" "(int)2.9" 2;
+  check_int "division" "7 / 2" 3;
+  check_int "modulo" "-7 % 2" (-1)
+
+let test_short_circuit_folding () =
+  (* 0 && x folds even though x is dynamic *)
+  check_int "false && dynamic" "0 && x" 0;
+  check_int "true || dynamic" "1 || x" 1;
+  check_none "true && dynamic" "1 && x";
+  check_none "false || dynamic" "0 || x"
+
+let test_sizeof_folds () =
+  check_int "sizeof int" "sizeof(int) == 1" 1;
+  (* struct sizes are in cells *)
+  let src =
+    "struct s { int a; double b; int c[2]; };\n\
+     int f(int x) { if (sizeof(struct s) == 4) return 1; return 0; }"
+  in
+  match fold_condition src with
+  | Some (Const_fold.Cint 1) -> ()
+  | _ -> Alcotest.fail "sizeof struct"
+
+let test_enum_folds () =
+  let src =
+    "enum { A = 3, B };\nint f(int x) { if (A + B == 7) return 1; return 0; }"
+  in
+  match fold_condition src with
+  | Some (Const_fold.Cint 1) -> ()
+  | _ -> Alcotest.fail "enum constants fold"
+
+let test_dynamic_not_folded () =
+  check_none "variable" "x";
+  check_none "variable compare" "x == 0";
+  check_none "call" "f(x)";
+  check_none "assignment" "x = 1";
+  check_none "increment" "x++";
+  check_none "division by zero" "1 / 0"
+
+let test_float_folds () =
+  match fold_condition (wrap "1.5 * 2.0 > 2.9") with
+  | Some v -> Alcotest.(check bool) "float compare" true (Const_fold.is_true v)
+  | None -> Alcotest.fail "float folding"
+
+let test_is_constant_condition () =
+  let tu =
+    Parser.parse_string ~file:"t.c"
+      "int f(int x) { while (1) { if (x) break; } return 0; }"
+  in
+  let tc = Typecheck.check tu in
+  let found = ref [] in
+  List.iter
+    (function
+      | Ast.Gfun f ->
+        Ast.iter_stmt f.Ast.f_body
+          ~on_stmt:(fun s ->
+            match s.Ast.snode with
+            | Ast.Swhile (c, _) ->
+              found := ("while", Const_fold.is_constant_condition tc c) :: !found
+            | Ast.Sif (c, _, _) ->
+              found := ("if", Const_fold.is_constant_condition tc c) :: !found
+            | _ -> ())
+          ~on_expr:(fun _ -> ())
+      | _ -> ())
+    tu.Ast.globals;
+  Alcotest.(check bool) "while(1) is constant" true (List.assoc "while" !found);
+  Alcotest.(check bool) "if(x) is not" false (List.assoc "if" !found)
+
+let suite =
+  [ Alcotest.test_case "folds" `Quick test_folds;
+    Alcotest.test_case "short-circuit" `Quick test_short_circuit_folding;
+    Alcotest.test_case "sizeof" `Quick test_sizeof_folds;
+    Alcotest.test_case "enum" `Quick test_enum_folds;
+    Alcotest.test_case "dynamic expressions" `Quick test_dynamic_not_folded;
+    Alcotest.test_case "floats" `Quick test_float_folds;
+    Alcotest.test_case "constant-condition predicate" `Quick
+      test_is_constant_condition ]

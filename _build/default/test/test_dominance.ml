@@ -1,0 +1,168 @@
+(* Dominance / natural-loop tests, the structural estimator built on
+   them, and profile serialization round-trips. *)
+
+open Cfront
+module Cfg = Cfg_ir.Cfg
+module Dominance = Cfg_ir.Dominance
+module Pipeline = Core.Pipeline
+module Profile = Cinterp.Profile
+
+let compile src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let tc = Typecheck.check tu in
+  Cfg_ir.Build.build tc
+
+let fn_of src name = Option.get (Cfg.find_fn (compile src) name)
+
+let test_idom_diamond () =
+  let fn =
+    fn_of "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }" "f"
+  in
+  let idom = Dominance.idoms fn in
+  let entry = fn.Cfg.fn_entry in
+  Alcotest.(check int) "entry self-dominates" entry idom.(entry);
+  (* every block is dominated by the entry *)
+  Array.iteri
+    (fun b _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dominates B%d" b)
+        true
+        (Dominance.dominates idom entry b))
+    fn.Cfg.fn_blocks;
+  (* the join block's idom is the entry (branch point), not an arm *)
+  let join =
+    Array.to_list fn.Cfg.fn_blocks
+    |> List.find (fun (b : Cfg.block) -> List.length b.Cfg.b_preds = 2)
+  in
+  Alcotest.(check int) "join idom is the branch" entry idom.(join.Cfg.b_id)
+
+let test_loop_depths () =
+  let fn =
+    fn_of
+      "int f(int n) { int i, j, s = 0;\n\
+       for (i = 0; i < n; i++) {\n\
+      \  for (j = 0; j < n; j++) s += j;\n\
+      \  s -= i;\n\
+       }\n\
+       return s; }"
+      "f"
+  in
+  let loops = Dominance.analyze fn in
+  Alcotest.(check int) "two loop headers" 2
+    (List.length loops.Dominance.headers);
+  let max_depth = Array.fold_left max 0 loops.Dominance.depth in
+  Alcotest.(check int) "max nesting 2" 2 max_depth;
+  (* the entry (before the outer loop) is at depth 0 unless merged into
+     the header; the return block is at depth 0 *)
+  let return_block =
+    Array.to_list fn.Cfg.fn_blocks
+    |> List.find (fun (b : Cfg.block) ->
+         match b.Cfg.b_term with Cfg.Treturn _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "return at depth 0" 0
+    loops.Dominance.depth.(return_block.Cfg.b_id)
+
+let test_while_and_goto_loops () =
+  let fn =
+    fn_of
+      "int f(int n) { int s = 0; top: s += n; n--; if (n > 0) goto top; return s; }"
+      "f"
+  in
+  let loops = Dominance.analyze fn in
+  Alcotest.(check int) "goto loop found" 1
+    (List.length loops.Dominance.headers)
+
+let test_no_loops () =
+  let fn = fn_of "int f(int x) { if (x) return 1; return 0; }" "f" in
+  let loops = Dominance.analyze fn in
+  Alcotest.(check (list int)) "no headers" [] loops.Dominance.headers;
+  Array.iter
+    (fun d -> Alcotest.(check int) "all depth 0" 0 d)
+    loops.Dominance.depth
+
+let test_structural_estimator () =
+  let fn =
+    fn_of
+      "int f(int n) { int i, j, s = 0;\n\
+       for (i = 0; i < n; i++) for (j = 0; j < n; j++) s++;\n\
+       return s; }"
+      "f"
+  in
+  let freqs = Core.Structural_estimator.block_freqs fn in
+  Alcotest.(check (float 1e-9)) "inner body k^2" 25.0
+    (Array.fold_left max 0.0 freqs);
+  (* structural sees the same nesting the AST walk does on clean loops *)
+  Alcotest.(check (float 1e-9)) "outside loops = 1" 1.0
+    (Array.fold_left min infinity freqs)
+
+let test_structural_on_suite () =
+  (* no NaNs, no negatives, headers at least as frequent as exits *)
+  List.iter
+    (fun (p : Suite.Bench_prog.t) ->
+      let prog =
+        (Pipeline.compile ~name:p.Suite.Bench_prog.name
+           p.Suite.Bench_prog.source)
+          .Pipeline.prog
+      in
+      List.iter
+        (fun fn ->
+          Array.iter
+            (fun v ->
+              if Float.is_nan v || v < 1.0 -. 1e-9 then
+                Alcotest.failf "bad structural frequency %f in %s" v
+                  fn.Cfg.fn_name)
+            (Core.Structural_estimator.block_freqs_refined fn))
+        prog.Cfg.prog_fns)
+    Suite.Registry.all
+
+(* --- profile serialization ------------------------------------------- *)
+
+let test_profile_roundtrip () =
+  let c =
+    Pipeline.compile ~name:"t"
+      {|
+int helper(int x) { if (x > 2) return x; return -x; }
+int main(void) { int i, s = 0; for (i = 0; i < 7; i++) s += helper(i); return s & 1; }
+|}
+  in
+  let p = (Pipeline.run_once c { Pipeline.argv = []; input = "" }).Cinterp.Eval.profile in
+  let text = Profile.save p in
+  let q = Profile.load text in
+  Alcotest.(check (float 1e-9)) "work preserved" p.Profile.work q.Profile.work;
+  Alcotest.(check int) "site array length"
+    (Array.length p.Profile.site_counts)
+    (Array.length q.Profile.site_counts);
+  Hashtbl.iter
+    (fun name (c1 : Profile.fn_counters) ->
+      let c2 = Profile.fn_counters q name in
+      Alcotest.(check (list (float 0.0)))
+        (name ^ " blocks")
+        (Array.to_list c1.Profile.block_counts)
+        (Array.to_list c2.Profile.block_counts);
+      Alcotest.(check (list (float 0.0)))
+        (name ^ " taken")
+        (Array.to_list c1.Profile.branch_taken)
+        (Array.to_list c2.Profile.branch_taken))
+    p.Profile.fns;
+  (* and a stable double round-trip *)
+  Alcotest.(check string) "idempotent text" text (Profile.save q)
+
+let test_profile_load_errors () =
+  (match Profile.load "garbage" with
+  | exception Profile.Parse_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  match Profile.load "profile-v1\nfn broken\n" with
+  | exception Profile.Parse_error _ -> ()
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated profile accepted"
+
+let suite =
+  [ Alcotest.test_case "idoms on a diamond" `Quick test_idom_diamond;
+    Alcotest.test_case "loop depths" `Quick test_loop_depths;
+    Alcotest.test_case "goto loop" `Quick test_while_and_goto_loops;
+    Alcotest.test_case "loop-free" `Quick test_no_loops;
+    Alcotest.test_case "structural estimator" `Quick test_structural_estimator;
+    Alcotest.test_case "structural on the suite" `Slow
+      test_structural_on_suite;
+    Alcotest.test_case "profile round-trip" `Quick test_profile_roundtrip;
+    Alcotest.test_case "profile load errors" `Quick test_profile_load_errors ]

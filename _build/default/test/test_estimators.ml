@@ -1,0 +1,227 @@
+(* Intra-procedural estimator tests: the AST walk (loop and smart modes,
+   loop nesting, switch weighting) and the Markov model (paper values,
+   consistency with measured profiles on loop-free code). *)
+
+open Cfront
+module Cfg = Cfg_ir.Cfg
+module AE = Core.Ast_estimator
+module MI = Core.Markov_intra
+module Pipeline = Core.Pipeline
+
+let compile src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let tc = Typecheck.check tu in
+  (tc, Cfg_ir.Build.build tc)
+
+let fn_of prog name = Option.get (Cfg.find_fn prog name)
+
+(* The frequency of the block whose first statement matches the AST
+   statement printing as [head]. *)
+let freq_of_head tc fn mode head =
+  let freqs = AE.block_freqs tc fn mode in
+  let found = ref None in
+  Array.iteri
+    (fun i (b : Cfg.block) ->
+      match b.Cfg.b_src with
+      | Some _ ->
+        let label =
+          match b.Cfg.b_instrs with
+          | Cfg.Iexpr e :: _ -> Pretty.expr_to_string e
+          | _ -> ""
+        in
+        if label = head && !found = None then found := Some freqs.(i)
+      | None -> ())
+    fn.Cfg.fn_blocks;
+  match !found with
+  | Some f -> f
+  | None -> Alcotest.failf "no block starting with %s" head
+
+let strchr_src =
+  {|
+char *f(char *str, int c) {
+  while (*str) {
+    if (*str == c) return str;
+    str++;
+  }
+  return NULL;
+}
+|}
+
+let test_strchr_smart_values () =
+  let tc, prog = compile strchr_src in
+  let fn = fn_of prog "f" in
+  let freqs = AE.block_freqs tc fn AE.Smart in
+  (* paper figure 3: while 5, if 4, return str 0.8, str++ 4, return NULL 1 *)
+  let sorted = Array.copy freqs in
+  Array.sort compare sorted;
+  Alcotest.(check (list (float 1e-9)))
+    "multiset of block frequencies"
+    [ 0.8; 1.0; 4.0; 4.0; 5.0 ]
+    (Array.to_list sorted)
+
+let test_strchr_markov_values () =
+  let tc, prog = compile strchr_src in
+  let fn = fn_of prog "f" in
+  let freqs = MI.block_freqs tc fn in
+  let sorted = Array.copy freqs in
+  Array.sort compare sorted;
+  (* paper figure 7 (entry merged into while header): 2.78 2.22 1.78 .56 .44 *)
+  List.iter2
+    (fun expected got ->
+      Alcotest.(check (float 0.01)) "markov value" expected got)
+    [ 0.444; 0.555; 1.777; 2.222; 2.777 ]
+    (Array.to_list sorted)
+
+let test_loop_vs_smart () =
+  (* loop mode splits the if 50/50; smart predicts the NULL test false *)
+  let src =
+    "int f(int *p, int n) { if (p == NULL) return -1; return n; }"
+  in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  let loop = AE.block_freqs tc fn AE.Loop in
+  let smart = AE.block_freqs tc fn AE.Smart in
+  let sl = Array.copy loop and ss = Array.copy smart in
+  Array.sort compare sl;
+  Array.sort compare ss;
+  (* blocks: entry 1.0, then-arm, and the fall-through return (which the
+     AST model leaves at the parent frequency 1.0) *)
+  Alcotest.(check (list (float 1e-9))) "loop 50/50" [ 0.5; 1.0; 1.0 ]
+    (Array.to_list sl);
+  Alcotest.(check (list (float 1e-9))) "smart 80/20" [ 0.2; 1.0; 1.0 ]
+    (Array.to_list ss)
+
+let test_nested_loops_multiply () =
+  let src =
+    "int f(int n) { int i, j, s = 0;\n\
+     for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { s += i * j; } }\n\
+     return s; }"
+  in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  (* the innermost body must run 4 * 4 = 16 per entry *)
+  Alcotest.(check (float 1e-9)) "inner body 16x" 16.0
+    (freq_of_head tc fn AE.Smart "s += i * j")
+
+let test_do_while_body () =
+  let src = "int f(int n) { do { n--; } while (n > 0); return n; }" in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  Alcotest.(check (float 1e-9)) "do body runs 5x" 5.0
+    (freq_of_head tc fn AE.Smart "n--")
+
+let test_switch_label_weighting () =
+  let src =
+    {|
+int f(int x) {
+  int r = 0;
+  switch (x) {
+  case 1: r = 10; break;
+  case 2:
+  case 3: r = 20; break;
+  default: r = 30; break;
+  }
+  return r;
+}
+|}
+  in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  (* 4 labels: case1 1/4, case2+3 arm 2/4, default 1/4 *)
+  Alcotest.(check (float 1e-9)) "single-label arm" 0.25
+    (freq_of_head tc fn AE.Smart "r = 10");
+  Alcotest.(check (float 1e-9)) "double-label arm" 0.5
+    (freq_of_head tc fn AE.Smart "r = 20");
+  Alcotest.(check (float 1e-9)) "default arm" 0.25
+    (freq_of_head tc fn AE.Smart "r = 30")
+
+let test_ast_ignores_return () =
+  (* statements after a guarded return keep the parent frequency *)
+  let src =
+    "int f(int x) { if (x == 0) return 0; x++; return x; }"
+  in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  Alcotest.(check (float 1e-9)) "sibling after if unchanged" 1.0
+    (freq_of_head tc fn AE.Smart "x++")
+
+let test_markov_sees_return () =
+  (* same function: Markov knows x++ only runs when the return is not
+     taken, i.e. 0.8 of the time (== predicted false for x == 0) *)
+  let src = "int f(int x) { if (x == 0) return 0; x++; return x; }" in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  let freqs = MI.block_freqs tc fn in
+  let smart = AE.block_freqs tc fn AE.Smart in
+  (* find the x++ block *)
+  Array.iteri
+    (fun i (b : Cfg.block) ->
+      match b.Cfg.b_instrs with
+      | Cfg.Iexpr e :: _ when Pretty.expr_to_string e = "x++" ->
+        Alcotest.(check (float 1e-9)) "markov x++ 0.8" 0.8 freqs.(i);
+        Alcotest.(check (float 1e-9)) "ast x++ 1.0" 1.0 smart.(i)
+      | _ -> ())
+    fn.Cfg.fn_blocks
+
+let test_markov_matches_profile_on_two_sided_if () =
+  (* On loop-free code with known branch ratios the Markov estimate is a
+     probability; relative ordering must match a profile where the branch
+     behaves like its prediction. *)
+  let src =
+    {|
+int f(int *p) { if (p != NULL) return 1; return 0; }
+int main(void) {
+  int x, n = 0, i;
+  for (i = 0; i < 10; i++) n += f(&x);
+  n += f(NULL);
+  printf("%d", n);
+  return 0;
+}
+|}
+  in
+  let tc, prog = compile src in
+  let fn = fn_of prog "f" in
+  let est = MI.block_freqs tc fn in
+  let outcome = Cinterp.Eval.run prog in
+  let actual = Cinterp.Profile.block_counts outcome.Cinterp.Eval.profile "f" in
+  Alcotest.(check (float 1e-6)) "ranking agrees" 1.0
+    (Core.Weight_matching.score ~estimate:est ~actual ~cutoff:0.34)
+
+let test_entry_is_one () =
+  List.iter
+    (fun (p : Suite.Bench_prog.t) ->
+      let c = Pipeline.compile ~name:p.Suite.Bench_prog.name p.Suite.Bench_prog.source in
+      List.iter
+        (fun fn ->
+          let smart = Pipeline.intra_provider c Pipeline.Ismart fn.Cfg.fn_name in
+          (* the AST estimate of the entry block is >= 1 (entry may be a
+             merged loop header) and every frequency is non-negative *)
+          Array.iter
+            (fun v ->
+              if v < 0.0 then
+                Alcotest.failf "negative AST frequency in %s" fn.Cfg.fn_name)
+            smart;
+          let markov = Pipeline.intra_provider c Pipeline.Imarkov fn.Cfg.fn_name in
+          Array.iter
+            (fun v ->
+              if Float.is_nan v || v < -1e-9 then
+                Alcotest.failf "bad markov frequency in %s.%s"
+                  p.Suite.Bench_prog.name fn.Cfg.fn_name)
+            markov)
+        c.Pipeline.prog.Cfg.prog_fns)
+    Suite.Registry.all
+
+let suite =
+  [ Alcotest.test_case "strchr smart values" `Quick test_strchr_smart_values;
+    Alcotest.test_case "strchr markov values" `Quick test_strchr_markov_values;
+    Alcotest.test_case "loop vs smart" `Quick test_loop_vs_smart;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops_multiply;
+    Alcotest.test_case "do-while body" `Quick test_do_while_body;
+    Alcotest.test_case "switch label weighting" `Quick
+      test_switch_label_weighting;
+    Alcotest.test_case "AST ignores return" `Quick test_ast_ignores_return;
+    Alcotest.test_case "markov sees return" `Quick test_markov_sees_return;
+    Alcotest.test_case "markov matches profile" `Quick
+      test_markov_matches_profile_on_two_sided_if;
+    Alcotest.test_case "sane frequencies on the suite" `Slow
+      test_entry_is_one ]

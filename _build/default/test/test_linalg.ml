@@ -1,0 +1,159 @@
+(* Linear algebra tests: Gaussian elimination against known systems,
+   qcheck residual properties on random diagonally-dominant systems, and
+   the Markov frequency formulation. *)
+
+module Matrix = Linalg.Matrix
+module Linsolve = Linalg.Linsolve
+
+let check_vec name expected got =
+  Alcotest.(check (list (float 1e-9))) name expected (Array.to_list got)
+
+let test_identity () =
+  let a = Matrix.identity 3 in
+  let x = Linsolve.solve a [| 4.0; 5.0; 6.0 |] in
+  check_vec "identity solve" [ 4.0; 5.0; 6.0 ] x
+
+let test_known_system () =
+  (* 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3 *)
+  let a = Matrix.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linsolve.solve a [| 5.0; 10.0 |] in
+  check_vec "2x2 system" [ 1.0; 3.0 ] x
+
+let test_pivoting_required () =
+  (* zero on the initial pivot position forces a row swap *)
+  let a = Matrix.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linsolve.solve a [| 7.0; 9.0 |] in
+  check_vec "pivot swap" [ 9.0; 7.0 ] x
+
+let test_singular_detected () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Linsolve.solve a [| 1.0; 2.0 |] with
+  | exception Linsolve.Singular _ -> ()
+  | _ -> Alcotest.fail "singular matrix not detected"
+
+let test_matrix_ops () =
+  let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  Alcotest.(check (float 1e-12)) "mul 00" 19.0 (Matrix.get c 0 0);
+  Alcotest.(check (float 1e-12)) "mul 01" 22.0 (Matrix.get c 0 1);
+  Alcotest.(check (float 1e-12)) "mul 10" 43.0 (Matrix.get c 1 0);
+  Alcotest.(check (float 1e-12)) "mul 11" 50.0 (Matrix.get c 1 1);
+  let t = Matrix.transpose a in
+  Alcotest.(check (float 1e-12)) "transpose" 3.0 (Matrix.get t 0 1);
+  let v = Matrix.mul_vec a [| 1.0; 1.0 |] in
+  check_vec "mul_vec" [ 3.0; 7.0 ] v
+
+(* The paper's Figure 7 system, solved directly. *)
+let test_paper_figure7 () =
+  (* nodes: entry(0) while(1) if(2) return1(3) incr(4) return2(5) *)
+  let arcs =
+    [ (0, 1, 1.0); (1, 2, 0.8); (1, 5, 0.2); (2, 3, 0.2); (2, 4, 0.8);
+      (4, 1, 1.0) ]
+  in
+  let x = Linsolve.markov_frequencies ~n:6 ~source:0 ~arcs in
+  let expect = [| 1.0; 2.7777777; 2.2222222; 0.4444444; 1.7777777; 0.5555555 |] in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-5)) (Printf.sprintf "x%d" i) expect.(i) v)
+    x
+
+let test_markov_unreachable_zero () =
+  let x =
+    Linsolve.markov_frequencies ~n:3 ~source:0 ~arcs:[ (0, 1, 1.0) ]
+  in
+  Alcotest.(check (float 1e-12)) "unreachable node" 0.0 x.(2)
+
+let test_markov_source_with_back_edge () =
+  (* source is also a loop header: x0 = 1 + x1, x1 = 0.5 x0 -> x0 = 2 *)
+  let x =
+    Linsolve.markov_frequencies ~n:2 ~source:0
+      ~arcs:[ (0, 1, 0.5); (1, 0, 1.0) ]
+  in
+  Alcotest.(check (float 1e-9)) "looping source" 2.0 x.(0);
+  Alcotest.(check (float 1e-9)) "body" 1.0 x.(1)
+
+(* qcheck: random diagonally-dominant systems solve with small residual. *)
+let gen_system : (float array array * float array) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 8 >>= fun n ->
+    let cell = float_range (-10.0) 10.0 in
+    array_size (return n) (array_size (return n) cell) >>= fun rows ->
+    array_size (return n) cell >|= fun b ->
+    (* make it diagonally dominant so it is well-conditioned *)
+    Array.iteri
+      (fun i row ->
+        let sum = Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 row in
+        row.(i) <- (if row.(i) >= 0.0 then sum +. 1.0 else -.sum -. 1.0))
+      rows;
+    (rows, b)
+  in
+  QCheck.make gen ~print:(fun (rows, b) ->
+      Printf.sprintf "A=%s b=%s"
+        (String.concat ";"
+           (Array.to_list
+              (Array.map
+                 (fun r ->
+                   String.concat ","
+                     (Array.to_list (Array.map string_of_float r)))
+                 rows)))
+        (String.concat "," (Array.to_list (Array.map string_of_float b))))
+
+let prop_residual =
+  QCheck.Test.make ~name:"Ax - b residual is tiny" ~count:200 gen_system
+    (fun (rows, b) ->
+      let a = Matrix.of_rows rows in
+      let x = Linsolve.solve a b in
+      let ax = Matrix.mul_vec a x in
+      Array.for_all2 (fun p q -> abs_float (p -. q) < 1e-6) ax b)
+
+let prop_markov_conservation =
+  (* On a probability chain (outgoing probabilities sum to <= 1 with all
+     flow reaching sinks), total inflow at a node equals its frequency. *)
+  QCheck.Test.make ~name:"markov frequencies satisfy their equations"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 7 >>= fun n ->
+         (* random forward-edge DAG with probability split 0.5/0.5 *)
+         let arcs = ref [] in
+         let rec build i acc =
+           if i >= n - 1 then return acc
+           else
+             int_range (i + 1) (n - 1) >>= fun t1 ->
+             int_range (i + 1) (n - 1) >>= fun t2 ->
+             build (i + 1) ((i, t1, 0.5) :: (i, t2, 0.5) :: acc)
+         in
+         build 0 !arcs >|= fun arcs -> (n, arcs))
+       ~print:(fun (n, arcs) ->
+         Printf.sprintf "n=%d arcs=[%s]" n
+           (String.concat ";"
+              (List.map (fun (a, b, p) -> Printf.sprintf "%d->%d@%.1f" a b p)
+                 arcs))))
+    (fun (n, arcs) ->
+      let x = Linsolve.markov_frequencies ~n ~source:0 ~arcs in
+      (* check each equation *)
+      let ok = ref (abs_float (x.(0) -. 1.0) < 1e-9) in
+      for i = 1 to n - 1 do
+        let inflow =
+          List.fold_left
+            (fun acc (s, d, p) -> if d = i then acc +. (p *. x.(s)) else acc)
+            0.0 arcs
+        in
+        if abs_float (inflow -. x.(i)) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "known 2x2" `Quick test_known_system;
+    Alcotest.test_case "pivoting" `Quick test_pivoting_required;
+    Alcotest.test_case "singular detection" `Quick test_singular_detected;
+    Alcotest.test_case "matrix operations" `Quick test_matrix_ops;
+    Alcotest.test_case "paper figure 7" `Quick test_paper_figure7;
+    Alcotest.test_case "unreachable nodes" `Quick test_markov_unreachable_zero;
+    Alcotest.test_case "source with back edge" `Quick
+      test_markov_source_with_back_edge;
+    QCheck_alcotest.to_alcotest prop_residual;
+    QCheck_alcotest.to_alcotest prop_markov_conservation ]

@@ -1,0 +1,23 @@
+(* Test entry point: one alcotest binary running every suite. *)
+
+let () =
+  Alcotest.run "static-estimators"
+    [ ("lexer", Test_lexer.suite);
+      ("preproc", Test_preproc.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("const-fold", Test_const_fold.suite);
+      ("cfg", Test_cfg.suite);
+      ("interp", Test_interp.suite);
+      ("linalg", Test_linalg.suite);
+      ("weight-matching", Test_weight_matching.suite);
+      ("branch-predictor", Test_branch_predictor.suite);
+      ("intra-estimators", Test_estimators.suite);
+      ("inter-estimators", Test_inter.suite);
+      ("miss-rate", Test_missrate.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("config", Test_config.suite);
+      ("differential", Test_differential.suite);
+      ("misc", Test_misc.suite);
+      ("dominance", Test_dominance.suite);
+      ("suite-programs", Test_suite_programs.suite) ]

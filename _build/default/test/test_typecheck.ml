@@ -1,0 +1,216 @@
+(* Type checker tests: expression typing, name resolution, scoping, local
+   slots, struct layout, lifted statics, and rejection of ill-typed
+   programs. *)
+
+open Cfront
+
+let check_src src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  Typecheck.check tu
+
+let expr_types src =
+  (* Returns the recorded types of all Ident nodes named "probe". *)
+  let tc = check_src src in
+  let out = ref [] in
+  List.iter
+    (function
+      | Ast.Gfun f ->
+        Ast.iter_stmt f.Ast.f_body
+          ~on_stmt:(fun _ -> ())
+          ~on_expr:(fun e ->
+            match e.Ast.enode with
+            | Ast.Ident "probe" -> out := Typecheck.type_of tc e :: !out
+            | _ -> ())
+      | _ -> ())
+    tc.Typecheck.tunit.Ast.globals;
+  List.rev !out
+
+let check_probe name src expected =
+  match expr_types src with
+  | [ t ] -> Alcotest.(check string) name expected (Ctypes.to_string t)
+  | l -> Alcotest.failf "%s: %d probes" name (List.length l)
+
+let test_decay () =
+  check_probe "array decays" "int probe[4]; int f(void){ return *probe; }"
+    "int*";
+  check_probe "param array decays"
+    "int f(int probe[8]) { return probe[0]; }" "int*";
+  check_probe "function name is pointer"
+    "int probe(void) { return 0; } int g(void) { return probe != NULL; }"
+    "int()*"
+
+let test_arith_types () =
+  check_probe "char reads as char" "char probe; int f(void){ return probe; }"
+    "char";
+  check_probe "double" "double probe; double f(void){ return probe * 2.0; }"
+    "double"
+
+let test_resolutions () =
+  let tc =
+    check_src
+      "int g; enum { E = 7 };\n\
+       int f(int p) { int l; l = g + E + p; return l; }"
+  in
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Gfun fn ->
+        Ast.iter_stmt fn.Ast.f_body
+          ~on_stmt:(fun _ -> ())
+          ~on_expr:(fun e ->
+            match (e.Ast.enode, Typecheck.resolution_of tc e) with
+            | Ast.Ident name, Some r -> Hashtbl.replace kinds name r
+            | _ -> ())
+      | _ -> ())
+    tc.Typecheck.tunit.Ast.globals;
+  (match Hashtbl.find kinds "g" with
+  | Typecheck.Rglobal "g" -> ()
+  | _ -> Alcotest.fail "g should be global");
+  (match Hashtbl.find kinds "E" with
+  | Typecheck.Renum 7 -> ()
+  | _ -> Alcotest.fail "E should be enum 7");
+  (match Hashtbl.find kinds "p" with
+  | Typecheck.Rlocal 0 -> ()
+  | _ -> Alcotest.fail "p should be local slot 0");
+  match Hashtbl.find kinds "l" with
+  | Typecheck.Rlocal 1 -> ()
+  | _ -> Alcotest.fail "l should be local slot 1"
+
+let test_shadowing () =
+  (* inner x must get its own slot *)
+  let tc =
+    check_src "int f(int x) { { int x; x = 1; } return x; }"
+  in
+  let fi = Option.get (Typecheck.fun_info tc "f") in
+  Alcotest.(check int) "two slots" 2
+    (Array.length fi.Typecheck.fi_locals);
+  Alcotest.(check bool) "param flag" true
+    fi.Typecheck.fi_locals.(0).Typecheck.l_param;
+  Alcotest.(check bool) "local flag" false
+    fi.Typecheck.fi_locals.(1).Typecheck.l_param
+
+let test_struct_layout () =
+  let tc =
+    check_src
+      "struct inner { int a; int b; };\n\
+       struct outer { int x; struct inner i; int arr[3]; double d; };\n\
+       struct outer g;"
+  in
+  let reg = tc.Typecheck.tunit.Ast.structs in
+  let outer =
+    match (Hashtbl.find tc.Typecheck.globals "g").Ast.d_ty with
+    | Ctypes.Tstruct i -> i
+    | _ -> Alcotest.fail "struct"
+  in
+  let field n = Ctypes.find_field reg outer n in
+  Alcotest.(check int) "x offset" 0 (field "x").Ctypes.fld_offset;
+  Alcotest.(check int) "i offset" 1 (field "i").Ctypes.fld_offset;
+  Alcotest.(check int) "arr offset" 3 (field "arr").Ctypes.fld_offset;
+  Alcotest.(check int) "d offset" 6 (field "d").Ctypes.fld_offset;
+  Alcotest.(check int) "total size" 7
+    (Ctypes.size_of reg (Ctypes.Tstruct outer))
+
+let test_static_local_lifted () =
+  let tc =
+    check_src
+      "int bump(void) { static int counter = 0; counter++; return counter; }"
+  in
+  let lifted =
+    List.filter (fun n -> String.length n > 4 && String.sub n 0 4 = "bump")
+      tc.Typecheck.global_order
+  in
+  Alcotest.(check int) "one lifted static" 1 (List.length lifted)
+
+let test_fun_order () =
+  let tc = check_src "int a(void){return 0;} int b(void){return 0;} int main(void){return 0;}" in
+  Alcotest.(check (list string)) "definition order" [ "a"; "b"; "main" ]
+    tc.Typecheck.fun_order
+
+let test_prototype_then_definition () =
+  let tc =
+    check_src
+      "int helper(int);\n\
+       int main(void) { return helper(1); }\n\
+       int helper(int x) { return x + 1; }"
+  in
+  Alcotest.(check (list string)) "order keeps definitions" [ "main"; "helper" ]
+    tc.Typecheck.fun_order
+
+let test_builtin_resolution () =
+  let tc = check_src "int main(void) { printf(\"%d\", 1); return 0; }" in
+  let found = ref false in
+  List.iter
+    (function
+      | Ast.Gfun f ->
+        Ast.iter_stmt f.Ast.f_body
+          ~on_stmt:(fun _ -> ())
+          ~on_expr:(fun e ->
+            match (e.Ast.enode, Typecheck.resolution_of tc e) with
+            | Ast.Ident "printf", Some (Typecheck.Rbuiltin "printf") ->
+              found := true
+            | _ -> ())
+      | _ -> ())
+    tc.Typecheck.tunit.Ast.globals;
+  Alcotest.(check bool) "printf is a builtin" true !found
+
+let test_user_shadows_builtin () =
+  (* a user definition of strchr must shadow the builtin *)
+  let tc =
+    check_src
+      "char *strchr(char *s, int c) { return s; }\n\
+       int main(void) { strchr(\"a\", 'a'); return 0; }"
+  in
+  Alcotest.(check bool) "strchr defined" true
+    (List.mem "strchr" tc.Typecheck.fun_order)
+
+let expect_error name src =
+  match check_src src with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected type error" name
+
+let test_type_errors () =
+  expect_error "undeclared" "int f(void) { return nope; }";
+  expect_error "call non-function" "int g; int f(void) { return g(); }";
+  expect_error "wrong arity" "int h(int a) { return a; } int f(void) { return h(1, 2); }";
+  expect_error "deref int" "int f(int x) { return *x; }";
+  expect_error "field of non-struct" "int f(int x) { return x.f; }";
+  expect_error "arrow on non-pointer" "struct s { int f; }; int f(struct s v) { return v->f; }";
+  expect_error "unknown field" "struct s { int a; }; int f(struct s v) { return v.b; }";
+  expect_error "assign to rvalue" "int f(int x) { (x + 1) = 2; return x; }";
+  expect_error "void condition" "void g(void) {} int f(void) { if (g()) return 1; return 0; }";
+  expect_error "missing return value" "int f(void) { return; }";
+  expect_error "value from void" "void f(void) { return 3; }";
+  expect_error "redefinition" "int f(void) { return 0; } int f(void) { return 1; }";
+  expect_error "struct/scalar confusion" "struct s { int a; }; struct s v; int f(void) { return v + 1; }";
+  expect_error "switch on double" "int f(double d) { switch (d) { default: return 0; } }";
+  expect_error "mod on double" "int f(double d) { return d % 2; }";
+  expect_error "sizeof void" "int f(void) { return sizeof(void); }"
+
+let test_lenient_mixes_accepted () =
+  (* these must typecheck: pointer/int compares, void* mixing, arithmetic
+     promotions *)
+  let _ =
+    check_src
+      "int f(char *p, int n, double d) {\n\
+      \  void *v = p;\n\
+      \  char *q = v;\n\
+      \  if (p == NULL) return 0;\n\
+      \  if (p) n = n + d;\n\
+      \  return n + *p;\n\
+       }"
+  in
+  ()
+
+let suite =
+  [ Alcotest.test_case "decay" `Quick test_decay;
+    Alcotest.test_case "arith types" `Quick test_arith_types;
+    Alcotest.test_case "resolutions" `Quick test_resolutions;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    Alcotest.test_case "struct layout" `Quick test_struct_layout;
+    Alcotest.test_case "lifted statics" `Quick test_static_local_lifted;
+    Alcotest.test_case "definition order" `Quick test_fun_order;
+    Alcotest.test_case "prototype then definition" `Quick test_prototype_then_definition;
+    Alcotest.test_case "builtin resolution" `Quick test_builtin_resolution;
+    Alcotest.test_case "user shadows builtin" `Quick test_user_shadows_builtin;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "lenient mixes" `Quick test_lenient_mixes_accepted ]

@@ -1,0 +1,140 @@
+(* Weight-matching metric tests: the paper's worked example, fractional
+   cutoffs, degenerate inputs, and qcheck properties (perfect estimates
+   score 1, scores are scale-invariant and bounded). *)
+
+module WM = Core.Weight_matching
+
+let score = WM.score
+
+let test_paper_example () =
+  (* Table 2: actual (while 3, if 3, return1 2, incr 1, return2 0),
+     estimate (5, 4, 0.8, 4, 1). 20% of 5 blocks = 1 block: hit -> 100%.
+     60% = 3 blocks: estimate picks {while, if, incr}, actual top-3 is
+     {while, if, return1}: 7/8 = 87.5%. *)
+  let actual = [| 3.0; 3.0; 2.0; 1.0; 0.0 |] in
+  let estimate = [| 5.0; 4.0; 0.8; 4.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "20% cutoff" 1.0
+    (score ~estimate ~actual ~cutoff:0.2);
+  Alcotest.(check (float 1e-9)) "60% cutoff" 0.875
+    (score ~estimate ~actual ~cutoff:0.6)
+
+let test_perfect () =
+  let actual = [| 5.0; 1.0; 9.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "self-match" 1.0
+    (score ~estimate:actual ~actual ~cutoff:0.5)
+
+let test_worst_case () =
+  (* estimate inverts the ranking; top-25% of 4 = 1 item *)
+  let actual = [| 10.0; 1.0; 1.0; 1.0 |] in
+  let estimate = [| 0.0; 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "picks a cold block" (1.0 /. 10.0)
+    (score ~estimate ~actual ~cutoff:0.25)
+
+let test_fractional_boundary () =
+  (* 30% of 5 items = 1.5: one full item plus half of the second *)
+  let actual = [| 10.0; 8.0; 6.0; 4.0; 2.0 |] in
+  let estimate = [| 10.0; 6.0; 8.0; 4.0; 2.0 |] in
+  (* denominator: 10 + 0.5*8 = 14; numerator: estimate ranks 0,2,...:
+     10 + 0.5*actual(2)=3 -> 13 *)
+  Alcotest.(check (float 1e-9)) "fractional item" (13.0 /. 14.0)
+    (score ~estimate ~actual ~cutoff:0.3)
+
+let test_tie_handling () =
+  (* equal actual values at the boundary: any permutation scores 1 *)
+  let actual = [| 5.0; 5.0; 1.0 |] in
+  let estimate = [| 1.0; 2.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "ties at boundary" 1.0
+    (score ~estimate ~actual ~cutoff:0.34)
+
+let test_all_zero_actual () =
+  let actual = [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "zero denominator" 1.0
+    (score ~estimate:[| 1.0; 2.0 |] ~actual ~cutoff:0.5)
+
+let test_empty () =
+  Alcotest.(check (float 1e-9)) "no entities" 1.0
+    (score ~estimate:[||] ~actual:[||] ~cutoff:0.5)
+
+let test_full_cutoff () =
+  let actual = [| 4.0; 3.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "100% cutoff always scores 1" 1.0
+    (score ~estimate:[| 0.0; 1.0; 2.0 |] ~actual ~cutoff:1.0)
+
+let test_invalid_args () =
+  (match score ~estimate:[| 1.0 |] ~actual:[| 1.0; 2.0 |] ~cutoff:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  match score ~estimate:[| 1.0 |] ~actual:[| 1.0 |] ~cutoff:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero cutoff accepted"
+
+let test_weighted_mean () =
+  Alcotest.(check (float 1e-9)) "weighted mean" 0.75
+    (WM.weighted_mean [ (1.0, 1.0); (0.5, 1.0) ]);
+  Alcotest.(check (float 1e-9)) "weights matter" 0.9
+    (WM.weighted_mean [ (1.0, 8.0); (0.5, 2.0) ]);
+  Alcotest.(check (float 1e-9)) "empty is 0" 0.0 (WM.weighted_mean [])
+
+(* --- properties ------------------------------------------------------ *)
+
+let gen_pair : (float array * float array * float) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 30 >>= fun n ->
+    let vals = array_size (return n) (float_bound_inclusive 100.0) in
+    vals >>= fun actual ->
+    vals >>= fun estimate ->
+    float_range 0.05 1.0 >|= fun cutoff -> (actual, estimate, cutoff)
+  in
+  QCheck.make gen ~print:(fun (a, e, c) ->
+      Printf.sprintf "actual=[%s] estimate=[%s] cutoff=%.3f"
+        (String.concat ";" (Array.to_list (Array.map string_of_float a)))
+        (String.concat ";" (Array.to_list (Array.map string_of_float e)))
+        c)
+
+let prop_bounded =
+  QCheck.Test.make ~name:"scores lie in [0, 1] (up to fp noise)" ~count:500
+    gen_pair (fun (actual, estimate, cutoff) ->
+      let s = score ~estimate ~actual ~cutoff in
+      s >= -1e-9 && s <= 1.0 +. 1e-9)
+
+let prop_self_is_one =
+  QCheck.Test.make ~name:"an estimate equal to the actuals scores 1"
+    ~count:500 gen_pair (fun (actual, _, cutoff) ->
+      abs_float (score ~estimate:actual ~actual ~cutoff -. 1.0) < 1e-9)
+
+let prop_scale_invariant =
+  QCheck.Test.make ~name:"scaling the estimate does not change the score"
+    ~count:500 gen_pair (fun (actual, estimate, cutoff) ->
+      let scaled = Array.map (fun v -> v *. 37.5) estimate in
+      abs_float
+        (score ~estimate ~actual ~cutoff
+        -. score ~estimate:scaled ~actual ~cutoff)
+      < 1e-9)
+
+let prop_monotone_rank_only =
+  QCheck.Test.make
+    ~name:"any rank-preserving transform of the estimate scores the same"
+    ~count:500 gen_pair (fun (actual, estimate, cutoff) ->
+      (* x -> x^3 preserves order of non-negative values *)
+      let transformed = Array.map (fun v -> v ** 3.0) estimate in
+      abs_float
+        (score ~estimate ~actual ~cutoff
+        -. score ~estimate:transformed ~actual ~cutoff)
+      < 1e-9)
+
+let suite =
+  [ Alcotest.test_case "paper example" `Quick test_paper_example;
+    Alcotest.test_case "perfect estimate" `Quick test_perfect;
+    Alcotest.test_case "worst case" `Quick test_worst_case;
+    Alcotest.test_case "fractional boundary" `Quick test_fractional_boundary;
+    Alcotest.test_case "ties" `Quick test_tie_handling;
+    Alcotest.test_case "all-zero actual" `Quick test_all_zero_actual;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "full cutoff" `Quick test_full_cutoff;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    QCheck_alcotest.to_alcotest prop_bounded;
+    QCheck_alcotest.to_alcotest prop_self_is_one;
+    QCheck_alcotest.to_alcotest prop_scale_invariant;
+    QCheck_alcotest.to_alcotest prop_monotone_rank_only ]
