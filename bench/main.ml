@@ -1,26 +1,32 @@
 (* Benchmark harness.
 
-   Two parts:
+   Three parts:
    1. Reproduction: prints every table and figure of the paper's
       evaluation (the same rows/series, from the 14-program suite).
-   2. Bechamel micro-benchmarks: one Test.make per table/figure, timing
+   2. Suite-throughput: wall-clock time of the whole suite pipeline
+      (compile + profile + smart estimates), sequential vs parallel, and
+      the resulting speedup (~1x on a single-core machine by design).
+   3. Bechamel micro-benchmarks: one Test.make per table/figure, timing
       the analysis machinery that experiment exercises (the paper's claim
       that estimation runs at "conventional optimization" speed).
 
    Run everything:        dune exec bench/main.exe
    Only the timings:      dune exec bench/main.exe -- --bench-only
-   Only the experiments:  dune exec bench/main.exe -- --repro-only *)
+   Only the experiments:  dune exec bench/main.exe -- --repro-only
+   Parallelism:           dune exec bench/main.exe -- --jobs 8 *)
 
 open Bechamel
 
 module Pipeline = Core.Pipeline
 module Cfg = Cfg_ir.Cfg
+module Context = Driver.Context
+module Parallel = Driver.Parallel
 
-let compile_bench name =
-  let p = Option.get (Suite.Registry.find name) in
-  Pipeline.compile ~name p.Suite.Bench_prog.source
+(* Pre-compiled inputs for the staged benchmark functions, drawn from the
+   shared suite cache so the bench harness and the experiments never
+   recompile the same program twice in one process. *)
+let compile_bench name = (Context.by_name name).Context.compiled
 
-(* Pre-compiled inputs for the staged benchmark functions. *)
 let lisp = lazy (compile_bench "lisp_mini")
 let compress = lazy (compile_bench "compress_mini")
 let bison = lazy (compile_bench "bison_mini")
@@ -30,15 +36,10 @@ let tree = lazy (compile_bench "tree_mini")
 let lisp_source =
   lazy (Option.get (Suite.Registry.find "lisp_mini")).Suite.Bench_prog.source
 
+(* The profile of compress's first run, via the same cache (profiles are
+   stored in run order). *)
 let compress_profile =
-  lazy
-    (let c = Lazy.force compress in
-     let p = Option.get (Suite.Registry.find "compress_mini") in
-     let r = List.hd p.Suite.Bench_prog.runs in
-     (Pipeline.run_once c
-        { Pipeline.argv = r.Suite.Bench_prog.r_argv;
-          input = r.Suite.Bench_prog.r_input })
-       .Cinterp.Eval.profile)
+  lazy (List.hd (Context.by_name "compress_mini").Context.profiles)
 
 let strchr_arrays =
   (* the Table 2 vectors *)
@@ -129,14 +130,68 @@ let run_benchmarks () =
         stats)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Suite throughput: the full per-program pipeline (compile, profile
+   every input, smart intra estimates), sequential vs parallel. Both
+   passes start from a cold cache; the differential test in
+   [test/test_parallel.ml] asserts the two produce identical results, so
+   this only reports wall-clock. *)
+
+let warm_suite () =
+  ignore
+    (Parallel.map
+       (fun (d : Context.prog_data) ->
+         ignore (Pipeline.intra_table d.Context.compiled Pipeline.Ismart))
+       (Context.all ()))
+
+let run_suite_throughput (jobs : int) =
+  let time_with j =
+    Context.clear ();
+    Parallel.set_jobs j;
+    let t0 = Unix.gettimeofday () in
+    warm_suite ();
+    Unix.gettimeofday () -. t0
+  in
+  let n = List.length Suite.Registry.all in
+  Printf.printf
+    "=== Suite throughput (compile + profile + smart estimates, %d programs) ===\n\n"
+    n;
+  let seq = time_with 1 in
+  let par = time_with jobs in
+  Parallel.set_jobs jobs;
+  Printf.printf "  sequential (--jobs 1)    %8.3f s\n" seq;
+  Printf.printf "  parallel   (--jobs %-2d)   %8.3f s\n" jobs par;
+  Printf.printf "  speedup                  %8.2fx" (seq /. par);
+  if Parallel.default_jobs () < 2 then
+    print_string "   (single-core machine: ~1x expected)";
+  print_newline ();
+  print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
   let repro_only = List.mem "--repro-only" args in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some j -> j
+        | None ->
+          Printf.eprintf "bench: --jobs expects an integer, got %S\n" n;
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> Parallel.default_jobs ()
+    in
+    find args
+  in
+  Parallel.set_jobs jobs;
   if not bench_only then begin
     print_endline
       "=== Reproduction of every table and figure (PLDI 1994) ===\n";
     print_string (Driver.Experiments.run_all ());
     print_newline ()
   end;
-  if not repro_only then run_benchmarks ()
+  if not repro_only then begin
+    run_suite_throughput (max 2 jobs);
+    run_benchmarks ()
+  end

@@ -39,6 +39,14 @@ let fn_arg =
   Arg.(value & opt (some string) None & info [ "f"; "function" ]
          ~docv:"NAME" ~doc:"Restrict output to one function.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Driver.Parallel.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Number of analysis domains (1 = sequential; default: the \
+                 recommended domain count). Results are identical at every \
+                 setting.")
+
 let mode_arg =
   Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
                            ("markov", Pipeline.Imarkov);
@@ -318,7 +326,8 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run id =
+  let run jobs id =
+    Driver.Parallel.set_jobs jobs;
     match id with
     | None ->
       Printf.printf "available experiments:\n";
@@ -337,7 +346,7 @@ let cmd_experiment =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ id)
+    Term.(const run $ jobs_arg $ id)
 
 (* ---- suite ---- *)
 

@@ -50,7 +50,14 @@ let reset () =
   current.heuristic_return <- d.heuristic_return
 
 (* Run [f] with [set] applied to the configuration, restoring the
-   defaults afterwards even on exceptions. *)
+   defaults afterwards even on exceptions.
+
+   Concurrency contract: the estimators only ever read [current], and
+   writes happen here, strictly before [f] starts and after it returns.
+   [f] may therefore fan work out across domains (the ablations do, via
+   Driver.Parallel), but must not return while tasks that read the
+   modified configuration are still in flight — which the fan-out/merge
+   shape of [Parallel.map] guarantees. *)
 let with_settings (set : t -> unit) (f : unit -> 'a) : 'a =
   set current;
   Fun.protect ~finally:reset f

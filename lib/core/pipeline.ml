@@ -5,7 +5,16 @@
    - a static estimate is compared separately to each profile and the
      scores averaged;
    - profiling-as-an-estimate is scored by matching each profile against
-     the normalized aggregate of all the *other* profiles. *)
+     the normalized aggregate of all the *other* profiles.
+
+   Thread-safety audit (the parallel suite pipeline relies on this):
+   [compile] threads all parser/typechecker/builder state through values
+   it allocates; [run_once]/[profile_runs] mutate only the interpreter
+   state and profile counters created for that run; the estimate tables
+   built below are written once before the provider closure escapes and
+   read-only afterwards. No function in this module writes global
+   state. Estimators read [Config.current], which the ablation
+   experiments mutate strictly between parallel regions. *)
 
 module Ast = Cfront.Ast
 module Typecheck = Cfront.Typecheck

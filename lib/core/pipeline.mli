@@ -2,7 +2,16 @@
     score every estimator with the paper's protocol (section 3): a static
     estimate is scored against each profile separately and averaged;
     profiling-as-estimate is scored by matching each profile against the
-    normalized aggregate of the others. *)
+    normalized aggregate of the others.
+
+    Thread safety: every function here is pure per call — all mutation
+    (parser state, typing context, CFG builder, interpreter memory and
+    profile counters) lives in values created by the call itself, so
+    distinct programs can be compiled, profiled and estimated
+    concurrently from different domains. The one piece of shared state
+    an estimate reads is {!Config.current}; callers that mutate it (the
+    ablation experiments) must do so strictly between parallel
+    regions. *)
 
 module Ast = Cfront.Ast
 module Typecheck = Cfront.Typecheck

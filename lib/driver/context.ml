@@ -1,6 +1,21 @@
 (* Shared, memoized experiment context: each suite program compiled once
-   and profiled once per input. Every experiment draws from this cache so
-   running all of them costs one pass over the suite. *)
+   and profiled once per input. Every experiment — and the bench harness —
+   draws from this cache, so running all of them costs one pass over the
+   suite no matter how many consumers ask.
+
+   The cache is content-keyed (program name + digest of source and run
+   set): re-registering a program with different source or inputs
+   recomputes instead of serving stale data, and entries surviving a
+   [clear] race are still correct by construction.
+
+   Concurrency: the table is a mutex-protected memo with in-flight
+   markers. A loader that finds no entry claims the key, computes
+   outside the lock, publishes, and broadcasts; concurrent loaders of
+   the same key block on the condition instead of duplicating the
+   compile. [warm] fans the per-program pipeline stages (compile, then
+   every profiling run) across the [Parallel] pool and merges in
+   registry order, which is what makes [all] deterministic regardless
+   of the jobs setting. *)
 
 module Pipeline = Core.Pipeline
 module Profile = Cinterp.Profile
@@ -11,29 +26,159 @@ type prog_data = {
   profiles : Profile.t list;
 }
 
-let cache : (string, prog_data) Hashtbl.t = Hashtbl.create 16
+(* ------------------------------------------------------------------ *)
+(* Content keys. *)
+
+let key (bench : Suite.Bench_prog.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf bench.Suite.Bench_prog.source;
+  List.iter
+    (fun (r : Suite.Bench_prog.run) ->
+      Buffer.add_char buf '\x00';
+      List.iter
+        (fun a ->
+          Buffer.add_string buf a;
+          Buffer.add_char buf '\x01')
+        r.Suite.Bench_prog.r_argv;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf r.Suite.Bench_prog.r_input)
+    bench.Suite.Bench_prog.runs;
+  bench.Suite.Bench_prog.name ^ ":"
+  ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* The memo table. *)
+
+type cell =
+  | Computing  (* claimed by a loader; wait on [cell_changed] *)
+  | Ready of prog_data
+
+let m = Mutex.create ()
+let cell_changed = Condition.create ()
+let cache : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let clear () =
+  Mutex.lock m;
+  Hashtbl.reset cache;
+  Condition.broadcast cell_changed;
+  Mutex.unlock m
+
+let publish k d =
+  Mutex.lock m;
+  Hashtbl.replace cache k (Ready d);
+  Condition.broadcast cell_changed;
+  Mutex.unlock m
+
+let abandon k =
+  Mutex.lock m;
+  (match Hashtbl.find_opt cache k with
+  | Some Computing -> Hashtbl.remove cache k
+  | _ -> ());
+  Condition.broadcast cell_changed;
+  Mutex.unlock m
+
+(* ------------------------------------------------------------------ *)
+(* The per-program pipeline stages. *)
+
+let compile_stage (bench : Suite.Bench_prog.t) : Pipeline.compiled =
+  Pipeline.compile ~name:bench.Suite.Bench_prog.name
+    bench.Suite.Bench_prog.source
+
+let profile_stage (compiled : Pipeline.compiled)
+    (r : Suite.Bench_prog.run) : Profile.t =
+  let run =
+    { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+      input = r.Suite.Bench_prog.r_input }
+  in
+  (Pipeline.run_once compiled run).Cinterp.Eval.profile
+
+let compute (bench : Suite.Bench_prog.t) : prog_data =
+  let compiled = compile_stage bench in
+  let profiles =
+    List.map (profile_stage compiled) bench.Suite.Bench_prog.runs
+  in
+  { bench; compiled; profiles }
 
 let load (bench : Suite.Bench_prog.t) : prog_data =
-  match Hashtbl.find_opt cache bench.Suite.Bench_prog.name with
-  | Some d -> d
-  | None ->
-    let compiled =
-      Pipeline.compile ~name:bench.Suite.Bench_prog.name
-        bench.Suite.Bench_prog.source
-    in
-    let runs =
-      List.map
-        (fun (r : Suite.Bench_prog.run) ->
-          { Pipeline.argv = r.Suite.Bench_prog.r_argv;
-            input = r.Suite.Bench_prog.r_input })
-        bench.Suite.Bench_prog.runs
-    in
-    let profiles = Pipeline.profile_runs compiled runs in
-    let d = { bench; compiled; profiles } in
-    Hashtbl.replace cache bench.Suite.Bench_prog.name d;
-    d
+  let k = key bench in
+  Mutex.lock m;
+  let rec get () =
+    match Hashtbl.find_opt cache k with
+    | Some (Ready d) ->
+      Mutex.unlock m;
+      d
+    | Some Computing ->
+      Condition.wait cell_changed m;
+      get ()
+    | None ->
+      Hashtbl.replace cache k Computing;
+      Mutex.unlock m;
+      (match compute bench with
+      | d -> publish k d; d
+      | exception e -> abandon k; raise e)
+  in
+  get ()
 
-let all () : prog_data list = List.map load Suite.Registry.all
+(* ------------------------------------------------------------------ *)
+(* Parallel warm-up: claim every missing program, fan the compile stage
+   out per program, then the profile stage per (program, run) pair, and
+   publish assembled results. Pure fan-out/merge: stage outputs are
+   indexed by input position, never by completion order. *)
+
+let warm () : unit =
+  Mutex.lock m;
+  let missing =
+    List.filter
+      (fun b ->
+        let k = key b in
+        match Hashtbl.find_opt cache k with
+        | Some _ -> false
+        | None ->
+          Hashtbl.replace cache k Computing;
+          true)
+      Suite.Registry.all
+  in
+  Mutex.unlock m;
+  if missing <> [] then begin
+    match
+      let compiled = Parallel.map compile_stage missing in
+      let runs_of (b : Suite.Bench_prog.t) c =
+        List.map (fun r -> (c, r)) b.Suite.Bench_prog.runs
+      in
+      let flat_runs = List.concat (List.map2 runs_of missing compiled) in
+      let flat_profiles =
+        Parallel.map (fun (c, r) -> profile_stage c r) flat_runs
+      in
+      (* Reassemble the flat profile list program by program, in run
+         order, and publish each entry. *)
+      let rec split n = function
+        | rest when n = 0 -> ([], rest)
+        | p :: rest ->
+          let taken, rest = split (n - 1) rest in
+          (p :: taken, rest)
+        | [] -> invalid_arg "Context.warm: profile count mismatch"
+      in
+      let leftover =
+        List.fold_left2
+          (fun profiles b c ->
+            let mine, rest =
+              split (List.length b.Suite.Bench_prog.runs) profiles
+            in
+            publish (key b) { bench = b; compiled = c; profiles = mine };
+            rest)
+          flat_profiles missing compiled
+      in
+      assert (leftover = [])
+    with
+    | () -> ()
+    | exception e ->
+      List.iter (fun b -> abandon (key b)) missing;
+      raise e
+  end
+
+let all () : prog_data list =
+  warm ();
+  List.map load Suite.Registry.all
 
 let by_name (name : string) : prog_data =
   match Suite.Registry.find name with

@@ -17,6 +17,13 @@ module Weight_matching = Core.Weight_matching
 
 let bprintf = Printf.bprintf
 
+(* Fan a per-program computation across the [Parallel] pool. Results
+   come back in registry order whatever the jobs setting, so every
+   table below renders byte-identically to its sequential form; tasks
+   only read shared state (see the contract in [Parallel]). *)
+let suite_map (f : Context.prog_data -> 'a) : 'a list =
+  Parallel.map f (Context.all ())
+
 (* ------------------------------------------------------------------ *)
 (* The paper's running example, used by table2 / fig3 / fig6_7. *)
 
@@ -127,7 +134,7 @@ let mean (xs : float list) : float =
 
 let table1 () : string =
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         let b = d.Context.bench in
         [ b.Suite.Bench_prog.name;
@@ -140,7 +147,6 @@ let table1 () : string =
           string_of_int (Suite.Bench_prog.n_runs b);
           b.Suite.Bench_prog.analogue;
           b.Suite.Bench_prog.description ])
-      (Context.all ())
   in
   "Table 1: programs used in this study\n\n"
   ^ Text_table.render
@@ -186,7 +192,7 @@ let table2 () : string =
 
 let fig2 () : string =
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         let prog = d.Context.compiled.Pipeline.prog in
         let smart = Missrate.smart_predictor prog in
@@ -205,12 +211,11 @@ let fig2 () : string =
           Text_table.pct smart_rate;
           Text_table.pct prof_rate;
           Text_table.pct psp_rate ])
-      (Context.all ())
   in
   let avg col =
     Text_table.pct
       (mean
-         (List.map
+         (suite_map
             (fun (d : Context.prog_data) ->
               let prog = d.Context.compiled.Pipeline.prog in
               match col with
@@ -225,8 +230,8 @@ let fig2 () : string =
                     Missrate.rate prog eval_p (Missrate.majority_predictor train))
               | `Psp ->
                 mean
-                  (List.map (fun p -> Missrate.psp_rate prog p) d.Context.profiles))
-            (Context.all ())))
+                  (List.map (fun p -> Missrate.psp_rate prog p)
+                     d.Context.profiles))))
   in
   "Figure 2: dynamic branch misprediction rates\n"
   ^ "(constant-foldable conditions and switches excluded, as in the paper)\n\n"
@@ -260,27 +265,24 @@ let fig3 () : string =
 let fig4 () : string =
   let cutoff = 0.05 in
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         [ d.Context.bench.Suite.Bench_prog.name;
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
           Text_table.pct (intra_profiling_score d ~cutoff) ])
-      (Context.all ())
   in
   let avg i =
-    let ds = Context.all () in
     Text_table.pct
       (mean
-         (List.map
+         (suite_map
             (fun d ->
               match i with
               | 0 -> intra_static_score d ~cutoff Pipeline.Iloop
               | 1 -> intra_static_score d ~cutoff Pipeline.Ismart
               | 2 -> intra_static_score d ~cutoff Pipeline.Imarkov
-              | _ -> intra_profiling_score d ~cutoff)
-            ds))
+              | _ -> intra_profiling_score d ~cutoff)))
   in
   "Figure 4: intra-procedural basic-block weight matching (5% cutoff)\n\n"
   ^ Text_table.render
@@ -299,25 +301,23 @@ let fig5a () : string =
     List.map (fun k -> Pipeline.Isimple k) Inter_simple.all_kinds
   in
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         d.Context.bench.Suite.Bench_prog.name
         :: List.map
              (fun k -> Text_table.pct (inter_static_score d ~cutoff k))
              kinds
         @ [ Text_table.pct (inter_profiling_score d ~cutoff) ])
-      (Context.all ())
   in
-  let ds = Context.all () in
   let avg_row =
     "AVERAGE"
     :: List.map
          (fun k ->
            Text_table.pct
-             (mean (List.map (fun d -> inter_static_score d ~cutoff k) ds)))
+             (mean (suite_map (fun d -> inter_static_score d ~cutoff k))))
          kinds
     @ [ Text_table.pct
-          (mean (List.map (fun d -> inter_profiling_score d ~cutoff) ds)) ]
+          (mean (suite_map (fun d -> inter_profiling_score d ~cutoff))) ]
   in
   "Figure 5a: function invocation estimates, simple predictors (25% cutoff)\n\n"
   ^ Text_table.render
@@ -333,32 +333,28 @@ let fig5a () : string =
 let fig5bc () : string =
   let section cutoff tag paper_note =
     let rows =
-      List.map
+      suite_map
         (fun (d : Context.prog_data) ->
           [ d.Context.bench.Suite.Bench_prog.name;
             Text_table.pct
               (inter_static_score d ~cutoff (Pipeline.Isimple Inter_simple.Direct));
             Text_table.pct (inter_static_score d ~cutoff Pipeline.Imarkov_inter);
             Text_table.pct (inter_profiling_score d ~cutoff) ])
-        (Context.all ())
     in
-    let ds = Context.all () in
     let avg_row =
       [ "AVERAGE";
         Text_table.pct
           (mean
-             (List.map
+             (suite_map
                 (fun d ->
                   inter_static_score d ~cutoff
-                    (Pipeline.Isimple Inter_simple.Direct))
-                ds));
+                    (Pipeline.Isimple Inter_simple.Direct))));
         Text_table.pct
           (mean
-             (List.map
-                (fun d -> inter_static_score d ~cutoff Pipeline.Imarkov_inter)
-                ds));
+             (suite_map
+                (fun d -> inter_static_score d ~cutoff Pipeline.Imarkov_inter)));
         Text_table.pct
-          (mean (List.map (fun d -> inter_profiling_score d ~cutoff) ds)) ]
+          (mean (suite_map (fun d -> inter_profiling_score d ~cutoff))) ]
     in
     Printf.sprintf "Figure 5%s: function invocations at the %.0f%% cutoff\n\n"
       tag (cutoff *. 100.0)
@@ -458,19 +454,19 @@ let fig8 () : string =
 let fig9 () : string =
   let cutoff = 0.25 in
   let rows =
-    List.filter_map
-      (fun (d : Context.prog_data) ->
-        if Cfg.direct_sites d.Context.compiled.Pipeline.prog = [] then None
-        else
-          Some
-            [ d.Context.bench.Suite.Bench_prog.name;
-              Text_table.pct
-                (callsite_static_score d ~cutoff
-                   (Pipeline.Isimple Inter_simple.Direct));
-              Text_table.pct
-                (callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
-              Text_table.pct (callsite_profiling_score d ~cutoff) ])
-      (Context.all ())
+    List.filter_map Fun.id
+      (suite_map
+         (fun (d : Context.prog_data) ->
+           if Cfg.direct_sites d.Context.compiled.Pipeline.prog = [] then None
+           else
+             Some
+               [ d.Context.bench.Suite.Bench_prog.name;
+                 Text_table.pct
+                   (callsite_static_score d ~cutoff
+                      (Pipeline.Isimple Inter_simple.Direct));
+                 Text_table.pct
+                   (callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
+                 Text_table.pct (callsite_profiling_score d ~cutoff) ]))
   in
   let ds =
     List.filter
@@ -482,18 +478,18 @@ let fig9 () : string =
     [ "AVERAGE";
       Text_table.pct
         (mean
-           (List.map
+           (Parallel.map
               (fun d ->
                 callsite_static_score d ~cutoff
                   (Pipeline.Isimple Inter_simple.Direct))
               ds));
       Text_table.pct
         (mean
-           (List.map
+           (Parallel.map
               (fun d -> callsite_static_score d ~cutoff Pipeline.Imarkov_inter)
               ds));
       Text_table.pct
-        (mean (List.map (fun d -> callsite_profiling_score d ~cutoff) ds)) ]
+        (mean (Parallel.map (fun d -> callsite_profiling_score d ~cutoff) ds)) ]
   in
   "Figure 9: call-site ranking (25% cutoff; indirect calls omitted)\n\n"
   ^ Text_table.render
@@ -572,7 +568,7 @@ let fig10 () : string =
 
 module Config = Core.Config
 
-let suite_mean f = mean (List.map f (Context.all ()))
+let suite_mean f = mean (suite_map f)
 
 let smart_fig4_avg () =
   suite_mean (fun d -> intra_static_score d ~cutoff:0.05 Pipeline.Ismart)
@@ -694,20 +690,16 @@ let ablation_switch_weighting () : string =
 let ext_structural () : string =
   let cutoff = 0.05 in
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         [ d.Context.bench.Suite.Bench_prog.name;
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Istructural);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart) ])
-      (Context.all ())
   in
   let avg kind =
     Text_table.pct
-      (mean
-         (List.map
-            (fun d -> intra_static_score d ~cutoff kind)
-            (Context.all ())))
+      (mean (suite_map (fun d -> intra_static_score d ~cutoff kind)))
   in
   "Extension: structural (CFG-only) vs AST-based estimation (5% cutoff)\n\n"
   ^ Text_table.render
@@ -726,26 +718,21 @@ let ext_structural () : string =
 let ext_wu_larus () : string =
   let cutoff = 0.05 in
   let rows =
-    List.map
+    suite_map
       (fun (d : Context.prog_data) ->
         [ d.Context.bench.Suite.Bench_prog.name;
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
           Text_table.pct (intra_static_score d ~cutoff Pipeline.Icombined);
           Text_table.pct (intra_profiling_score d ~cutoff) ])
-      (Context.all ())
   in
   let avg kind =
     Text_table.pct
-      (mean
-         (List.map
-            (fun d -> intra_static_score d ~cutoff kind)
-            (Context.all ())))
+      (mean (suite_map (fun d -> intra_static_score d ~cutoff kind)))
   in
   let avg_prof =
     Text_table.pct
-      (mean
-         (List.map (fun d -> intra_profiling_score d ~cutoff) (Context.all ())))
+      (mean (suite_map (fun d -> intra_profiling_score d ~cutoff)))
   in
   "Extension: probability-generating prediction (Wu-Larus 1994) feeding\n\
    the intra Markov model — the paper's closing open question\n\n"

@@ -1,0 +1,165 @@
+(* Work-queue scheduler on OCaml 5 domains.
+
+   One process-wide pool sized by [set_jobs]. Tasks are closures pushed
+   onto a mutex-protected queue; [jobs - 1] worker domains plus the
+   calling domain drain it. Results land in a per-call array indexed by
+   input position, so merge order never depends on scheduling — the
+   determinism the differential tests assert.
+
+   Thread-safety contract with the rest of the tree: tasks must only
+   read shared state (the analysis passes are pure per call; the config
+   record in [Core.Config] is written strictly between parallel
+   regions). The only writes a task performs land in its own slot of
+   the per-call result array, under the pool mutex. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs_setting = Atomic.make (default_jobs ())
+
+let jobs () = Atomic.get jobs_setting
+
+(* Tasks run with this flag set; a nested [map] sees it and runs inline
+   rather than re-entering the queue it is being drained from. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type pool = {
+  size : int;  (* concurrency level: workers + the calling domain *)
+  m : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let run_task_inline task =
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) task
+
+let worker_loop (p : pool) : unit =
+  let rec loop () =
+    Mutex.lock p.m;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.work_available p.m
+    done;
+    match Queue.take_opt p.queue with
+    | Some task ->
+      Mutex.unlock p.m;
+      run_task_inline task;
+      loop ()
+    | None ->
+      (* stopped and drained *)
+      Mutex.unlock p.m
+  in
+  loop ()
+
+let create_pool (size : int) : pool =
+  let p =
+    { size; m = Mutex.create (); work_available = Condition.create ();
+      queue = Queue.create (); stop = false; workers = [||] }
+  in
+  p.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let retire_pool (p : pool) : unit =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.work_available;
+  Mutex.unlock p.m;
+  Array.iter Domain.join p.workers;
+  p.workers <- [||]
+
+(* The current pool; guarded by [pool_lock]. Only the main domain
+   creates, resizes or retires pools. *)
+let pool_lock = Mutex.create ()
+let current_pool : pool option ref = ref None
+let exit_hook_installed = ref false
+
+let shutdown () =
+  Mutex.lock pool_lock;
+  (match !current_pool with
+  | Some p -> current_pool := None; Mutex.unlock pool_lock; retire_pool p
+  | None -> Mutex.unlock pool_lock)
+
+let set_jobs (n : int) : unit =
+  let n = max 1 n in
+  if n <> Atomic.get jobs_setting then begin
+    Atomic.set jobs_setting n;
+    shutdown ()
+  end
+
+let get_pool () : pool =
+  Mutex.lock pool_lock;
+  let p =
+    match !current_pool with
+    | Some p when p.size = jobs () -> p
+    | stale ->
+      (match stale with Some p -> retire_pool p | None -> ());
+      let p = create_pool (jobs ()) in
+      current_pool := Some p;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit shutdown
+      end;
+      p
+  in
+  Mutex.unlock pool_lock;
+  p
+
+(* One fan-out/merge cycle. The caller seeds the queue, then alternates
+   between draining tasks itself and sleeping on [all_done] until every
+   slot is filled. *)
+let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  if jobs () <= 1 || n <= 1 || Domain.DLS.get in_task then List.map f xs
+  else begin
+    let p = get_pool () in
+    let input = Array.of_list xs in
+    let results : 'b option array = Array.make n None in
+    let first_error : (int * exn * Printexc.raw_backtrace) option ref =
+      ref None
+    in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    let run_slot i =
+      let outcome =
+        match f input.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock p.m;
+      (match outcome with
+      | Ok v -> results.(i) <- Some v
+      | Error (e, bt) -> (
+        match !first_error with
+        | Some (j, _, _) when j < i -> ()
+        | _ -> first_error := Some (i, e, bt)));
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast all_done;
+      Mutex.unlock p.m
+    in
+    Mutex.lock p.m;
+    for i = 0 to n - 1 do
+      Queue.push (fun () -> run_slot i) p.queue
+    done;
+    Condition.broadcast p.work_available;
+    let rec drain () =
+      if !remaining > 0 then
+        match Queue.take_opt p.queue with
+        | Some task ->
+          Mutex.unlock p.m;
+          run_task_inline task;
+          Mutex.lock p.m;
+          drain ()
+        | None ->
+          (* queue empty but tasks still in flight on workers *)
+          Condition.wait all_done p.m;
+          drain ()
+    in
+    drain ();
+    Mutex.unlock p.m;
+    match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> List.init n (fun i -> Option.get results.(i))
+  end
+
+let run (thunks : (unit -> 'a) list) : 'a list = map (fun t -> t ()) thunks

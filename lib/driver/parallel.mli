@@ -1,0 +1,48 @@
+(** Deterministic work-queue scheduler on OCaml 5 domains.
+
+    A single process-wide pool of worker domains drains a shared task
+    queue; {!map} fans a list of independent computations out across the
+    pool and merges the results back in input order, so the output of a
+    parallel map is byte-identical to [List.map] whenever the tasks
+    themselves are deterministic and independent. The parallelism level
+    is a process-wide setting ([--jobs] on the command line):
+
+    - [jobs <= 1] runs everything inline in the calling domain — the
+      sequential reference path that the differential tests compare
+      against;
+    - [jobs = n > 1] keeps [n - 1] worker domains and lets the calling
+      domain drain the queue too while it waits, so [n] tasks run
+      concurrently.
+
+    Nested {!map} calls (a task that itself maps) run inline in the
+    domain that is executing the task: the pool never deadlocks waiting
+    on itself, and nesting cannot change results. Exceptions raised by
+    tasks are re-raised in the caller; when several tasks fail, the one
+    with the lowest input index wins, mirroring where [List.map] would
+    have stopped. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default parallelism. *)
+
+val jobs : unit -> int
+(** The current process-wide parallelism level (>= 1). *)
+
+val set_jobs : int -> unit
+(** Set the parallelism level (clamped to >= 1). If a pool of a
+    different size is running it is retired (its workers join) and the
+    next {!map} spawns a fresh one. Call only from the main domain, not
+    from inside a task. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element of [xs], running up to
+    [jobs ()] applications concurrently, and returns the results in
+    input order. *)
+
+val run : (unit -> 'a) list -> 'a list
+(** [run thunks] executes the thunks across the pool and returns their
+    results in input order — [map] for heterogeneous stage lists. *)
+
+val shutdown : unit -> unit
+(** Retire the pool, joining all worker domains. The next {!map} call
+    respawns it; useful around benchmarks that must not see idle
+    workers from an earlier configuration. Registered [at_exit]. *)

@@ -211,6 +211,61 @@ let test_entry_is_one () =
         c.Pipeline.prog.Cfg.prog_fns)
     Suite.Registry.all
 
+(* qcheck: Markov intra solutions on random structured programs are
+   non-negative everywhere, and the entry block sits at exactly the one
+   external entry when nothing loops back into it (when the entry is
+   also a loop header it accumulates the back-edge flow on top). *)
+let gen_markov_program : string QCheck.arbitrary =
+  let open QCheck.Gen in
+  let rec stmt depth =
+    if depth <= 0 then oneofl [ "x++;"; "y += x;"; "x = y - 1;"; "return x;" ]
+    else
+      frequency
+        [ (3, oneofl [ "x++;"; "y = y + x;"; "x = y % 7;" ]);
+          (2, map2 (Printf.sprintf "if (x > %d) { %s }") (int_bound 9)
+                 (stmt (depth - 1)));
+          (1, map2 (Printf.sprintf "if (y < %d) { %s } else { y++; }")
+                 (int_bound 9) (stmt (depth - 1)));
+          (1, map (Printf.sprintf "while (x > 0) { x--; %s }")
+                 (stmt (depth - 1)));
+          (1, map (Printf.sprintf "do { y--; %s } while (y > 0);")
+                 (stmt (depth - 1)));
+          (1, map (Printf.sprintf "for (x = 0; x < 3; x++) { %s }")
+                 (stmt (depth - 1)));
+          (1, map
+                 (Printf.sprintf
+                    "switch (x & 3) { case 0: %s break; case 1: y++; default: y--; }")
+                 (stmt (depth - 1))) ]
+  in
+  let body =
+    list_size (int_range 1 8) (stmt 3) >|= fun stmts ->
+    Printf.sprintf
+      "int f(int x) { int y = 0; %s return x + y; }\n\
+       int main(void) { return f(3); }"
+      (String.concat " " stmts)
+  in
+  QCheck.make body ~print:(fun s -> s)
+
+let prop_markov_non_negative =
+  QCheck.Test.make
+    ~name:"markov intra: non-negative, entry pinned at one external entry"
+    ~count:150 gen_markov_program (fun src ->
+      let tc, prog = compile src in
+      List.for_all
+        (fun (fn : Cfg.fn) ->
+          let freqs = MI.block_freqs tc fn in
+          let entry = fn.Cfg.fn_entry in
+          let entry_has_preds =
+            Array.exists
+              (fun (b : Cfg.block) ->
+                List.mem entry (Cfg.successors b.Cfg.b_term))
+              fn.Cfg.fn_blocks
+          in
+          Array.for_all (fun v -> v >= -1e-9) freqs
+          && freqs.(entry) >= 1.0 -. 1e-6
+          && (entry_has_preds || abs_float (freqs.(entry) -. 1.0) < 1e-9))
+        prog.Cfg_ir.Cfg.prog_fns)
+
 let suite =
   [ Alcotest.test_case "strchr smart values" `Quick test_strchr_smart_values;
     Alcotest.test_case "strchr markov values" `Quick test_strchr_markov_values;
@@ -224,4 +279,5 @@ let suite =
     Alcotest.test_case "markov matches profile" `Quick
       test_markov_matches_profile_on_two_sided_if;
     Alcotest.test_case "sane frequencies on the suite" `Slow
-      test_entry_is_one ]
+      test_entry_is_one;
+    QCheck_alcotest.to_alcotest prop_markov_non_negative ]

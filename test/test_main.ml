@@ -18,6 +18,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("config", Test_config.suite);
       ("differential", Test_differential.suite);
+      ("parallel", Test_parallel.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);
       ("suite-programs", Test_suite_programs.suite) ]

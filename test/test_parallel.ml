@@ -1,0 +1,209 @@
+(* The parallel pipeline's backbone guarantee: running the analysis on a
+   pool of domains is observationally identical to running it
+   sequentially. Three layers of evidence:
+
+   1. scheduler unit tests — ordering, exception routing, nesting;
+   2. a differential harness that renders the paper's *entire*
+      evaluation (every table, figure and ablation over the full suite)
+      sequentially and at --jobs 2 and --jobs 8 from a cold cache each
+      time, and asserts the outputs are byte-identical;
+   3. a per-program score matrix (intra, inter and call-site
+      weight-matching at every q-threshold) compared bit-for-bit between
+      a sequentially-warmed and a parallel-warmed cache, plus a stress
+      run that hammers the pool 50 times on a small program. *)
+
+module Parallel = Driver.Parallel
+module Context = Driver.Context
+module Experiments = Driver.Experiments
+module Pipeline = Core.Pipeline
+module Weight_matching = Core.Weight_matching
+
+(* Every test leaves the process sequential again so the rest of the
+   alcotest binary is unaffected. *)
+let with_jobs (n : int) (f : unit -> 'a) : 'a =
+  Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs 1) f
+
+(* --- scheduler unit tests -------------------------------------------- *)
+
+let test_map_order () =
+  with_jobs 8 (fun () ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results merge in input order"
+        (List.map (fun i -> i * i) xs)
+        (Parallel.map (fun i -> i * i) xs))
+
+let test_map_exception () =
+  with_jobs 4 (fun () ->
+      match
+        Parallel.map
+          (fun i -> if i >= 7 then failwith (string_of_int i) else i)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        (* the lowest failing index wins, as List.map would *)
+        Alcotest.(check string) "first error by input index" "7" msg)
+
+let test_nested_map () =
+  with_jobs 4 (fun () ->
+      let table =
+        Parallel.map
+          (fun i -> Parallel.map (fun j -> i * j) (List.init 5 Fun.id))
+          (List.init 5 Fun.id)
+      in
+      Alcotest.(check (list (list int)))
+        "nested maps run inline and stay correct"
+        (List.init 5 (fun i -> List.init 5 (fun j -> i * j)))
+        table)
+
+let test_run_thunks () =
+  with_jobs 2 (fun () ->
+      Alcotest.(check (list string))
+        "heterogeneous stage list"
+        [ "a"; "b"; "c" ]
+        (Parallel.run [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ]))
+
+(* --- the differential harness ---------------------------------------- *)
+
+let run_all_with (jobs : int) : string =
+  Context.clear ();
+  with_jobs jobs Experiments.run_all
+
+let test_differential_run_all () =
+  let sequential = run_all_with 1 in
+  let par2 = run_all_with 2 in
+  Alcotest.(check bool)
+    "--jobs 2 output is byte-identical to sequential" true
+    (String.equal sequential par2);
+  let par8 = run_all_with 8 in
+  Alcotest.(check bool)
+    "--jobs 8 output is byte-identical to sequential" true
+    (String.equal sequential par8)
+
+(* Per-program weight-matching scores at every q-threshold the paper
+   uses, from smart/markov intra, markov inter and call-site estimates.
+   Computed twice — once from a sequentially warmed cache, once from a
+   cache warmed by the 8-domain pool — and compared bit-for-bit. *)
+
+let q_thresholds = [ 0.05; 0.10; 0.20; 0.25; 0.40; 0.60; 0.80; 1.00 ]
+
+let score_matrix () : (string * float list) list =
+  List.map
+    (fun (d : Context.prog_data) ->
+      let name = d.Context.bench.Suite.Bench_prog.name in
+      let smart = Pipeline.intra_provider d.Context.compiled Pipeline.Ismart in
+      let inter_est =
+        Pipeline.inter_estimate d.Context.compiled ~intra:smart
+          Pipeline.Imarkov_inter
+      in
+      let callsite_est =
+        Pipeline.callsite_estimate d.Context.compiled ~intra:smart
+          Pipeline.Imarkov_inter
+      in
+      let scores =
+        List.concat_map
+          (fun cutoff ->
+            let intra kind =
+              let estimate =
+                Pipeline.intra_provider d.Context.compiled kind
+              in
+              Pipeline.mean_over_profiles d.Context.profiles (fun p ->
+                  Pipeline.intra_score d.Context.compiled ~estimate p ~cutoff)
+            in
+            let inter_and_callsite =
+              List.concat_map
+                (fun p ->
+                  [ Weight_matching.score ~estimate:inter_est
+                      ~actual:(Pipeline.inter_actual d.Context.compiled p)
+                      ~cutoff;
+                    Weight_matching.score ~estimate:callsite_est
+                      ~actual:(Pipeline.callsite_actual d.Context.compiled p)
+                      ~cutoff ])
+                d.Context.profiles
+            in
+            intra Pipeline.Ismart :: intra Pipeline.Imarkov
+            :: inter_and_callsite)
+          q_thresholds
+      in
+      (name, scores))
+    (Context.all ())
+
+let exact_float =
+  Alcotest.testable
+    (fun fmt v -> Format.fprintf fmt "%.17g" v)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let test_differential_scores () =
+  Context.clear ();
+  let sequential = with_jobs 1 score_matrix in
+  Context.clear ();
+  let parallel = with_jobs 8 score_matrix in
+  Alcotest.(check (list (pair string (list exact_float))))
+    "per-program scores at every q-threshold are bit-identical" sequential
+    parallel
+
+(* --- stress: shake out scheduling races ------------------------------ *)
+
+let stress_source =
+  {|
+int collatz(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) n = n / 2;
+    else n = 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+int main(void) { return collatz(27); }
+|}
+
+(* One full pipeline pass: compile, profile, estimate. Returns data that
+   would expose a race anywhere in the stack. *)
+let stress_pass () : float * float array =
+  let c = Pipeline.compile ~name:"stress" stress_source in
+  let o = Pipeline.run_once c { Pipeline.argv = []; input = "" } in
+  let smart = Pipeline.intra_provider c Pipeline.Ismart in
+  (o.Cinterp.Eval.work, smart "collatz")
+
+let test_stress_pool () =
+  let reference = stress_pass () in
+  with_jobs 8 (fun () ->
+      for _round = 1 to 50 do
+        let results = Parallel.map (fun () -> stress_pass ()) (List.init 8 (fun _ -> ())) in
+        List.iter
+          (fun (work, freqs) ->
+            let ref_work, ref_freqs = reference in
+            Alcotest.(check exact_float) "work units stable" ref_work work;
+            Alcotest.(check (array exact_float))
+              "smart estimate stable" ref_freqs freqs)
+          results
+      done)
+
+(* The pool survives repeated reconfiguration (each resize retires the
+   old domains and spawns fresh ones). *)
+let test_resize_churn () =
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs 1)
+    (fun () ->
+      for round = 1 to 10 do
+        Parallel.set_jobs (1 + (round mod 4));
+        let n = List.length (Parallel.map Fun.id (List.init 32 Fun.id)) in
+        Alcotest.(check int) "all tasks completed" 32 n
+      done)
+
+let suite =
+  [ Alcotest.test_case "map preserves order" `Quick test_map_order;
+    Alcotest.test_case "map re-raises the first error" `Quick
+      test_map_exception;
+    Alcotest.test_case "nested maps" `Quick test_nested_map;
+    Alcotest.test_case "run thunks" `Quick test_run_thunks;
+    Alcotest.test_case "pool resize churn" `Quick test_resize_churn;
+    Alcotest.test_case "stress: 50 pool rounds on a small program" `Slow
+      test_stress_pool;
+    Alcotest.test_case "differential: score matrix seq vs 8 domains" `Slow
+      test_differential_scores;
+    Alcotest.test_case "differential: full evaluation at jobs 1/2/8" `Slow
+      test_differential_run_all ]

@@ -123,6 +123,61 @@ let prop_monotone_rank_only =
         -. score ~estimate:transformed ~actual ~cutoff)
       < 1e-9)
 
+(* A perfect estimator scores 1.0 at *every* q-threshold, not just a
+   sampled one. *)
+let prop_perfect_at_every_q =
+  QCheck.Test.make ~name:"a perfect estimate scores 1 at every q-threshold"
+    ~count:200 gen_pair (fun (actual, _, _) ->
+      List.for_all
+        (fun q ->
+          abs_float (score ~estimate:actual ~actual ~cutoff:q -. 1.0) < 1e-9)
+        [ 0.05; 0.1; 0.2; 0.25; 0.4; 0.5; 0.6; 0.75; 0.8; 1.0 ])
+
+(* Scores are a function of the (estimate, actual) pairing, not of the
+   entity numbering: permuting both arrays with the same permutation
+   leaves the score unchanged. The estimate values are kept distinct so
+   the selected quantile set is the same set of entities either way
+   (with tied estimates the metric legitimately breaks ties by index). *)
+let gen_permutation_case :
+    (float array * float array * int array * float) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 30 >>= fun n ->
+    array_size (return n) (float_bound_inclusive 100.0) >>= fun actual ->
+    (* distinct estimate values: a random ranking of 1..n *)
+    array_size (return n) (float_bound_inclusive 1.0) >>= fun est_keys ->
+    array_size (return n) (float_bound_inclusive 1.0) >>= fun perm_keys ->
+    float_range 0.05 1.0 >|= fun cutoff ->
+    let order_of keys =
+      let idx = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          match compare keys.(a) keys.(b) with 0 -> compare a b | c -> c)
+        idx;
+      idx
+    in
+    let estimate = Array.make n 0.0 in
+    Array.iteri (fun rank i -> estimate.(i) <- float_of_int (rank + 1))
+      (order_of est_keys);
+    (actual, estimate, order_of perm_keys, cutoff)
+  in
+  QCheck.make gen ~print:(fun (a, e, p, c) ->
+      Printf.sprintf "actual=[%s] estimate=[%s] perm=[%s] cutoff=%.3f"
+        (String.concat ";" (Array.to_list (Array.map string_of_float a)))
+        (String.concat ";" (Array.to_list (Array.map string_of_float e)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int p)))
+        c)
+
+let prop_permutation_invariant =
+  QCheck.Test.make
+    ~name:"scores are invariant under entity permutation" ~count:500
+    gen_permutation_case (fun (actual, estimate, perm, cutoff) ->
+      let apply xs = Array.map (fun i -> xs.(i)) perm in
+      abs_float
+        (score ~estimate ~actual ~cutoff
+        -. score ~estimate:(apply estimate) ~actual:(apply actual) ~cutoff)
+      < 1e-9)
+
 let suite =
   [ Alcotest.test_case "paper example" `Quick test_paper_example;
     Alcotest.test_case "perfect estimate" `Quick test_perfect;
@@ -137,4 +192,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_bounded;
     QCheck_alcotest.to_alcotest prop_self_is_one;
     QCheck_alcotest.to_alcotest prop_scale_invariant;
-    QCheck_alcotest.to_alcotest prop_monotone_rank_only ]
+    QCheck_alcotest.to_alcotest prop_monotone_rank_only;
+    QCheck_alcotest.to_alcotest prop_perfect_at_every_q;
+    QCheck_alcotest.to_alcotest prop_permutation_invariant ]
