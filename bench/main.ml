@@ -13,7 +13,9 @@
    Run everything:        dune exec bench/main.exe
    Only the timings:      dune exec bench/main.exe -- --bench-only
    Only the experiments:  dune exec bench/main.exe -- --repro-only
-   Parallelism:           dune exec bench/main.exe -- --jobs 8 *)
+   Parallelism:           dune exec bench/main.exe -- --jobs 8
+   Observability:         dune exec bench/main.exe -- --trace
+                          dune exec bench/main.exe -- --metrics-out FILE *)
 
 open Bechamel
 
@@ -184,14 +186,24 @@ let () =
     in
     find args
   in
+  let trace = List.mem "--trace" args in
+  let metrics_out =
+    let rec find = function
+      | "--metrics-out" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   Parallel.set_jobs jobs;
-  if not bench_only then begin
-    print_endline
-      "=== Reproduction of every table and figure (PLDI 1994) ===\n";
-    print_string (Driver.Experiments.run_all ());
-    print_newline ()
-  end;
-  if not repro_only then begin
-    run_suite_throughput (max 2 jobs);
-    run_benchmarks ()
-  end
+  Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
+      if not bench_only then begin
+        print_endline
+          "=== Reproduction of every table and figure (PLDI 1994) ===\n";
+        print_string (Driver.Experiments.run_all ());
+        print_newline ()
+      end;
+      if not repro_only then begin
+        run_suite_throughput (max 2 jobs);
+        run_benchmarks ()
+      end)

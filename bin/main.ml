@@ -47,6 +47,18 @@ let jobs_arg =
                  recommended domain count). Results are identical at every \
                  setting.")
 
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Print a tree of pipeline stage timings and solver/cache \
+                 counters to stderr when the command finishes.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write span timings and counters as JSON to $(docv) when \
+                 the command finishes.")
+
 let mode_arg =
   Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
                            ("markov", Pipeline.Imarkov);
@@ -326,19 +338,20 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run jobs id =
+  let run jobs trace metrics_out id =
     Driver.Parallel.set_jobs jobs;
-    match id with
-    | None ->
-      Printf.printf "available experiments:\n";
-      List.iter
-        (fun (i, title, _) -> Printf.printf "  %-8s %s\n" i title)
-        Driver.Experiments.all
-    | Some "all" -> print_string (Driver.Experiments.run_all ())
-    | Some id -> (
-      match Driver.Experiments.find id with
-      | Some f -> print_string (f ())
-      | None -> failwith ("unknown experiment " ^ id))
+    Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
+        match id with
+        | None ->
+          Printf.printf "available experiments:\n";
+          List.iter
+            (fun (i, title, _) -> Printf.printf "  %-8s %s\n" i title)
+            Driver.Experiments.all
+        | Some "all" -> print_string (Driver.Experiments.run_all ())
+        | Some id -> (
+          match Driver.Experiments.find id with
+          | Some f -> print_string (f ())
+          | None -> failwith ("unknown experiment " ^ id)))
   in
   let id =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
@@ -346,7 +359,7 @@ let cmd_experiment =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ jobs_arg $ id)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg $ id)
 
 (* ---- suite ---- *)
 
@@ -363,8 +376,23 @@ let cmd_suite =
   Cmd.v (Cmd.info "suite" ~doc:"List the benchmark suite")
     Term.(const run $ const ())
 
+(* With no subcommand, [--trace] / [--metrics-out] run the full
+   experiment suite under instrumentation (the one-flag observability
+   entry point); bare invocation still shows the usage page. *)
+let default_term =
+  let run jobs trace metrics_out =
+    if trace || metrics_out <> None then begin
+      Driver.Parallel.set_jobs jobs;
+      Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
+          print_string (Driver.Experiments.run_all ()));
+      `Ok ()
+    end
+    else `Help (`Pager, None)
+  in
+  Term.(ret (const run $ jobs_arg $ trace_arg $ metrics_arg))
+
 let main =
-  Cmd.group
+  Cmd.group ~default:default_term
     (Cmd.info "estimator" ~version:"1.0"
        ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
     [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;

@@ -93,7 +93,13 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array)
       (* first round: all_rec *)
       apply_recursion_multiplier g base ~recursive:(fun i ->
           (Lazy.force in_rec).(i));
-      (* second round: scale callers by the first-round counts *)
+      (* Second round: scale callers by the first-round counts. [base]
+         at this point deliberately includes the recursion multiplier —
+         the paper says to reapply the algorithm using "the All_rec
+         counts", i.e. the multiplied ones — so a recursive caller's
+         sites weigh 5x more in round two, and the multiplier applied
+         again below compounds on top of that inherited scale. The
+         test suite pins this reading on a mutual-recursion example. *)
       let scale name =
         match Callgraph.node_of_name g name with
         | Some i -> base.(i)

@@ -101,29 +101,31 @@ let solve_raw ~n ~source (arcs : arcs) : float array option =
 (* Re-solve one SCC in isolation: members + an artificial main that calls
    member m with probability (external inflow of m) / (total external
    inflow of the SCC). Succeeds when the solution is non-negative and
-   bounded by the ceiling. *)
+   bounded by the ceiling.
+
+   Membership is a hash set and the inflows accumulate in one pass over
+   the arc table — the old per-member fold made the check quadratic in
+   the table size. Per-member additions still happen in table traversal
+   order, so the inflow sums are bit-identical to the folded ones. *)
 let scc_subproblem_ok (arcs : arcs) (members : int list) : bool =
   let k = List.length members in
   let index = Hashtbl.create 8 in
   List.iteri (fun i m -> Hashtbl.replace index m i) members;
   let inside m = Hashtbl.mem index m in
-  let inflow =
-    List.map
-      (fun m ->
-        Hashtbl.fold
-          (fun (s, d) w acc -> if d = m && not (inside s) then acc +. w else acc)
-          arcs 0.0)
-      members
-  in
-  let total = List.fold_left ( +. ) 0.0 inflow in
+  let inflow = Array.make k 0.0 in
   let sub : arcs = Hashtbl.create 16 in
   Hashtbl.iter
     (fun (s, d) w ->
-      if inside s && inside d then
-        Hashtbl.replace sub (Hashtbl.find index s, Hashtbl.find index d) w)
+      match Hashtbl.find_opt index d with
+      | Some i ->
+        if inside s then
+          Hashtbl.replace sub (Hashtbl.find index s, i) w
+        else inflow.(i) <- inflow.(i) +. w
+      | None -> ())
     arcs;
+  let total = Array.fold_left ( +. ) 0.0 inflow in
   (* artificial main is node k *)
-  List.iteri
+  Array.iteri
     (fun i flow ->
       let p = if total > 0.0 then flow /. total else 1.0 /. float_of_int k in
       if p > 0.0 then Hashtbl.replace sub (k, i) p)
@@ -135,7 +137,9 @@ let scc_subproblem_ok (arcs : arcs) (members : int list) : bool =
 
 (* Scale all arcs internal to [members] by [factor]. *)
 let scale_scc (arcs : arcs) (members : int list) (factor : float) : unit =
-  let inside m = List.mem m members in
+  let index = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace index m ()) members;
+  let inside m = Hashtbl.mem index m in
   let updates =
     Hashtbl.fold
       (fun (s, d) w acc ->
@@ -156,6 +160,7 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
     match Hashtbl.find_opt arcs (i, i) with
     | Some w when w > 1.0 ->
       clamped := (i, w) :: !clamped;
+      Obs.Probe.observe "markov_inter.self_arc_clamp" w;
       Hashtbl.replace arcs (i, i) Loop_model.recursive_arc_probability
     | _ -> ()
   done;
@@ -165,6 +170,7 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
     match solve ~n ~source arcs with
     | Some x -> x
     | None ->
+      Obs.Probe.count "markov_inter.invalid_solve";
       let succs i =
         Hashtbl.fold
           (fun (s, d) _ acc -> if s = i then d :: acc else acc)
@@ -184,11 +190,15 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
             let touched = ref false in
             while (not (scc_subproblem_ok arcs members)) && !budget > 0 do
               scale_scc arcs members scale_step;
+              Obs.Probe.count "markov_inter.scc_scale_step";
               touched := true;
               incr iterations;
               decr budget
             done;
-            if !touched then incr repaired
+            if !touched then begin
+              incr repaired;
+              Obs.Probe.count "markov_inter.scc_repaired"
+            end
           end)
         sccs.Scc.components;
       (match solve ~n ~source arcs with
@@ -196,13 +206,17 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
       | None ->
         (* last resort: damp everything until solvable *)
         let rec damp k =
-          if k = 0 then Array.make n 1.0
+          if k = 0 then begin
+            Obs.Probe.count "markov_inter.flat_fallback";
+            Array.make n 1.0
+          end
           else begin
             let all = Hashtbl.fold (fun key _ acc -> key :: acc) arcs [] in
             List.iter
               (fun key ->
                 Hashtbl.replace arcs key (Hashtbl.find arcs key *. 0.9))
               all;
+            Obs.Probe.count "markov_inter.damp_round";
             incr iterations;
             match solve ~n ~source arcs with
             | Some x -> x

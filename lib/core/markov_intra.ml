@@ -79,8 +79,14 @@ let solve_blocks ~(n : int) ~(entry : int) (arcs : (int * int * float) list)
       else List.map (fun (s, d, p) -> (s, d, p *. damping)) arcs
     in
     let retry () =
-      if tries > 0 then attempt (damping *. 0.95) (tries - 1)
-      else Array.make n 1.0 (* give up: flat estimate *)
+      if tries > 0 then begin
+        Obs.Probe.count "markov_intra.damping_retry";
+        attempt (damping *. 0.95) (tries - 1)
+      end
+      else begin
+        Obs.Probe.count "markov_intra.flat_fallback";
+        Array.make n 1.0 (* give up: flat estimate *)
+      end
     in
     match Linsolve.markov_frequencies ~n ~source:entry ~arcs:damped with
     | x when Array.for_all Float.is_finite x -> x

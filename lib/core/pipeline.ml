@@ -34,16 +34,21 @@ type compiled = {
 }
 
 let compile ?(defines = []) ~(name : string) (source : string) : compiled =
-  let tunit = Parser.parse_string ~defines ~file:(name ^ ".c") source in
-  let tc = Typecheck.check tunit in
-  let prog = Build.build tc in
-  { name; source; tc; prog; graph = Callgraph.build prog }
+  Obs.Probe.with_span "compile" (fun () ->
+      let tunit =
+        Obs.Probe.with_span "parse" (fun () ->
+            Parser.parse_string ~defines ~file:(name ^ ".c") source)
+      in
+      let tc = Obs.Probe.with_span "typecheck" (fun () -> Typecheck.check tunit) in
+      let prog = Obs.Probe.with_span "cfg" (fun () -> Build.build tc) in
+      { name; source; tc; prog; graph = Callgraph.build prog })
 
 (* One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
 
 let run_once ?fuel (c : compiled) (r : run) : Eval.outcome =
-  Eval.run ?fuel ~argv:r.argv ~input:r.input c.prog
+  Obs.Probe.with_span "profile" (fun () ->
+      Eval.run ?fuel ~argv:r.argv ~input:r.input c.prog)
 
 let profile_runs ?fuel (c : compiled) (runs : run list) : Profile.t list =
   List.map (fun r -> (run_once ?fuel c r).Eval.profile) runs
@@ -62,6 +67,7 @@ let intra_kind_to_string = function
 
 let intra_table (c : compiled) (kind : intra_kind) :
     (string, float array) Hashtbl.t =
+  Obs.Probe.with_span ("intra." ^ intra_kind_to_string kind) (fun () ->
   let table = Hashtbl.create 32 in
   List.iter
     (fun fn ->
@@ -75,7 +81,7 @@ let intra_table (c : compiled) (kind : intra_kind) :
       in
       Hashtbl.replace table fn.Cfg.fn_name freqs)
     c.prog.Cfg.prog_fns;
-  table
+  table)
 
 let intra_provider (c : compiled) (kind : intra_kind) :
     string -> float array =
@@ -125,12 +131,14 @@ let inter_kind_to_string = function
    estimates. *)
 let inter_estimate (c : compiled) ~(intra : string -> float array)
     (kind : inter_kind) : float array =
-  let assoc =
-    match kind with
-    | Isimple k -> Inter_simple.estimate c.graph ~intra k
-    | Imarkov_inter -> (Markov_inter.estimate c.graph ~intra).Markov_inter.freqs
-  in
-  Array.of_list (List.map snd assoc)
+  Obs.Probe.with_span ("inter." ^ inter_kind_to_string kind) (fun () ->
+      let assoc =
+        match kind with
+        | Isimple k -> Inter_simple.estimate c.graph ~intra k
+        | Imarkov_inter ->
+          (Markov_inter.estimate c.graph ~intra).Markov_inter.freqs
+      in
+      Array.of_list (List.map snd assoc))
 
 (* Actual invocation counts, same order. *)
 let inter_actual (c : compiled) (p : Profile.t) : float array =

@@ -21,14 +21,29 @@ let rank (values : float array) : ranked array =
   Array.sort cmp items;
   items
 
+(* Where the top [cutoff] quantile of [n] items ends: the number of items
+   taken whole and the fractional weight of the boundary item. q * n
+   computed in floats can land a hair below the integer it mathematically
+   equals (0.3 * 10 = 2.999...96), which would silently demote a whole
+   item to fractional weight ~1; snap to the nearest integer when the
+   product is within relative rounding error of it. *)
+let boundary ~(n : int) ~(cutoff : float) : int * float =
+  let exact = cutoff *. float_of_int n in
+  let nearest = Float.round exact in
+  let exact =
+    if Float.abs (exact -. nearest) <= 1e-9 *. Float.max 1.0 exact then
+      nearest
+    else exact
+  in
+  let full = int_of_float (floor exact) in
+  (full, exact -. float_of_int full)
+
 (* Sum of [actual] over the top [cutoff] quantile of [order], with the
    boundary item weighted fractionally. *)
 let quantile_weight (order : ranked array) (actual : float array)
     (cutoff : float) : float =
   let n = Array.length order in
-  let exact = cutoff *. float_of_int n in
-  let full = int_of_float (floor exact) in
-  let frac = exact -. float_of_int full in
+  let full, frac = boundary ~n ~cutoff in
   let sum = ref 0.0 in
   for i = 0 to min full n - 1 do
     sum := !sum +. actual.(order.(i).index)

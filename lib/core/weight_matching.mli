@@ -14,6 +14,14 @@ type ranked = { index : int; value : float }
     values keep index order, making every score deterministic. *)
 val rank : float array -> ranked array
 
+(** [boundary ~n ~cutoff] is where the top [cutoff] quantile of [n]
+    items ends: the number of items taken whole and the fractional
+    weight of the next item. The float product [cutoff * n] is snapped
+    to the nearest integer when within relative rounding error of it,
+    so cutoffs that are exact in rational arithmetic (0.3 of 10 items =
+    3) never lose a whole item to a last-bit float error. *)
+val boundary : n:int -> cutoff:float -> int * float
+
 (** [quantile_weight order actual cutoff] sums [actual] over the top
     [cutoff] fraction of [order], weighting the boundary item
     fractionally. *)

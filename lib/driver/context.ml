@@ -106,13 +106,16 @@ let load (bench : Suite.Bench_prog.t) : prog_data =
     match Hashtbl.find_opt cache k with
     | Some (Ready d) ->
       Mutex.unlock m;
+      Obs.Probe.count "context.cache_hit";
       d
     | Some Computing ->
+      Obs.Probe.count "context.cache_wait";
       Condition.wait cell_changed m;
       get ()
     | None ->
       Hashtbl.replace cache k Computing;
       Mutex.unlock m;
+      Obs.Probe.count "context.cache_miss";
       (match compute bench with
       | d -> publish k d; d
       | exception e -> abandon k; raise e)
@@ -126,6 +129,7 @@ let load (bench : Suite.Bench_prog.t) : prog_data =
    indexed by input position, never by completion order. *)
 
 let warm () : unit =
+  Obs.Probe.with_span "context.warm" @@ fun () ->
   Mutex.lock m;
   let missing =
     List.filter
@@ -135,6 +139,7 @@ let warm () : unit =
         | Some _ -> false
         | None ->
           Hashtbl.replace cache k Computing;
+          Obs.Probe.count "context.cache_miss";
           true)
       Suite.Registry.all
   in

@@ -768,6 +768,8 @@ let all : (string * string * (unit -> string)) list =
      ablation_switch_weighting);
     ("ext_structural", "CFG-only structural estimator", ext_structural);
     ("ext_wu_larus", "probability-generating prediction", ext_wu_larus) ]
+  |> List.map (fun (id, desc, f) ->
+       (id, desc, fun () -> Obs.Probe.with_span ("experiment." ^ id) f))
 
 let find (id : string) : (unit -> string) option =
   List.find_map (fun (i, _, f) -> if i = id then Some f else None) all

@@ -74,13 +74,27 @@ let pool_lock = Mutex.create ()
 let current_pool : pool option ref = ref None
 let exit_hook_installed = ref false
 
+(* Retiring the pool joins its workers; doing that from a task running
+   on one of those workers (or from the calling domain mid-drain) can
+   never complete — the domain would be waiting for itself. Fail fast
+   instead of deadlocking. *)
+let reject_reentrant what =
+  if Domain.DLS.get in_task then
+    invalid_arg
+      (Printf.sprintf
+         "Parallel.%s: called from inside a Parallel task; resizing or \
+          retiring the pool from a task would deadlock"
+         what)
+
 let shutdown () =
+  reject_reentrant "shutdown";
   Mutex.lock pool_lock;
   (match !current_pool with
   | Some p -> current_pool := None; Mutex.unlock pool_lock; retire_pool p
   | None -> Mutex.unlock pool_lock)
 
 let set_jobs (n : int) : unit =
+  reject_reentrant "set_jobs";
   let n = max 1 n in
   if n <> Atomic.get jobs_setting then begin
     Atomic.set jobs_setting n;
@@ -120,9 +134,21 @@ let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
     in
     let remaining = ref n in
     let all_done = Condition.create () in
+    (* Spans opened inside tasks attach below the span that scheduled
+       the fan-out, whichever domain runs them. *)
+    let parent = Obs.Probe.current_span () in
     let run_slot i =
       let outcome =
-        match f input.(i) with
+        match
+          Obs.Probe.with_parent parent (fun () ->
+              if Obs.Probe.enabled () then begin
+                Obs.Probe.count "parallel.task";
+                Obs.Probe.count
+                  (Printf.sprintf "parallel.tasks.d%d"
+                     (Domain.self () :> int))
+              end;
+              f input.(i))
+        with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in

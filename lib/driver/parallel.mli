@@ -30,8 +30,9 @@ val jobs : unit -> int
 val set_jobs : int -> unit
 (** Set the parallelism level (clamped to >= 1). If a pool of a
     different size is running it is retired (its workers join) and the
-    next {!map} spawns a fresh one. Call only from the main domain, not
-    from inside a task. *)
+    next {!map} spawns a fresh one. Raises [Invalid_argument] when
+    called from inside a {!map} task: retiring the pool would join the
+    very domain making the call, deadlocking it. *)
 
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element of [xs], running up to
@@ -45,4 +46,6 @@ val run : (unit -> 'a) list -> 'a list
 val shutdown : unit -> unit
 (** Retire the pool, joining all worker domains. The next {!map} call
     respawns it; useful around benchmarks that must not see idle
-    workers from an earlier configuration. Registered [at_exit]. *)
+    workers from an earlier configuration. Registered [at_exit].
+    Raises [Invalid_argument] from inside a {!map} task, like
+    {!set_jobs}. *)

@@ -16,10 +16,24 @@ let solve (a : Matrix.t) (b : float array) : float array =
   let n = a.Matrix.rows in
   if a.Matrix.cols <> n then invalid_arg "Linsolve.solve: not square";
   if Array.length b <> n then invalid_arg "Linsolve.solve: bad rhs";
+  Obs.Probe.count "linsolve.solve";
+  Obs.Probe.with_span "linsolve" @@ fun () ->
   let m = Matrix.copy a in
   let x = Array.copy b in
   let data = m.Matrix.data in
   let idx i j = (i * n) + j in
+  (* Singularity is judged relative to the matrix scale (largest |entry|
+     of the input): an absolute cutoff misclassifies well-conditioned
+     systems whose entries are uniformly tiny and accepts numerically
+     meaningless pivots on huge ones. All-zero matrices fall back to the
+     absolute epsilon, which rejects their zero pivots. *)
+  let scale = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let v = abs_float v in
+      if v > !scale then scale := v)
+    data;
+  let threshold = epsilon *. if !scale > 0.0 then !scale else 1.0 in
   for col = 0 to n - 1 do
     (* partial pivot: largest |value| in this column at or below [col] *)
     let pivot_row = ref col in
@@ -28,7 +42,11 @@ let solve (a : Matrix.t) (b : float array) : float array =
       then pivot_row := r
     done;
     let pivot = data.(idx !pivot_row col) in
-    if abs_float pivot < epsilon then raise (Singular col);
+    if abs_float pivot < threshold then begin
+      Obs.Probe.count "linsolve.singular";
+      raise (Singular col)
+    end;
+    Obs.Probe.observe "linsolve.pivot" (abs_float pivot);
     if !pivot_row <> col then begin
       for j = 0 to n - 1 do
         let tmp = data.(idx col j) in

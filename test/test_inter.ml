@@ -136,6 +136,32 @@ int main(void) { int i, s = 0; for (i = 0; i < 100; i++) s += hot(10); return s;
   Alcotest.(check bool) "helper rises" true
     (value two "helper" > value one "helper" +. 1.0)
 
+(* Pin All_rec2's second-round semantics on a hand-computed example. The
+   second accumulation deliberately scales callers by the *multiplied*
+   first-round counts (the paper's "All_rec counts"), so the recursion
+   multiplier compounds. With every block frequency forced to 1:
+     base:    main = 1 (external), f = 1 (main) + 1 (g) = 2, g = 1 (f)
+     round 1: f, g are in recursion -> f = 10, g = 5
+     round 2: f = 1*1 (main) + 5*1 (g) = 6, g = 10*1 (f) = 10
+              then * 5 -> f = 30, g = 50
+   The unmutated-base reading would give f = 15, g = 10 instead; this
+   test pins the documented one. *)
+let test_all_rec2_compounding_pinned () =
+  let c =
+    compile
+      {|
+int g(int n);
+int f(int n) { if (n == 0) return 0; return g(n - 1); }
+int g(int n) { return f(n); }
+int main(void) { return f(5); }
+|}
+  in
+  let intra _ = Array.make 32 1.0 in
+  let est = IS.estimate c.Pipeline.graph ~intra IS.All_rec2 in
+  Alcotest.(check (float 1e-9)) "main" 1.0 (value est "main");
+  Alcotest.(check (float 1e-9)) "f" 30.0 (value est "f");
+  Alcotest.(check (float 1e-9)) "g" 50.0 (value est "g")
+
 let test_indirect_apportioning () =
   let c =
     compile
@@ -214,6 +240,48 @@ int main(void) { return count_nodes(NULL); }
       (MI.arc_weights c.Pipeline.graph ~intra)
   in
   Alcotest.(check (float 1e-9)) "raw self-arc weight" 1.6 (Option.get self)
+
+(* Exercise the SCC repair loop itself (count_nodes only clamps): two
+   call sites in each direction of a mutual recursion put 2.0-weight arcs
+   on both legs of the cycle, a gain of 4.0 that no self-arc clamp can
+   fix. The repair must rescale exactly one SCC in a bounded number of
+   steps, and the repaired frequencies are pinned so the hash-set
+   membership rewrite of the repair loop provably preserves results. *)
+let test_scc_repair_loop_pinned () =
+  let c =
+    compile
+      {|
+int g(int n);
+int f(int n) { if (n < 2) return n; return g(n - 1) + g(n - 2); }
+int g(int n) { if (n < 2) return n; return f(n - 1) + f(n - 2); }
+int main(void) { return f(10); }
+|}
+  in
+  let intra = Pipeline.intra_provider c Pipeline.Ismart in
+  (* both cross arcs really are 2.0 under the smart intra estimate *)
+  List.iter
+    (fun (s, d) ->
+      let w =
+        List.find_map
+          (fun (s', d', w) -> if s' = s && d' = d then Some w else None)
+          (MI.arc_weights c.Pipeline.graph ~intra)
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "arc %s->%s" s d)
+        2.0 (Option.get w))
+    [ ("f", "g"); ("g", "f") ];
+  let result = MI.estimate c.Pipeline.graph ~intra in
+  let diag = result.MI.diag in
+  Alcotest.(check (list (pair int (float 1e-9)))) "no self-arc clamps" []
+    diag.MI.clamped_self_arcs;
+  Alcotest.(check int) "one SCC repaired" 1 diag.MI.repaired_sccs;
+  Alcotest.(check int) "scale steps" 4 diag.MI.scale_iterations;
+  Alcotest.(check (float 1e-6)) "main" 1.0
+    (List.assoc "main" result.MI.freqs);
+  Alcotest.(check (float 1e-6)) "f" 3.0403328
+    (List.assoc "f" result.MI.freqs);
+  Alcotest.(check (float 1e-6)) "g" 2.4906406
+    (List.assoc "g" result.MI.freqs)
 
 let test_markov_pointer_node () =
   let c =
@@ -304,6 +372,10 @@ let suite =
     Alcotest.test_case "call_site estimator" `Quick test_call_site_estimator;
     Alcotest.test_case "direct vs all_rec" `Quick test_direct_vs_all_rec;
     Alcotest.test_case "all_rec2 propagates" `Quick test_all_rec2_propagates;
+    Alcotest.test_case "all_rec2 compounding pinned" `Quick
+      test_all_rec2_compounding_pinned;
+    Alcotest.test_case "scc repair loop pinned" `Quick
+      test_scc_repair_loop_pinned;
     Alcotest.test_case "indirect apportioning" `Quick
       test_indirect_apportioning;
     Alcotest.test_case "markov propagation" `Quick

@@ -31,6 +31,32 @@ let test_singular_detected () =
   | exception Linsolve.Singular _ -> ()
   | _ -> Alcotest.fail "singular matrix not detected"
 
+let test_tiny_scale_solvable () =
+  (* Uniformly tiny but well-conditioned: every entry is below the old
+     absolute 1e-12 pivot cutoff, which mis-reported this system as
+     singular. The threshold is relative to the matrix scale now. *)
+  let s = 1e-9 in
+  let a =
+    Matrix.of_rows
+      [| [| 2e-4 *. s; 1e-4 *. s |]; [| 1e-4 *. s; 3e-4 *. s |] |]
+  in
+  (* b = A * [1; 3] *)
+  let b = [| (2e-4 *. s) +. (3e-4 *. s); (1e-4 *. s) +. (9e-4 *. s) |] in
+  let x = Linsolve.solve a b in
+  Alcotest.(check (float 1e-6)) "tiny x0" 1.0 x.(0);
+  Alcotest.(check (float 1e-6)) "tiny x1" 3.0 x.(1)
+
+let test_huge_scale_singular () =
+  (* Numerically rank-deficient at scale 1e14: the second row is twice
+     the first up to one unit, leaving a pivot of 1.0 — far above any
+     absolute epsilon but meaningless relative to the entries. *)
+  let a =
+    Matrix.of_rows [| [| 1e14; 2e14 |]; [| 2e14; 4e14 +. 1.0 |] |]
+  in
+  match Linsolve.solve a [| 1.0; 2.0 |] with
+  | exception Linsolve.Singular _ -> ()
+  | _ -> Alcotest.fail "near-singular huge-scale matrix not detected"
+
 let test_matrix_ops () =
   let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
   let b = Matrix.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
@@ -150,6 +176,10 @@ let suite =
     Alcotest.test_case "known 2x2" `Quick test_known_system;
     Alcotest.test_case "pivoting" `Quick test_pivoting_required;
     Alcotest.test_case "singular detection" `Quick test_singular_detected;
+    Alcotest.test_case "tiny-scale system solvable" `Quick
+      test_tiny_scale_solvable;
+    Alcotest.test_case "huge-scale near-singular detected" `Quick
+      test_huge_scale_singular;
     Alcotest.test_case "matrix operations" `Quick test_matrix_ops;
     Alcotest.test_case "paper figure 7" `Quick test_paper_figure7;
     Alcotest.test_case "unreachable nodes" `Quick test_markov_unreachable_zero;

@@ -19,6 +19,7 @@ let () =
       ("config", Test_config.suite);
       ("differential", Test_differential.suite);
       ("parallel", Test_parallel.suite);
+      ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);
       ("suite-programs", Test_suite_programs.suite) ]

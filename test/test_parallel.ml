@@ -182,6 +182,33 @@ let test_stress_pool () =
           results
       done)
 
+(* Resizing or retiring the pool from inside a task would deadlock (the
+   worker would join itself); both calls must fail fast instead, and the
+   pool must keep working afterwards. *)
+let test_reentrant_reconfiguration_rejected () =
+  with_jobs 4 (fun () ->
+      let outcomes =
+        Parallel.map
+          (fun i ->
+            if i = 0 then
+              match Parallel.set_jobs 2 with
+              | () -> "set_jobs accepted"
+              | exception Invalid_argument _ -> (
+                match Parallel.shutdown () with
+                | () -> "shutdown accepted"
+                | exception Invalid_argument _ -> "rejected")
+            else "worker"
+          )
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check string)
+        "set_jobs and shutdown raise Invalid_argument inside a task"
+        "rejected" (List.hd outcomes);
+      (* the pool is still alive and correct *)
+      Alcotest.(check (list int)) "pool survives"
+        (List.init 16 (fun i -> i * 2))
+        (Parallel.map (fun i -> i * 2) (List.init 16 Fun.id)))
+
 (* The pool survives repeated reconfiguration (each resize retires the
    old domains and spawns fresh ones). *)
 let test_resize_churn () =
@@ -201,6 +228,8 @@ let suite =
     Alcotest.test_case "nested maps" `Quick test_nested_map;
     Alcotest.test_case "run thunks" `Quick test_run_thunks;
     Alcotest.test_case "pool resize churn" `Quick test_resize_churn;
+    Alcotest.test_case "reentrant reconfiguration rejected" `Quick
+      test_reentrant_reconfiguration_rejected;
     Alcotest.test_case "stress: 50 pool rounds on a small program" `Slow
       test_stress_pool;
     Alcotest.test_case "differential: score matrix seq vs 8 domains" `Slow

@@ -1,0 +1,335 @@
+(* Observability subsystem tests: span recording and nesting in
+   [Obs.Probe], parent propagation across the [Parallel] pool, counter
+   accumulation, and the [Driver.Trace] renderers — including JSON
+   validity checked by a small hand-rolled parser (the repository has no
+   JSON dependency). Tracing must also be purely observational: the
+   differential suites elsewhere in this binary run with it disabled and
+   their byte-identity guarantees are unaffected by this module. *)
+
+module Probe = Obs.Probe
+module Trace = Driver.Trace
+module Parallel = Driver.Parallel
+
+(* Each test starts and ends with a clean, disabled recorder so the rest
+   of the alcotest binary never sees probe state. *)
+let with_recording (f : unit -> 'a) : 'a =
+  Probe.reset ();
+  Probe.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Probe.set_enabled false;
+      Probe.reset ())
+    f
+
+(* --- probe layer ------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_recording (fun () ->
+      Probe.with_span "outer" (fun () ->
+          Probe.with_span "inner" (fun () -> ());
+          Probe.with_span "inner" (fun () -> ()));
+      let spans = Probe.spans () in
+      Alcotest.(check int) "three spans" 3 (List.length spans);
+      let outer =
+        List.find (fun s -> s.Probe.label = "outer") spans
+      in
+      Alcotest.(check int) "outer is a root" (-1) outer.Probe.parent;
+      List.iter
+        (fun s ->
+          if s.Probe.label = "inner" then begin
+            Alcotest.(check int) "inner nests under outer" outer.Probe.id
+              s.Probe.parent;
+            Alcotest.(check bool) "stop after start" true
+              (Int64.compare s.Probe.stop_ns s.Probe.start_ns >= 0)
+          end)
+        spans)
+
+let test_span_closes_on_exception () =
+  with_recording (fun () ->
+      (try Probe.with_span "boom" (fun () -> failwith "x")
+       with Failure _ -> ());
+      match Probe.spans () with
+      | [ s ] -> Alcotest.(check string) "span recorded" "boom" s.Probe.label
+      | l -> Alcotest.failf "expected one span, got %d" (List.length l))
+
+let test_disabled_records_nothing () =
+  Probe.reset ();
+  Probe.set_enabled false;
+  Probe.with_span "ghost" (fun () -> Probe.count "ghost.counter");
+  Alcotest.(check int) "no spans" 0 (List.length (Probe.spans ()));
+  Alcotest.(check int) "no counters" 0 (List.length (Probe.counters ()))
+
+let test_counters () =
+  with_recording (fun () ->
+      Probe.observe "pivot" 3.0;
+      Probe.observe "pivot" 1.0;
+      Probe.observe "pivot" 2.0;
+      Probe.count "events";
+      match Probe.counters () with
+      | [ ("events", e); ("pivot", p) ] ->
+        Alcotest.(check int) "event hits" 1 e.Probe.hits;
+        Alcotest.(check int) "pivot hits" 3 p.Probe.hits;
+        Alcotest.(check (float 1e-12)) "pivot total" 6.0 p.Probe.total;
+        Alcotest.(check (float 1e-12)) "pivot min" 1.0 p.Probe.vmin;
+        Alcotest.(check (float 1e-12)) "pivot max" 3.0 p.Probe.vmax
+      | l -> Alcotest.failf "unexpected counter set (%d)" (List.length l))
+
+let test_reset () =
+  with_recording (fun () ->
+      Probe.with_span "s" (fun () -> Probe.count "c");
+      Probe.reset ();
+      Alcotest.(check int) "spans cleared" 0 (List.length (Probe.spans ()));
+      Alcotest.(check int) "counters cleared" 0
+        (List.length (Probe.counters ())))
+
+(* Spans opened by pool tasks attach below the span that scheduled the
+   fan-out, whichever domain ran them. *)
+let test_parent_across_domains () =
+  with_recording (fun () ->
+      Parallel.set_jobs 4;
+      Fun.protect
+        ~finally:(fun () -> Parallel.set_jobs 1)
+        (fun () ->
+          Probe.with_span "fanout" (fun () ->
+              ignore
+                (Parallel.map
+                   (fun i -> Probe.with_span "task" (fun () -> i * i))
+                   (List.init 16 Fun.id)));
+          let spans = Probe.spans () in
+          let fanout =
+            List.find (fun s -> s.Probe.label = "fanout") spans
+          in
+          let tasks =
+            List.filter (fun s -> s.Probe.label = "task") spans
+          in
+          Alcotest.(check int) "all task spans recorded" 16
+            (List.length tasks);
+          List.iter
+            (fun s ->
+              Alcotest.(check int) "task parent is the fanout span"
+                fanout.Probe.id s.Probe.parent)
+            tasks))
+
+let contains (haystack : string) (needle : string) : bool =
+  let h = String.length haystack and n = String.length needle in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+(* --- a minimal JSON validity checker ---------------------------------- *)
+
+exception Bad_json of string
+
+let parse_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit =
+    String.iter expect lit
+  in
+  let string_body () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let start = !pos in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = start then fail "expected digits"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          string_body ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ()
+      end
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value");
+    skip_ws ()
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_json_checker_self_test () =
+  List.iter parse_json
+    [ "{}"; "[]"; {|{"a": [1, -2.5e3, "x\n", true, null]}|}; "3.14" ];
+  List.iter
+    (fun bad ->
+      match parse_json bad with
+      | exception Bad_json _ -> ()
+      | () -> Alcotest.failf "accepted invalid JSON %S" bad)
+    [ "{"; {|{"a" 1}|}; "[1,]"; "nul"; "1 2"; {|"unterminated|} ]
+
+(* --- trace rendering -------------------------------------------------- *)
+
+(* Record a realistic little workload: a solver call under a pipeline
+   stage, plus counters, including values JSON cannot represent. *)
+let record_sample () =
+  Probe.with_span "stage" (fun () ->
+      let a = Linalg.Matrix.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+      ignore (Linalg.Linsolve.solve a [| 5.0; 10.0 |]));
+  Probe.observe "weird \"name\"\n" infinity;
+  Probe.observe "weird \"name\"\n" nan
+
+let test_render_tree () =
+  with_recording (fun () ->
+      record_sample ();
+      let tree = Trace.render_tree () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tree mentions %S" needle)
+            true (contains tree needle))
+        [ "stage"; "linsolve"; "linsolve.solve"; "linsolve.pivot" ])
+
+let test_metrics_json_valid () =
+  with_recording (fun () ->
+      record_sample ();
+      let json = Trace.metrics_json () in
+      (match parse_json json with
+      | () -> ()
+      | exception Bad_json msg ->
+        Alcotest.failf "invalid metrics JSON (%s):\n%s" msg json);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "document mentions %S" needle)
+            true (contains json needle))
+        [ {|"jobs"|}; {|"spans"|}; {|"counters"|}; "stage/linsolve";
+          "linsolve.pivot" ])
+
+(* The documented end-to-end entry point: reporting runs even when the
+   traced computation raises, and the JSON lands on disk. *)
+let test_with_reporting_on_failure () =
+  Probe.reset ();
+  let path = Filename.temp_file "metrics" ".json" in
+  (try
+     Trace.with_reporting ~trace:false ~metrics_out:(Some path) (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Probe.set_enabled false;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Probe.reset ();
+  (match parse_json contents with
+  | () -> ()
+  | exception Bad_json msg ->
+    Alcotest.failf "invalid metrics JSON after failure (%s)" msg);
+  Alcotest.(check bool) "root run span present" true
+    (contains contents {|"path": "run"|})
+
+let suite =
+  [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span closes on exception" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "counters accumulate" `Quick test_counters;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "parent crosses domains" `Quick
+      test_parent_across_domains;
+    Alcotest.test_case "json checker self-test" `Quick
+      test_json_checker_self_test;
+    Alcotest.test_case "render tree" `Quick test_render_tree;
+    Alcotest.test_case "metrics json is valid" `Quick test_metrics_json_valid;
+    Alcotest.test_case "reporting survives failure" `Quick
+      test_with_reporting_on_failure ]

@@ -75,6 +75,39 @@ let test_weighted_mean () =
     (WM.weighted_mean [ (1.0, 8.0); (0.5, 2.0) ]);
   Alcotest.(check (float 1e-9)) "empty is 0" 0.0 (WM.weighted_mean [])
 
+let test_boundary_snap () =
+  (* 0.3 * 10 = 2.999...96 in floats; the quantile must still take three
+     whole items, not two-and-a-fractional-one. *)
+  let full, frac = WM.boundary ~n:10 ~cutoff:0.3 in
+  Alcotest.(check int) "0.3 of 10: whole items" 3 full;
+  Alcotest.(check (float 0.0)) "0.3 of 10: no fraction" 0.0 frac;
+  (* and just above an integer: 0.7 * 10 = 7.000...01 must not leak an
+     eighth item with infinitesimal weight *)
+  let full, frac = WM.boundary ~n:10 ~cutoff:0.7 in
+  Alcotest.(check int) "0.7 of 10: whole items" 7 full;
+  Alcotest.(check (float 0.0)) "0.7 of 10: no fraction" 0.0 frac;
+  (* a genuinely fractional boundary is untouched *)
+  let full, frac = WM.boundary ~n:5 ~cutoff:0.3 in
+  Alcotest.(check int) "0.3 of 5: whole items" 1 full;
+  Alcotest.(check (float 1e-12)) "0.3 of 5: half an item" 0.5 frac
+
+(* Every boundary on the grid q = i/20 (i = 1..20), n = 1..40 against
+   rational arithmetic: exactly (i*n) div 20 whole items and
+   ((i*n) mod 20) / 20 of the next. *)
+let test_boundary_grid_oracle () =
+  for i = 1 to 20 do
+    for n = 1 to 40 do
+      let cutoff = float_of_int i /. 20.0 in
+      let full, frac = WM.boundary ~n ~cutoff in
+      let label what = Printf.sprintf "q=%d/20 n=%d %s" i n what in
+      Alcotest.(check int) (label "full") (i * n / 20) full;
+      Alcotest.(check (float 1e-9))
+        (label "frac")
+        (float_of_int (i * n mod 20) /. 20.0)
+        frac
+    done
+  done
+
 (* --- properties ------------------------------------------------------ *)
 
 let gen_pair : (float array * float array * float) QCheck.arbitrary =
@@ -189,6 +222,9 @@ let suite =
     Alcotest.test_case "full cutoff" `Quick test_full_cutoff;
     Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
     Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "boundary snapping" `Quick test_boundary_snap;
+    Alcotest.test_case "boundary grid vs rational oracle" `Quick
+      test_boundary_grid_oracle;
     QCheck_alcotest.to_alcotest prop_bounded;
     QCheck_alcotest.to_alcotest prop_self_is_one;
     QCheck_alcotest.to_alcotest prop_scale_invariant;
