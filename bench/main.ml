@@ -13,9 +13,16 @@
    Run everything:        dune exec bench/main.exe
    Only the timings:      dune exec bench/main.exe -- --bench-only
    Only the experiments:  dune exec bench/main.exe -- --repro-only
+   Only profile bench:    dune exec bench/main.exe -- --profile-only
    Parallelism:           dune exec bench/main.exe -- --jobs 8
+   Back end:              dune exec bench/main.exe -- --interp-backend tree
    Observability:         dune exec bench/main.exe -- --trace
-                          dune exec bench/main.exe -- --metrics-out FILE *)
+                          dune exec bench/main.exe -- --metrics-out FILE
+
+   The profile-throughput section times the two interpreter back ends
+   (tree walker vs closure-compiled) over every (program, input) pair of
+   the suite at jobs 1 and jobs N, and writes the numbers to
+   BENCH_profile.json (path override: --profile-json FILE). *)
 
 open Bechamel
 
@@ -169,10 +176,139 @@ let run_suite_throughput (jobs : int) =
   print_newline ();
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Profile throughput: tree vs closure-compiled back end over every
+   (program, input) pair of the suite, at jobs 1 and jobs N. Lowering to
+   closures happens once, outside the timed region — that is the
+   deployment model (compile once, profile many inputs). The differential
+   suite in [test/test_compile.ml] proves the two back ends produce
+   bit-identical profiles, so this section only reports wall-clock. *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_profile_throughput (jobs : int) (json_path : string) =
+  (* Compile (and profile-warm) the suite via the shared cache, then
+     force the closure lowering for every program so neither back end
+     pays one-time costs inside the timed region. *)
+  let data = Context.all () in
+  List.iter
+    (fun (d : Context.prog_data) ->
+      ignore (Pipeline.closure_exe d.Context.compiled))
+    data;
+  let pairs =
+    List.concat_map
+      (fun (d : Context.prog_data) ->
+        List.map
+          (fun (r : Suite.Bench_prog.run) ->
+            ( d.Context.compiled,
+              { Pipeline.argv = r.Suite.Bench_prog.r_argv;
+                input = r.Suite.Bench_prog.r_input } ))
+          d.Context.bench.Suite.Bench_prog.runs)
+      data
+  in
+  let reps = 3 in
+  (* Best-of-[reps] wall clock for one full profiling sweep; the summed
+     work units (executed instruction units) are identical across
+     backends and jobs settings by construction. *)
+  let time_config (backend : Pipeline.backend) (j : int) : float * float =
+    Parallel.set_jobs j;
+    let best = ref infinity in
+    let work = ref 0.0 in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let works =
+        Parallel.map
+          (fun (c, r) ->
+            (Pipeline.run_once ~backend c r).Cinterp.Eval.work)
+          pairs
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      work := List.fold_left ( +. ) 0.0 works
+    done;
+    (!best, !work)
+  in
+  let n_programs = List.length data in
+  let n_pairs = List.length pairs in
+  Printf.printf
+    "=== Profile throughput (%d programs, %d (program, input) pairs, \
+     best of %d) ===\n\n"
+    n_programs n_pairs reps;
+  let configs =
+    [ (Pipeline.Tree, 1); (Pipeline.Tree, jobs);
+      (Pipeline.Compiled, 1); (Pipeline.Compiled, jobs) ]
+  in
+  let results =
+    List.map
+      (fun (backend, j) ->
+        let seconds, work = time_config backend j in
+        Printf.printf "  %-8s  --jobs %-2d   %8.3f s   %12.0f work units/s\n%!"
+          (Pipeline.backend_to_string backend)
+          j seconds (work /. seconds);
+        (backend, j, seconds, work))
+      configs
+  in
+  Parallel.set_jobs jobs;
+  let seconds_of b j =
+    let _, _, s, _ =
+      List.find (fun (b', j', _, _) -> b' = b && j' = j) results
+    in
+    s
+  in
+  let speedup_1 = seconds_of Pipeline.Tree 1 /. seconds_of Pipeline.Compiled 1 in
+  let speedup_n =
+    seconds_of Pipeline.Tree jobs /. seconds_of Pipeline.Compiled jobs
+  in
+  Printf.printf "\n  compiled vs tree speedup:  %.2fx (--jobs 1), %.2fx (--jobs %d)\n\n"
+    speedup_1 speedup_n jobs;
+  let _, _, _, work_units = List.hd results in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": \"%s\",\n" (json_escape "pldi94-estimators"));
+  Buffer.add_string buf (Printf.sprintf "  \"programs\": %d,\n" n_programs);
+  Buffer.add_string buf (Printf.sprintf "  \"run_pairs\": %d,\n" n_pairs);
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf (Printf.sprintf "  \"work_units\": %.0f,\n" work_units);
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun i (backend, j, seconds, work) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"backend\": \"%s\", \"jobs\": %d, \"seconds\": %.6f, \
+            \"work_units_per_s\": %.1f }%s\n"
+           (Pipeline.backend_to_string backend)
+           j seconds (work /. seconds)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_compiled_vs_tree_jobs1\": %.3f,\n" speedup_1);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_compiled_vs_tree_jobs%d\": %.3f\n" jobs
+       speedup_n);
+  Buffer.add_string buf "}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [profile throughput written to %s]\n\n" json_path
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
   let repro_only = List.mem "--repro-only" args in
+  let profile_only = List.mem "--profile-only" args in
   let jobs =
     let rec find = function
       | "--jobs" :: n :: _ -> (
@@ -195,15 +331,42 @@ let () =
     in
     find args
   in
+  (match
+     let rec find = function
+       | "--interp-backend" :: b :: _ -> Some b
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find args
+   with
+  | None -> ()
+  | Some b -> (
+    match Pipeline.backend_of_string b with
+    | Some backend -> Pipeline.default_backend := backend
+    | None ->
+      Printf.eprintf "bench: --interp-backend expects tree or compiled, got %S\n" b;
+      exit 2));
+  let profile_json =
+    let rec find = function
+      | "--profile-json" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_profile.json"
+    in
+    find args
+  in
   Parallel.set_jobs jobs;
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
-      if not bench_only then begin
-        print_endline
-          "=== Reproduction of every table and figure (PLDI 1994) ===\n";
-        print_string (Driver.Experiments.run_all ());
-        print_newline ()
-      end;
-      if not repro_only then begin
-        run_suite_throughput (max 2 jobs);
-        run_benchmarks ()
+      if profile_only then run_profile_throughput (max 2 jobs) profile_json
+      else begin
+        if not bench_only then begin
+          print_endline
+            "=== Reproduction of every table and figure (PLDI 1994) ===\n";
+          print_string (Driver.Experiments.run_all ());
+          print_newline ()
+        end;
+        if not repro_only then begin
+          run_suite_throughput (max 2 jobs);
+          run_profile_throughput (max 2 jobs) profile_json;
+          run_benchmarks ()
+        end
       end)

@@ -59,6 +59,22 @@ let metrics_arg =
            ~doc:"Write span timings and counters as JSON to $(docv) when \
                  the command finishes.")
 
+let backend_arg =
+  let set b = Pipeline.default_backend := b in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt
+            (enum
+               [ ("tree", Pipeline.Tree); ("compiled", Pipeline.Compiled) ])
+            Pipeline.Compiled
+        & info [ "interp-backend" ] ~docv:"BACKEND"
+            ~doc:"Profiling interpreter back end: $(b,compiled) (closure\
+                  -compiled, default) or $(b,tree) (reference AST walker). \
+                  The two produce bit-identical profiles; only speed \
+                  differs."))
+
 let mode_arg =
   Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
                            ("markov", Pipeline.Imarkov);
@@ -197,7 +213,7 @@ let cmd_callsites =
 (* ---- run ---- *)
 
 let cmd_run =
-  let run path args stdin_file show_profile save_profile =
+  let run () path args stdin_file show_profile save_profile =
     let c = load path in
     let input =
       match stdin_file with None -> "" | Some f -> read_file f
@@ -239,8 +255,8 @@ let cmd_run =
            ~docv:"FILE" ~doc:"Write the execution profile to FILE.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Interpret a C program")
-    Term.(const run $ file_arg $ args $ stdin_file $ show_profile
-          $ save_profile)
+    Term.(const run $ backend_arg $ file_arg $ args $ stdin_file
+          $ show_profile $ save_profile)
 
 (* ---- score: compare a static estimate against a saved profile ---- *)
 
@@ -338,7 +354,7 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run jobs trace metrics_out id =
+  let run jobs () trace metrics_out id =
     Driver.Parallel.set_jobs jobs;
     Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
         match id with
@@ -359,7 +375,7 @@ let cmd_experiment =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg $ id)
+    Term.(const run $ jobs_arg $ backend_arg $ trace_arg $ metrics_arg $ id)
 
 (* ---- suite ---- *)
 
@@ -380,7 +396,7 @@ let cmd_suite =
    experiment suite under instrumentation (the one-flag observability
    entry point); bare invocation still shows the usage page. *)
 let default_term =
-  let run jobs trace metrics_out =
+  let run jobs () trace metrics_out =
     if trace || metrics_out <> None then begin
       Driver.Parallel.set_jobs jobs;
       Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
@@ -389,7 +405,7 @@ let default_term =
     end
     else `Help (`Pager, None)
   in
-  Term.(ret (const run $ jobs_arg $ trace_arg $ metrics_arg))
+  Term.(ret (const run $ jobs_arg $ backend_arg $ trace_arg $ metrics_arg))
 
 let main =
   Cmd.group ~default:default_term

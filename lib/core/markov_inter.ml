@@ -84,7 +84,7 @@ let is_valid (x : float array) : bool =
 
 let solve ~n ~source (arcs : arcs) : float array option =
   match
-    Linsolve.markov_frequencies ~n ~source ~arcs:(arc_list arcs)
+    Linsolve.markov_frequencies ~n ~source (arc_list arcs)
   with
   | x -> if is_valid x then Some x else None
   | exception Linsolve.Singular _ -> None
@@ -93,7 +93,7 @@ let solve ~n ~source (arcs : arcs) : float array option =
    Figure 8). *)
 let solve_raw ~n ~source (arcs : arcs) : float array option =
   match
-    Linsolve.markov_frequencies ~n ~source ~arcs:(arc_list arcs)
+    Linsolve.markov_frequencies ~n ~source (arc_list arcs)
   with
   | x -> Some x
   | exception Linsolve.Singular _ -> None

@@ -70,14 +70,11 @@ let arcs_of_fn ?branch_prob tc (usage : Usage.t) (fn : Cfg.fn) :
 (* Solve the chain. If a probability-1 cycle (e.g. an infinite goto loop)
    makes the system singular, damp all probabilities and retry — the
    paper notes such loops did not occur in its suite; we keep the solver
-   total anyway. *)
+   total anyway. Damping is passed as a scale factor into the solver so
+   the retry path never re-allocates the arc list. *)
 let solve_blocks ~(n : int) ~(entry : int) (arcs : (int * int * float) list)
     : float array =
   let rec attempt damping tries =
-    let damped =
-      if damping = 1.0 then arcs
-      else List.map (fun (s, d, p) -> (s, d, p *. damping)) arcs
-    in
     let retry () =
       if tries > 0 then begin
         Obs.Probe.count "markov_intra.damping_retry";
@@ -88,23 +85,34 @@ let solve_blocks ~(n : int) ~(entry : int) (arcs : (int * int * float) list)
         Array.make n 1.0 (* give up: flat estimate *)
       end
     in
-    match Linsolve.markov_frequencies ~n ~source:entry ~arcs:damped with
+    match
+      Linsolve.markov_frequencies ~scale:damping ~n ~source:entry arcs
+    with
     | x when Array.for_all Float.is_finite x -> x
     | _ -> retry ()
     | exception Linsolve.Singular _ -> retry ()
   in
   attempt 1.0 20
 
+(* [?usage] lets callers that sweep several estimators over one function
+   (the pipeline's per-program context) share a single [Usage.of_fun]
+   walk; when absent we compute it locally as before. *)
+let usage_for ?usage tc (fn : Cfg.fn) : Usage.t =
+  match usage with
+  | Some u -> u
+  | None -> Usage.of_fun tc fn.Cfg.fn_def
+
 (* Estimated relative block frequencies (entry = 1). *)
-let block_freqs (tc : Typecheck.t) (fn : Cfg.fn) : float array =
-  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+let block_freqs ?usage (tc : Typecheck.t) (fn : Cfg.fn) : float array =
+  let usage = usage_for ?usage tc fn in
   let arcs = arcs_of_fn tc usage fn in
   solve_blocks ~n:(Cfg.n_blocks fn) ~entry:fn.Cfg.fn_entry arcs
 
 (* The Wu-Larus variant: if-branch probabilities from combined heuristic
    evidence instead of the binary 0.8/0.2 guess. *)
-let block_freqs_combined (tc : Typecheck.t) (fn : Cfg.fn) : float array =
-  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+let block_freqs_combined ?usage (tc : Typecheck.t) (fn : Cfg.fn) : float array
+    =
+  let usage = usage_for ?usage tc fn in
   let branch_prob (br : Cfg.branch) =
     match br.Cfg.br_kind with
     | Cfg.Kwhile | Cfg.Kdo | Cfg.Kfor ->
@@ -124,8 +132,8 @@ type presented = {
   solution : float array;
 }
 
-let present (tc : Typecheck.t) (fn : Cfg.fn) : presented =
-  let usage = Usage.of_fun tc fn.Cfg.fn_def in
+let present ?usage (tc : Typecheck.t) (fn : Cfg.fn) : presented =
+  let usage = usage_for ?usage tc fn in
   let arcs = arcs_of_fn tc usage fn in
   let incoming = Hashtbl.create 16 in
   List.iter

@@ -34,12 +34,15 @@ val arcs_of_fn :
 val solve_blocks :
   n:int -> entry:int -> (int * int * float) list -> float array
 
-(** Estimated relative block frequencies (entry = 1). *)
-val block_freqs : Typecheck.t -> Cfg.fn -> float array
+(** Estimated relative block frequencies (entry = 1). [?usage] supplies a
+    precomputed [Usage.of_fun] result so estimator sweeps over the same
+    function share one AST walk; results are identical either way. *)
+val block_freqs : ?usage:Usage.t -> Typecheck.t -> Cfg.fn -> float array
 
 (** The Wu-Larus variant: if-branch probabilities from combined heuristic
     evidence instead of the binary guess. *)
-val block_freqs_combined : Typecheck.t -> Cfg.fn -> float array
+val block_freqs_combined :
+  ?usage:Usage.t -> Typecheck.t -> Cfg.fn -> float array
 
 (** The system in presentable form (paper Figures 6-7). *)
 type presented = {
@@ -48,4 +51,4 @@ type presented = {
   solution : float array;
 }
 
-val present : Typecheck.t -> Cfg.fn -> presented
+val present : ?usage:Usage.t -> Typecheck.t -> Cfg.fn -> presented

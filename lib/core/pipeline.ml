@@ -18,12 +18,30 @@
 
 module Ast = Cfront.Ast
 module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
 module Parser = Cfront.Parser
 module Cfg = Cfg_ir.Cfg
 module Build = Cfg_ir.Build
 module Callgraph = Cfg_ir.Callgraph
 module Eval = Cinterp.Eval
+module Compile = Cinterp.Compile
 module Profile = Cinterp.Profile
+
+(* Interpreter back end used for profiling. [Tree] is the reference
+   AST-walking [Eval]; [Compiled] is the closure-compiled [Compile] back
+   end. Both produce bit-identical outcomes (test/test_compile.ml), so
+   the selector only affects speed. *)
+type backend = Tree | Compiled
+
+let backend_to_string = function Tree -> "tree" | Compiled -> "compiled"
+
+let backend_of_string = function
+  | "tree" -> Some Tree
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+(* Process-wide default, set once from the CLI before any parallelism. *)
+let default_backend = ref Compiled
 
 type compiled = {
   name : string;
@@ -31,6 +49,15 @@ type compiled = {
   tc : Typecheck.t;
   prog : Cfg.program;
   graph : Callgraph.t;
+  exe_lock : Mutex.t;
+  mutable exe : Compile.prog option;
+      (* memoized closure-compiled program; [exe_lock] guards both the
+         write and the read — the compiled record is shared across
+         domains and a racy read of [exe] could observe a partially
+         published value under the OCaml memory model *)
+  usage_lock : Mutex.t;
+  usage_tbl : (string, Usage.t) Hashtbl.t;
+      (* per-function [Usage.of_fun] memo shared by estimator sweeps *)
 }
 
 let compile ?(defines = []) ~(name : string) (source : string) : compiled =
@@ -41,17 +68,58 @@ let compile ?(defines = []) ~(name : string) (source : string) : compiled =
       in
       let tc = Obs.Probe.with_span "typecheck" (fun () -> Typecheck.check tunit) in
       let prog = Obs.Probe.with_span "cfg" (fun () -> Build.build tc) in
-      { name; source; tc; prog; graph = Callgraph.build prog })
+      { name; source; tc; prog; graph = Callgraph.build prog;
+        exe_lock = Mutex.create (); exe = None;
+        usage_lock = Mutex.create (); usage_tbl = Hashtbl.create 16 })
+
+(* The closure-compiled executable for [c], built on first use. *)
+let closure_exe (c : compiled) : Compile.prog =
+  Mutex.lock c.exe_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.exe_lock)
+    (fun () ->
+      match c.exe with
+      | Some exe -> exe
+      | None ->
+        let exe =
+          Obs.Probe.with_span "compile.closures" (fun () ->
+              Compile.compile c.prog)
+        in
+        c.exe <- Some exe;
+        exe)
+
+(* Memoized [Usage.of_fun]; a [Usage.t] is immutable after construction,
+   so sharing one across estimator sweeps (and domains) is safe. *)
+let usage_of (c : compiled) (fn : Cfg.fn) : Usage.t =
+  Mutex.lock c.usage_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.usage_lock)
+    (fun () ->
+      match Hashtbl.find_opt c.usage_tbl fn.Cfg.fn_name with
+      | Some u -> u
+      | None ->
+        let u = Usage.of_fun c.tc fn.Cfg.fn_def in
+        Hashtbl.replace c.usage_tbl fn.Cfg.fn_name u;
+        u)
 
 (* One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
 
-let run_once ?fuel (c : compiled) (r : run) : Eval.outcome =
+let run_once ?fuel ?backend (c : compiled) (r : run) : Eval.outcome =
   Obs.Probe.with_span "profile" (fun () ->
-      Eval.run ?fuel ~argv:r.argv ~input:r.input c.prog)
+      match
+        (match backend with Some b -> b | None -> !default_backend)
+      with
+      | Tree ->
+        Obs.Probe.count "interp.dispatch.tree";
+        Eval.run ?fuel ~argv:r.argv ~input:r.input c.prog
+      | Compiled ->
+        Obs.Probe.count "interp.dispatch.compiled";
+        Compile.run ?fuel ~argv:r.argv ~input:r.input (closure_exe c))
 
-let profile_runs ?fuel (c : compiled) (runs : run list) : Profile.t list =
-  List.map (fun r -> (run_once ?fuel c r).Eval.profile) runs
+let profile_runs ?fuel ?backend (c : compiled) (runs : run list) :
+    Profile.t list =
+  List.map (fun r -> (run_once ?fuel ?backend c r).Eval.profile) runs
 
 (* ------------------------------------------------------------------ *)
 (* Intra-procedural estimates: per-function block frequency arrays. *)
@@ -75,9 +143,10 @@ let intra_table (c : compiled) (kind : intra_kind) :
         match kind with
         | Iloop -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop
         | Ismart -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Smart
-        | Imarkov -> Markov_intra.block_freqs c.tc fn
+        | Imarkov -> Markov_intra.block_freqs ~usage:(usage_of c fn) c.tc fn
         | Istructural -> Structural_estimator.block_freqs_refined fn
-        | Icombined -> Markov_intra.block_freqs_combined c.tc fn
+        | Icombined ->
+          Markov_intra.block_freqs_combined ~usage:(usage_of c fn) c.tc fn
       in
       Hashtbl.replace table fn.Cfg.fn_name freqs)
     c.prog.Cfg.prog_fns;

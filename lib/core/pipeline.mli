@@ -15,20 +15,42 @@
 
 module Ast = Cfront.Ast
 module Typecheck = Cfront.Typecheck
+module Usage = Cfront.Usage
 module Parser = Cfront.Parser
 module Cfg = Cfg_ir.Cfg
 module Build = Cfg_ir.Build
 module Callgraph = Cfg_ir.Callgraph
 module Eval = Cinterp.Eval
+module Compile = Cinterp.Compile
 module Profile = Cinterp.Profile
 
-(** A compiled program: typed AST, CFGs and call graph. *)
-type compiled = {
+(** Interpreter back end used for profiling: the reference AST-walking
+    {!Eval} or the closure-compiled {!Compile}. The two are proven to
+    produce bit-identical outcomes (profiles, stdout, exit codes), so
+    the selector only affects speed. *)
+type backend = Tree | Compiled
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> backend option
+
+(** Process-wide default back end ([Compiled] unless overridden with
+    [--interp-backend]). Set it before spawning parallel work. *)
+val default_backend : backend ref
+
+(** A compiled program: typed AST, CFGs, call graph, plus lazily built
+    shared state (closure-compiled executable, per-function usage memo).
+    The mutable fields are lock-protected; the record may be shared
+    freely across domains. *)
+type compiled = private {
   name : string;
   source : string;
   tc : Typecheck.t;
   prog : Cfg.program;
   graph : Callgraph.t;
+  exe_lock : Mutex.t;
+  mutable exe : Compile.prog option;
+  usage_lock : Mutex.t;
+  usage_tbl : (string, Usage.t) Hashtbl.t;
 }
 
 (** [compile ?defines ~name source] runs preprocess → parse → typecheck →
@@ -37,14 +59,24 @@ type compiled = {
     @raise Cfront.Parser.Error or {!Typecheck.Error} on invalid source. *)
 val compile : ?defines:(string * string) list -> name:string -> string -> compiled
 
+(** The closure-compiled executable, built on first use and memoized
+    (thread-safe). Call during warm-up to move the one-time lowering
+    cost off the profiling path. *)
+val closure_exe : compiled -> Compile.prog
+
+(** Memoized [Usage.of_fun] for estimator sweeps (thread-safe). *)
+val usage_of : compiled -> Cfg.fn -> Usage.t
+
 (** One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
 
-(** Interpret the program once, collecting a profile. *)
-val run_once : ?fuel:int -> compiled -> run -> Eval.outcome
+(** Interpret the program once, collecting a profile. [backend] defaults
+    to {!default_backend}. *)
+val run_once : ?fuel:int -> ?backend:backend -> compiled -> run -> Eval.outcome
 
 (** Profiles for a list of runs. *)
-val profile_runs : ?fuel:int -> compiled -> run list -> Profile.t list
+val profile_runs :
+  ?fuel:int -> ?backend:backend -> compiled -> run list -> Profile.t list
 
 (** {1 Intra-procedural estimates} *)
 

@@ -81,8 +81,16 @@ let abandon k =
 (* The per-program pipeline stages. *)
 
 let compile_stage (bench : Suite.Bench_prog.t) : Pipeline.compiled =
-  Pipeline.compile ~name:bench.Suite.Bench_prog.name
-    bench.Suite.Bench_prog.source
+  let c =
+    Pipeline.compile ~name:bench.Suite.Bench_prog.name
+      bench.Suite.Bench_prog.source
+  in
+  (* Lower to closures as part of the (parallel) compile stage, so the
+     one-time cost is off the profiling path and spread across the
+     domain pool during warm-up. *)
+  if !Pipeline.default_backend = Pipeline.Compiled then
+    ignore (Pipeline.closure_exe c);
+  c
 
 let profile_stage (compiled : Pipeline.compiled)
     (r : Suite.Bench_prog.run) : Profile.t =

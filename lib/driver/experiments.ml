@@ -376,7 +376,9 @@ let fig5bc () : string =
 let fig6_7 () : string =
   let c = strchr_compiled () in
   let fn = Option.get (Cfg.find_fn c.Pipeline.prog "strchr") in
-  let presented = Markov_intra.present c.Pipeline.tc fn in
+  let presented =
+    Markov_intra.present ~usage:(Pipeline.usage_of c fn) c.Pipeline.tc fn
+  in
   let buf = Buffer.create 512 in
   bprintf buf
     "Figures 6-7: Markov model of strchr (branch probabilities 0.8/0.2)\n\n";

@@ -11,15 +11,15 @@ exception Singular of int (* pivot column with no usable pivot *)
 
 let epsilon = 1e-12
 
-(* Solve A x = b in place on copies; returns x. *)
-let solve (a : Matrix.t) (b : float array) : float array =
-  let n = a.Matrix.rows in
-  if a.Matrix.cols <> n then invalid_arg "Linsolve.solve: not square";
-  if Array.length b <> n then invalid_arg "Linsolve.solve: bad rhs";
+(* Solve A x = b, destroying [m] and [x]; returns [x]. Callers that
+   build a throwaway system (the Markov estimators) use this directly to
+   skip the defensive O(n²) copy in [solve]. *)
+let solve_inplace (m : Matrix.t) (x : float array) : float array =
+  let n = m.Matrix.rows in
+  if m.Matrix.cols <> n then invalid_arg "Linsolve.solve: not square";
+  if Array.length x <> n then invalid_arg "Linsolve.solve: bad rhs";
   Obs.Probe.count "linsolve.solve";
   Obs.Probe.with_span "linsolve" @@ fun () ->
-  let m = Matrix.copy a in
-  let x = Array.copy b in
   let data = m.Matrix.data in
   let idx i j = (i * n) + j in
   (* Singularity is judged relative to the matrix scale (largest |entry|
@@ -79,6 +79,10 @@ let solve (a : Matrix.t) (b : float array) : float array =
   done;
   x
 
+(* Solve A x = b on copies; [a] and [b] are left untouched. *)
+let solve (a : Matrix.t) (b : float array) : float array =
+  solve_inplace (Matrix.copy a) (Array.copy b)
+
 (* Solve the Markov frequency system:
      x_source = 1 + sum over arcs (j -> source, p) of p * x_j
      x_i      =     sum over arcs (j -> i, p)      of p * x_j
@@ -86,9 +90,14 @@ let solve (a : Matrix.t) (b : float array) : float array =
    external flow (the function entry / the invocation of main); incoming
    arcs still contribute, which matters when the entry block is also a
    loop header or main is called recursively. Nodes unreachable from the
-   source get frequency 0. *)
-let markov_frequencies ~(n : int) ~(source : int)
-    ~(arcs : (int * int * float) list) : float array =
+   source get frequency 0.
+
+   [scale] multiplies every arc probability before it enters the system;
+   the Markov estimators use it to damp near-singular systems without
+   rebuilding the arc list. [scale = 1.0] is exact identity: [p *. 1.0]
+   is [p] bitwise, so the default changes nothing. *)
+let markov_frequencies ?(scale = 1.0) ~(n : int) ~(source : int)
+    (arcs : (int * int * float) list) : float array =
   if n = 0 then [||]
   else begin
     let a = Matrix.create n n in
@@ -98,6 +107,9 @@ let markov_frequencies ~(n : int) ~(source : int)
     done;
     let b = Array.make n 0.0 in
     b.(source) <- 1.0;
-    List.iter (fun (src, dst, p) -> Matrix.add_to a dst src (-.p)) arcs;
-    solve a b
+    List.iter
+      (fun (src, dst, p) -> Matrix.add_to a dst src (-.(p *. scale)))
+      arcs;
+    (* The system was built fresh above; eliminate in place. *)
+    solve_inplace a b
   end

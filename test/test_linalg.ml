@@ -77,7 +77,7 @@ let test_paper_figure7 () =
     [ (0, 1, 1.0); (1, 2, 0.8); (1, 5, 0.2); (2, 3, 0.2); (2, 4, 0.8);
       (4, 1, 1.0) ]
   in
-  let x = Linsolve.markov_frequencies ~n:6 ~source:0 ~arcs in
+  let x = Linsolve.markov_frequencies ~n:6 ~source:0 arcs in
   let expect = [| 1.0; 2.7777777; 2.2222222; 0.4444444; 1.7777777; 0.5555555 |] in
   Array.iteri
     (fun i v ->
@@ -86,7 +86,7 @@ let test_paper_figure7 () =
 
 let test_markov_unreachable_zero () =
   let x =
-    Linsolve.markov_frequencies ~n:3 ~source:0 ~arcs:[ (0, 1, 1.0) ]
+    Linsolve.markov_frequencies ~n:3 ~source:0 [ (0, 1, 1.0) ]
   in
   Alcotest.(check (float 1e-12)) "unreachable node" 0.0 x.(2)
 
@@ -94,7 +94,7 @@ let test_markov_source_with_back_edge () =
   (* source is also a loop header: x0 = 1 + x1, x1 = 0.5 x0 -> x0 = 2 *)
   let x =
     Linsolve.markov_frequencies ~n:2 ~source:0
-      ~arcs:[ (0, 1, 0.5); (1, 0, 1.0) ]
+      [ (0, 1, 0.5); (1, 0, 1.0) ]
   in
   Alcotest.(check (float 1e-9)) "looping source" 2.0 x.(0);
   Alcotest.(check (float 1e-9)) "body" 1.0 x.(1)
@@ -158,7 +158,7 @@ let prop_markov_conservation =
               (List.map (fun (a, b, p) -> Printf.sprintf "%d->%d@%.1f" a b p)
                  arcs))))
     (fun (n, arcs) ->
-      let x = Linsolve.markov_frequencies ~n ~source:0 ~arcs in
+      let x = Linsolve.markov_frequencies ~n ~source:0 arcs in
       (* check each equation *)
       let ok = ref (abs_float (x.(0) -. 1.0) < 1e-9) in
       for i = 1 to n - 1 do
@@ -171,8 +171,46 @@ let prop_markov_conservation =
       done;
       !ok)
 
+(* solve must not mutate its inputs (solve_inplace exists for callers
+   that are allowed to), and the two must agree bit-for-bit. *)
+let test_solve_preserves_inputs () =
+  let a =
+    Matrix.of_rows
+      [| [| 4.0; 1.0; 0.0 |]; [| 1.0; 3.0; 1.0 |]; [| 0.0; 1.0; 2.0 |] |]
+  in
+  let b = [| 1.0; 2.0; 3.0 |] in
+  let a_before = Array.copy a.Matrix.data in
+  let b_before = Array.copy b in
+  let x = Linsolve.solve a b in
+  Alcotest.(check bool) "matrix untouched" true (a.Matrix.data = a_before);
+  Alcotest.(check bool) "rhs untouched" true (b = b_before);
+  let x' = Linsolve.solve_inplace (Matrix.copy a) (Array.copy b) in
+  Alcotest.(check bool) "solve = solve_inplace, bitwise" true (x = x')
+
+(* The ?scale damping path must be bit-identical to pre-scaling the arc
+   list by hand (this pins the Markov damping-retry refactor). *)
+let test_markov_scale_matches_prescaled () =
+  let arcs = [ (0, 1, 0.8); (0, 2, 0.2); (1, 0, 1.0); (2, 1, 0.45) ] in
+  List.iter
+    (fun scale ->
+      let via_scale =
+        Linsolve.markov_frequencies ~scale ~n:3 ~source:0 arcs
+      in
+      let via_map =
+        Linsolve.markov_frequencies ~n:3 ~source:0
+          (List.map (fun (s, d, p) -> (s, d, p *. scale)) arcs)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "scale %.4f bit-identical" scale)
+        true (via_scale = via_map))
+    [ 1.0; 0.95; 0.95 *. 0.95; 0.5 ]
+
 let suite =
   [ Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "solve preserves inputs" `Quick
+      test_solve_preserves_inputs;
+    Alcotest.test_case "markov scale = prescaled arcs" `Quick
+      test_markov_scale_matches_prescaled;
     Alcotest.test_case "known 2x2" `Quick test_known_system;
     Alcotest.test_case "pivoting" `Quick test_pivoting_required;
     Alcotest.test_case "singular detection" `Quick test_singular_detected;

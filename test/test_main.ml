@@ -9,6 +9,7 @@ let () =
       ("const-fold", Test_const_fold.suite);
       ("cfg", Test_cfg.suite);
       ("interp", Test_interp.suite);
+      ("compile", Test_compile.suite);
       ("linalg", Test_linalg.suite);
       ("weight-matching", Test_weight_matching.suite);
       ("branch-predictor", Test_branch_predictor.suite);
