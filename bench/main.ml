@@ -18,6 +18,11 @@
    Back end:              dune exec bench/main.exe -- --interp-backend tree
    Observability:         dune exec bench/main.exe -- --trace
                           dune exec bench/main.exe -- --metrics-out FILE
+   Fault policy:          dune exec bench/main.exe -- --strict
+                          dune exec bench/main.exe -- --chaos SEED
+
+   Like bin/main.exe, a run that completes with recorded faults prints
+   the fault summary to stderr and exits 3.
 
    The profile-throughput section times the two interpreter back ends
    (tree walker vs closure-compiled) over every (program, input) pair of
@@ -354,6 +359,18 @@ let () =
     in
     find args
   in
+  if List.mem "--strict" args then Driver.Fault.set_strict true;
+  (let rec find = function
+     | "--chaos" :: s :: _ -> (
+       match int_of_string_opt s with
+       | Some seed -> Driver.Fault.arm_chaos ~seed ()
+       | None ->
+         Printf.eprintf "bench: --chaos expects an integer seed, got %S\n" s;
+         exit 2)
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find args);
   Parallel.set_jobs jobs;
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
       if profile_only then run_profile_throughput (max 2 jobs) profile_json
@@ -369,4 +386,7 @@ let () =
           run_profile_throughput (max 2 jobs) profile_json;
           run_benchmarks ()
         end
-      end)
+      end);
+  let faults = Driver.Fault.summary () in
+  if faults <> "" then prerr_string faults;
+  exit (Driver.Fault.exit_code ())

@@ -59,6 +59,42 @@ let metrics_arg =
            ~doc:"Write span timings and counters as JSON to $(docv) when \
                  the command finishes.")
 
+(* Fault policy for the suite-driving commands: [--strict] fails fast
+   with the original backtrace, [--chaos SEED] arms every registered
+   injection point with the deterministic seeded hash. Applied as a
+   setup term, like [backend_arg]. *)
+let fault_arg =
+  let set strict chaos =
+    if strict then Driver.Fault.set_strict true;
+    match chaos with
+    | None -> ()
+    | Some seed -> Driver.Fault.arm_chaos ~seed ()
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value & flag
+        & info [ "strict" ]
+            ~doc:"Fail fast on the first fault instead of degrading: the \
+                  original exception is re-raised with its backtrace and \
+                  the process exits non-zero.")
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "chaos" ] ~docv:"SEED"
+            ~doc:"Arm every fault-injection point with a deterministic \
+                  hash of $(docv): the same seed fails the same stages at \
+                  any $(b,--jobs) setting. The run completes degraded \
+                  (exit code 3) unless $(b,--strict) is also given."))
+
+(* Completed runs report recorded faults on stderr and exit 3, so
+   scripts can tell a degraded evaluation from a healthy one. *)
+let finish_with_fault_status () =
+  let s = Driver.Fault.summary () in
+  if s <> "" then prerr_string s;
+  let code = Driver.Fault.exit_code () in
+  if code <> 0 then exit code
+
 let backend_arg =
   let set b = Pipeline.default_backend := b in
   Term.(
@@ -354,7 +390,7 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run jobs () trace metrics_out id =
+  let run jobs () () trace metrics_out id =
     Driver.Parallel.set_jobs jobs;
     Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
         match id with
@@ -367,7 +403,8 @@ let cmd_experiment =
         | Some id -> (
           match Driver.Experiments.find id with
           | Some f -> print_string (f ())
-          | None -> failwith ("unknown experiment " ^ id)))
+          | None -> failwith ("unknown experiment " ^ id)));
+    finish_with_fault_status ()
   in
   let id =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
@@ -375,7 +412,8 @@ let cmd_experiment =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ jobs_arg $ backend_arg $ trace_arg $ metrics_arg $ id)
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ trace_arg
+          $ metrics_arg $ id)
 
 (* ---- suite ---- *)
 
@@ -394,18 +432,22 @@ let cmd_suite =
 
 (* With no subcommand, [--trace] / [--metrics-out] run the full
    experiment suite under instrumentation (the one-flag observability
-   entry point); bare invocation still shows the usage page. *)
+   entry point), and [--chaos SEED] runs it under fault injection;
+   bare invocation still shows the usage page. *)
 let default_term =
-  let run jobs () trace metrics_out =
-    if trace || metrics_out <> None then begin
+  let run jobs () () trace metrics_out =
+    if trace || metrics_out <> None || Obs.Inject.chaos_seed () <> None
+    then begin
       Driver.Parallel.set_jobs jobs;
       Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
           print_string (Driver.Experiments.run_all ()));
+      finish_with_fault_status ();
       `Ok ()
     end
     else `Help (`Pager, None)
   in
-  Term.(ret (const run $ jobs_arg $ backend_arg $ trace_arg $ metrics_arg))
+  Term.(ret (const run $ jobs_arg $ backend_arg $ fault_arg $ trace_arg
+             $ metrics_arg))
 
 let main =
   Cmd.group ~default:default_term

@@ -53,6 +53,8 @@ type state = {
   fcounters : Profile.fn_counters array;(* by [cfn.c_index] *)
   profile : Profile.t;
   mutable fuel : int;
+  deadline : float; (* absolute gettimeofday seconds; [infinity] = none *)
+  mutable clock_tick : int; (* blocks until the next wall-clock read *)
 }
 
 type frame = { locals : Value.ptr array }
@@ -123,8 +125,13 @@ let rec exec_blocks (st : state) (fr : frame) (cf : cfn)
   let bnt = counters.Profile.branch_not_taken in
   let profile = st.profile in
   let rec run bid : Value.value =
-    if st.fuel <= 0 then
-      Value.error "step limit exceeded in %s" cf.c_name;
+    if st.fuel <= 0 then raise Eval.Out_of_fuel;
+    st.clock_tick <- st.clock_tick - 1;
+    if st.clock_tick <= 0 then begin
+      st.clock_tick <- Eval.clock_check_interval;
+      if Unix.gettimeofday () >= st.deadline then
+        raise Eval.Out_of_wall_clock
+    end;
     let blk = blocks.(bid) in
     bc.(bid) <- bc.(bid) +. 1.0;
     st.fuel <- st.fuel - blk.cb_cost;
@@ -893,8 +900,13 @@ let compile (src : Cfg.program) : prog =
 (* ------------------------------------------------------------------ *)
 (* Entry point: mirror of [Eval.run]. *)
 
-let run ?(fuel = Eval.default_fuel) ?(argv = []) ?(input = "") (p : prog) :
-    Eval.outcome =
+let run ?(fuel = Eval.default_fuel) ?deadline_s ?(argv = []) ?(input = "")
+    (p : prog) : Eval.outcome =
+  let deadline, clock_tick =
+    match deadline_s with
+    | None -> (infinity, max_int)
+    | Some s -> (Unix.gettimeofday () +. s, Eval.clock_check_interval)
+  in
   let mem = Memory.create () in
   let profile = Profile.create p.p_src in
   let st =
@@ -907,7 +919,7 @@ let run ?(fuel = Eval.default_fuel) ?(argv = []) ?(input = "") (p : prog) :
         Array.map
           (fun cf -> Profile.fn_counters profile cf.c_name)
           p.p_fn_list;
-      profile; fuel }
+      profile; fuel; deadline; clock_tick }
   in
   let finish code =
     { Eval.exit_code = code; stdout_text = Builtins.output st.bctx;
@@ -946,5 +958,10 @@ let run ?(fuel = Eval.default_fuel) ?(argv = []) ?(input = "") (p : prog) :
       in
       let result = call_fn st main_cf args in
       finish (match result with Value.Vint n -> n | _ -> 0)
-    with Builtins.Exit_program code -> finish code
+    with
+    | Builtins.Exit_program code -> finish code
+    | Eval.Out_of_fuel ->
+      raise (Eval.Budget_exhausted (Eval.Fuel, finish (-1)))
+    | Eval.Out_of_wall_clock ->
+      raise (Eval.Budget_exhausted (Eval.Wall_clock, finish (-1)))
   end

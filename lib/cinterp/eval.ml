@@ -12,6 +12,21 @@ module Typecheck = Cfront.Typecheck
 
 exception Error = Value.Runtime_error
 
+(* Budget stops: raised mid-execution when the run exceeds its fuel or
+   wall-clock budget, and converted by [run] into [Budget_exhausted]
+   carrying the *partial* outcome — a divergent or runaway profile run
+   yields the profile it accumulated, never a hang or a bare crash. The
+   compiled back end ([Compile]) raises these same constructors so the
+   two back ends stay observationally identical under exhaustion. *)
+exception Out_of_fuel
+exception Out_of_wall_clock
+
+(* How many blocks run between wall-clock reads when a deadline is set:
+   one [Unix.gettimeofday] per ~50k blocks keeps the check off the hot
+   path. Without a deadline the tick starts at [max_int] and the check
+   never triggers. *)
+let clock_check_interval = 50_000
+
 type genv = {
   prog : Cfg.program;
   tc : Typecheck.t;
@@ -23,6 +38,8 @@ type genv = {
   site_of_expr : (Ast.node_id, int) Hashtbl.t; (* call expr -> cs_id *)
   profile : Profile.t;
   mutable fuel : int;
+  deadline : float; (* absolute gettimeofday seconds; [infinity] = none *)
+  mutable clock_tick : int; (* blocks until the next wall-clock read *)
 }
 
 type frame = { fn : Cfg.fn; locals : Value.ptr array }
@@ -453,8 +470,12 @@ and exec_blocks g fr (counters : Profile.fn_counters) (start : int) :
     Value.value =
   let blocks = fr.fn.Cfg.fn_blocks in
   let rec run bid : Value.value =
-    if g.fuel <= 0 then
-      Value.error "step limit exceeded in %s" fr.fn.Cfg.fn_name;
+    if g.fuel <= 0 then raise Out_of_fuel;
+    g.clock_tick <- g.clock_tick - 1;
+    if g.clock_tick <= 0 then begin
+      g.clock_tick <- clock_check_interval;
+      if Unix.gettimeofday () >= g.deadline then raise Out_of_wall_clock
+    end;
     let blk = blocks.(bid) in
     counters.Profile.block_counts.(bid) <-
       counters.Profile.block_counts.(bid) +. 1.0;
@@ -555,12 +576,39 @@ type outcome = {
   work : float; (* executed instruction units *)
 }
 
+(* Which budget ran out. *)
+type budget_stop = Fuel | Wall_clock
+
+let budget_stop_to_string = function
+  | Fuel -> "fuel"
+  | Wall_clock -> "wall-clock"
+
+(* The typed partial-profile fault: the carried outcome holds everything
+   the run produced before the budget ran out (exit code [-1] marks it
+   partial). The driver records a fault and may keep the partial
+   profile; a hang is never an option. *)
+exception Budget_exhausted of budget_stop * outcome
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted (stop, o) ->
+      Some
+        (Printf.sprintf
+           "Cinterp.Eval.Budget_exhausted(%s, %.0f work units done)"
+           (budget_stop_to_string stop) o.work)
+    | _ -> None)
+
 let default_fuel = 100_000_000
 
 (* Run a program's main function. [argv] are the C-level arguments
    (argv[0] is synthesized); [input] feeds getchar(). *)
-let run ?(fuel = default_fuel) ?(argv = []) ?(input = "")
+let run ?(fuel = default_fuel) ?deadline_s ?(argv = []) ?(input = "")
     (prog : Cfg.program) : outcome =
+  let deadline, clock_tick =
+    match deadline_s with
+    | None -> (infinity, max_int)
+    | Some s -> (Unix.gettimeofday () +. s, clock_check_interval)
+  in
   let tc = prog.Cfg.prog_tc in
   let mem = Memory.create () in
   let site_of_expr = Hashtbl.create 64 in
@@ -572,7 +620,7 @@ let run ?(fuel = default_fuel) ?(argv = []) ?(input = "")
     { prog; tc; reg = tc.Typecheck.tunit.Ast.structs; mem;
       bctx = Builtins.create_ctx ~input mem; globals = Hashtbl.create 32;
       strings = Hashtbl.create 32; site_of_expr;
-      profile = Profile.create prog; fuel }
+      profile = Profile.create prog; fuel; deadline; clock_tick }
   in
   let finish code =
     { exit_code = code; stdout_text = Builtins.output g.bctx;
@@ -601,5 +649,8 @@ let run ?(fuel = default_fuel) ?(argv = []) ?(input = "")
       in
       let result = exec_fn g main_fn args in
       finish (match result with Value.Vint n -> n | _ -> 0)
-    with Builtins.Exit_program code -> finish code
+    with
+    | Builtins.Exit_program code -> finish code
+    | Out_of_fuel -> raise (Budget_exhausted (Fuel, finish (-1)))
+    | Out_of_wall_clock -> raise (Budget_exhausted (Wall_clock, finish (-1)))
   end

@@ -150,8 +150,23 @@ let scale_scc (arcs : arcs) (members : int list) (factor : float) : unit =
 
 let scale_step = 0.8
 
-(* Estimate invocation frequencies for all defined functions. *)
-let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
+(* Estimate invocation frequencies for all defined functions.
+
+   Degradation chain: global markov solve → SCC repair → 50 damping
+   rounds → the [call_site] simple estimate (an estimator that cannot
+   fail; the paper's point that an imperfect estimate beats none) →
+   flat. Reaching the simple-estimate fallback records an
+   [Obs.Faultlog] entry alongside the probe counter, because a healthy
+   suite never gets past the repair stages. [?inject_key] names this
+   solve for the ["solve.inter"] injection point (the pipeline passes
+   the program); when armed it makes every global/damped solve report
+   singular, driving the chain to its end deterministically. *)
+let estimate ?(inject_key = "") (g : Callgraph.t)
+    ~(intra : string -> float array) : result =
+  let solve ~n ~source arcs =
+    if Obs.Inject.should_fire "solve.inter" ~key:inject_key then None
+    else solve ~n ~source arcs
+  in
   let arcs, n, has_pointer = build_arcs g ~intra in
   let source = Option.value ~default:0 g.Callgraph.main_index in
   (* Step 1: clamp impossible direct-recursion arcs. *)
@@ -207,8 +222,28 @@ let estimate (g : Callgraph.t) ~(intra : string -> float array) : result =
         (* last resort: damp everything until solvable *)
         let rec damp k =
           if k = 0 then begin
-            Obs.Probe.count "markov_inter.flat_fallback";
-            Array.make n 1.0
+            (* Damping exhausted: degrade to the call_site simple
+               estimate, which combines the same intra frequencies with
+               the static call graph and cannot fail; flat only if even
+               that raises. The pointer-node slot (absent from the
+               simple estimate) keeps the neutral weight 1. *)
+            let recovery, x =
+              match
+                Inter_simple.estimate g ~intra Inter_simple.Call_site
+              with
+              | assoc ->
+                Obs.Probe.count "markov_inter.call_site_fallback";
+                let x = Array.make n 1.0 in
+                List.iteri (fun i (_, v) -> x.(i) <- v) assoc;
+                ("fallback to call_site estimate", x)
+              | exception _ ->
+                Obs.Probe.count "markov_inter.flat_fallback";
+                ("flat estimate", Array.make n 1.0)
+            in
+            Obs.Faultlog.record ~stage:"solve" ~subject:inject_key
+              ~detail:"markov_inter: SCC repair and damping exhausted"
+              ~exn_text:"system stayed singular or invalid" recovery;
+            x
           end
           else begin
             let all = Hashtbl.fold (fun key _ acc -> key :: acc) arcs [] in

@@ -26,9 +26,13 @@ type result = {
 }
 
 (** Estimated invocation frequencies for all defined functions. Total:
-    clamping and SCC repair guarantee a finite, non-negative solution. *)
+    the degradation chain is global solve → clamping/SCC repair → 50
+    damping rounds → the [call_site] simple estimate → flat, so a valid
+    vector always comes back; falling past the repair stages records an
+    [Obs.Faultlog] entry. [?inject_key] names this solve for the
+    ["solve.inter"] injection point. *)
 val estimate :
-  Callgraph.t -> intra:(string -> float array) -> result
+  ?inject_key:string -> Callgraph.t -> intra:(string -> float array) -> result
 
 (** The raw (unclamped, unrepaired) solution — demonstrates the invalid
     negative frequencies of the paper's Figure 8. [None] if singular. *)

@@ -71,9 +71,16 @@ let arcs_of_fn ?branch_prob tc (usage : Usage.t) (fn : Cfg.fn) :
    makes the system singular, damp all probabilities and retry — the
    paper notes such loops did not occur in its suite; we keep the solver
    total anyway. Damping is passed as a scale factor into the solver so
-   the retry path never re-allocates the arc list. *)
-let solve_blocks ~(n : int) ~(entry : int) (arcs : (int * int * float) list)
-    : float array =
+   the retry path never re-allocates the arc list.
+
+   Degradation chain: markov solve → 20 damped retries → [?fallback]
+   (the pipeline passes the loop estimate — "always produce *an*
+   estimate") → flat. Exhausting the retries records a fault in
+   [Obs.Faultlog] alongside the probe counter, because it never happens
+   on a healthy suite. [?inject_key] names this solve for the
+   ["solve.intra"] injection point (the pipeline passes the program). *)
+let solve_blocks ?(inject_key = "") ?fallback ~(n : int) ~(entry : int)
+    (arcs : (int * int * float) list) : float array =
   let rec attempt damping tries =
     let retry () =
       if tries > 0 then begin
@@ -81,11 +88,24 @@ let solve_blocks ~(n : int) ~(entry : int) (arcs : (int * int * float) list)
         attempt (damping *. 0.95) (tries - 1)
       end
       else begin
-        Obs.Probe.count "markov_intra.flat_fallback";
-        Array.make n 1.0 (* give up: flat estimate *)
+        let recovery, freqs =
+          match fallback with
+          | Some (label, f) ->
+            Obs.Probe.count "markov_intra.fallback_estimate";
+            (("fallback to " ^ label), f ())
+          | None ->
+            Obs.Probe.count "markov_intra.flat_fallback";
+            ("flat estimate", Array.make n 1.0)
+        in
+        Obs.Faultlog.record ~stage:"solve" ~subject:inject_key
+          ~detail:"markov_intra: damped retries exhausted"
+          ~exn_text:"system stayed singular or non-finite" recovery;
+        freqs
       end
     in
     match
+      if Obs.Inject.should_fire "solve.intra" ~key:inject_key then
+        raise (Linsolve.Singular (-1));
       Linsolve.markov_frequencies ~scale:damping ~n ~source:entry arcs
     with
     | x when Array.for_all Float.is_finite x -> x
@@ -103,15 +123,17 @@ let usage_for ?usage tc (fn : Cfg.fn) : Usage.t =
   | None -> Usage.of_fun tc fn.Cfg.fn_def
 
 (* Estimated relative block frequencies (entry = 1). *)
-let block_freqs ?usage (tc : Typecheck.t) (fn : Cfg.fn) : float array =
+let block_freqs ?usage ?inject_key ?fallback (tc : Typecheck.t)
+    (fn : Cfg.fn) : float array =
   let usage = usage_for ?usage tc fn in
   let arcs = arcs_of_fn tc usage fn in
-  solve_blocks ~n:(Cfg.n_blocks fn) ~entry:fn.Cfg.fn_entry arcs
+  solve_blocks ?inject_key ?fallback ~n:(Cfg.n_blocks fn)
+    ~entry:fn.Cfg.fn_entry arcs
 
 (* The Wu-Larus variant: if-branch probabilities from combined heuristic
    evidence instead of the binary 0.8/0.2 guess. *)
-let block_freqs_combined ?usage (tc : Typecheck.t) (fn : Cfg.fn) : float array
-    =
+let block_freqs_combined ?usage ?inject_key ?fallback (tc : Typecheck.t)
+    (fn : Cfg.fn) : float array =
   let usage = usage_for ?usage tc fn in
   let branch_prob (br : Cfg.branch) =
     match br.Cfg.br_kind with
@@ -123,7 +145,8 @@ let block_freqs_combined ?usage (tc : Typecheck.t) (fn : Cfg.fn) : float array
         ~else_arm:br.Cfg.br_else_arm
   in
   let arcs = arcs_of_fn ~branch_prob tc usage fn in
-  solve_blocks ~n:(Cfg.n_blocks fn) ~entry:fn.Cfg.fn_entry arcs
+  solve_blocks ?inject_key ?fallback ~n:(Cfg.n_blocks fn)
+    ~entry:fn.Cfg.fn_entry arcs
 
 (* The system in presentable form (paper Figures 6-7): for each block, the
    equation x_b = sum p_i * x_pred_i, plus the solution vector. *)

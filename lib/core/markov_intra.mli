@@ -30,19 +30,40 @@ val arcs_of_fn :
   (int * int * float) list
 
 (** Solve the chain; probability-1 cycles (infinite goto loops) are damped
-    until the system is regular, so the solver is total. *)
+    until the system is regular, so the solver is total. The degradation
+    chain is markov → 20 damped retries → [?fallback] (a labelled thunk,
+    e.g. the loop estimate) → flat; exhausting the retries records an
+    [Obs.Faultlog] entry. [?inject_key] names this solve for the
+    ["solve.intra"] injection point. *)
 val solve_blocks :
-  n:int -> entry:int -> (int * int * float) list -> float array
+  ?inject_key:string ->
+  ?fallback:string * (unit -> float array) ->
+  n:int ->
+  entry:int ->
+  (int * int * float) list ->
+  float array
 
 (** Estimated relative block frequencies (entry = 1). [?usage] supplies a
     precomputed [Usage.of_fun] result so estimator sweeps over the same
-    function share one AST walk; results are identical either way. *)
-val block_freqs : ?usage:Usage.t -> Typecheck.t -> Cfg.fn -> float array
+    function share one AST walk; results are identical either way.
+    [?inject_key] and [?fallback] are forwarded to {!solve_blocks}. *)
+val block_freqs :
+  ?usage:Usage.t ->
+  ?inject_key:string ->
+  ?fallback:string * (unit -> float array) ->
+  Typecheck.t ->
+  Cfg.fn ->
+  float array
 
 (** The Wu-Larus variant: if-branch probabilities from combined heuristic
     evidence instead of the binary guess. *)
 val block_freqs_combined :
-  ?usage:Usage.t -> Typecheck.t -> Cfg.fn -> float array
+  ?usage:Usage.t ->
+  ?inject_key:string ->
+  ?fallback:string * (unit -> float array) ->
+  Typecheck.t ->
+  Cfg.fn ->
+  float array
 
 (** The system in presentable form (paper Figures 6-7). *)
 type presented = {

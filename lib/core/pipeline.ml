@@ -105,21 +105,25 @@ let usage_of (c : compiled) (fn : Cfg.fn) : Usage.t =
 (* One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
 
-let run_once ?fuel ?backend (c : compiled) (r : run) : Eval.outcome =
+let run_once ?fuel ?deadline_s ?backend (c : compiled) (r : run) :
+    Eval.outcome =
   Obs.Probe.with_span "profile" (fun () ->
       match
         (match backend with Some b -> b | None -> !default_backend)
       with
       | Tree ->
         Obs.Probe.count "interp.dispatch.tree";
-        Eval.run ?fuel ~argv:r.argv ~input:r.input c.prog
+        Eval.run ?fuel ?deadline_s ~argv:r.argv ~input:r.input c.prog
       | Compiled ->
         Obs.Probe.count "interp.dispatch.compiled";
-        Compile.run ?fuel ~argv:r.argv ~input:r.input (closure_exe c))
+        Compile.run ?fuel ?deadline_s ~argv:r.argv ~input:r.input
+          (closure_exe c))
 
-let profile_runs ?fuel ?backend (c : compiled) (runs : run list) :
-    Profile.t list =
-  List.map (fun r -> (run_once ?fuel ?backend c r).Eval.profile) runs
+let profile_runs ?fuel ?deadline_s ?backend (c : compiled)
+    (runs : run list) : Profile.t list =
+  List.map
+    (fun r -> (run_once ?fuel ?deadline_s ?backend c r).Eval.profile)
+    runs
 
 (* ------------------------------------------------------------------ *)
 (* Intra-procedural estimates: per-function block frequency arrays. *)
@@ -136,17 +140,29 @@ let intra_kind_to_string = function
 let intra_table (c : compiled) (kind : intra_kind) :
     (string, float array) Hashtbl.t =
   Obs.Probe.with_span ("intra." ^ intra_kind_to_string kind) (fun () ->
+  Obs.Inject.fire "estimate" ~key:c.name;
   let table = Hashtbl.create 32 in
   List.iter
     (fun fn ->
+      (* The Markov kinds degrade to the loop estimate of the same
+         function when their solve chain exhausts — the weakest
+         estimator the paper still found useful, and one that cannot
+         fail. *)
+      let loop_fallback =
+        ("loop estimate",
+         fun () -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop)
+      in
       let freqs =
         match kind with
         | Iloop -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop
         | Ismart -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Smart
-        | Imarkov -> Markov_intra.block_freqs ~usage:(usage_of c fn) c.tc fn
+        | Imarkov ->
+          Markov_intra.block_freqs ~usage:(usage_of c fn)
+            ~inject_key:c.name ~fallback:loop_fallback c.tc fn
         | Istructural -> Structural_estimator.block_freqs_refined fn
         | Icombined ->
-          Markov_intra.block_freqs_combined ~usage:(usage_of c fn) c.tc fn
+          Markov_intra.block_freqs_combined ~usage:(usage_of c fn)
+            ~inject_key:c.name ~fallback:loop_fallback c.tc fn
       in
       Hashtbl.replace table fn.Cfg.fn_name freqs)
     c.prog.Cfg.prog_fns;
@@ -201,11 +217,13 @@ let inter_kind_to_string = function
 let inter_estimate (c : compiled) ~(intra : string -> float array)
     (kind : inter_kind) : float array =
   Obs.Probe.with_span ("inter." ^ inter_kind_to_string kind) (fun () ->
+      Obs.Inject.fire "estimate" ~key:c.name;
       let assoc =
         match kind with
         | Isimple k -> Inter_simple.estimate c.graph ~intra k
         | Imarkov_inter ->
-          (Markov_inter.estimate c.graph ~intra).Markov_inter.freqs
+          (Markov_inter.estimate ~inject_key:c.name c.graph ~intra)
+            .Markov_inter.freqs
       in
       Array.of_list (List.map snd assoc))
 

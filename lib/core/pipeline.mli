@@ -71,12 +71,26 @@ val usage_of : compiled -> Cfg.fn -> Usage.t
 type run = { argv : string list; input : string }
 
 (** Interpret the program once, collecting a profile. [backend] defaults
-    to {!default_backend}. *)
-val run_once : ?fuel:int -> ?backend:backend -> compiled -> run -> Eval.outcome
+    to {!default_backend}. [deadline_s] bounds the run's wall-clock time;
+    exceeding it (or [fuel]) raises {!Eval.Budget_exhausted} carrying
+    the partial outcome — a runaway run yields a partial profile, never
+    a hang. *)
+val run_once :
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?backend:backend ->
+  compiled ->
+  run ->
+  Eval.outcome
 
 (** Profiles for a list of runs. *)
 val profile_runs :
-  ?fuel:int -> ?backend:backend -> compiled -> run list -> Profile.t list
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?backend:backend ->
+  compiled ->
+  run list ->
+  Profile.t list
 
 (** {1 Intra-procedural estimates} *)
 

@@ -8,6 +8,16 @@
    recomputes instead of serving stale data, and entries surviving a
    [clear] race are still correct by construction.
 
+   Fault tolerance: a cell holds a *result* — [Ok prog_data] or the
+   [Fault.t] that took the program down. In the default (degrade) mode a
+   failing program publishes its fault instead of poisoning the key:
+   waiters blocked on the in-flight marker receive the fault rather than
+   recomputing, [all] serves the healthy subset, and the experiments
+   render a degraded row. Under [--strict] the computing loader re-raises
+   with the original backtrace and *abandons* the key, so a later retry
+   (e.g. after a transient, count-limited injection) recomputes from
+   scratch instead of hitting a stale failure.
+
    Concurrency: the table is a mutex-protected memo with in-flight
    markers. A loader that finds no entry claims the key, computes
    outside the lock, publishes, and broadcasts; concurrent loaders of
@@ -19,12 +29,26 @@
 
 module Pipeline = Core.Pipeline
 module Profile = Cinterp.Profile
+module Eval = Cinterp.Eval
 
 type prog_data = {
   bench : Suite.Bench_prog.t;
   compiled : Pipeline.compiled;
   profiles : Profile.t list;
 }
+
+type entry = (prog_data, Fault.t) result
+
+(* Wall-clock ceiling per profiling run. Healthy suite runs finish in
+   well under a second; the ceiling only exists so a runaway interpreter
+   (a bug, or injected chaos) surfaces as a partial-profile fault
+   instead of hanging the suite. *)
+let run_deadline_s = 300.0
+
+(* The fuel budget the ["profile.fuel"] injection point shrinks runs to:
+   small enough that every suite program exhausts it, so arming the
+   point deterministically exercises the partial-profile path. *)
+let injected_fuel = 10
 
 (* ------------------------------------------------------------------ *)
 (* Content keys. *)
@@ -51,7 +75,7 @@ let key (bench : Suite.Bench_prog.t) : string =
 
 type cell =
   | Computing  (* claimed by a loader; wait on [cell_changed] *)
-  | Ready of prog_data
+  | Done of entry
 
 let m = Mutex.create ()
 let cell_changed = Condition.create ()
@@ -63,9 +87,9 @@ let clear () =
   Condition.broadcast cell_changed;
   Mutex.unlock m
 
-let publish k d =
+let publish k e =
   Mutex.lock m;
-  Hashtbl.replace cache k (Ready d);
+  Hashtbl.replace cache k (Done e);
   Condition.broadcast cell_changed;
   Mutex.unlock m
 
@@ -80,11 +104,12 @@ let abandon k =
 (* ------------------------------------------------------------------ *)
 (* The per-program pipeline stages. *)
 
+let drop_recovery = "program dropped from suite (degraded row)"
+
 let compile_stage (bench : Suite.Bench_prog.t) : Pipeline.compiled =
-  let c =
-    Pipeline.compile ~name:bench.Suite.Bench_prog.name
-      bench.Suite.Bench_prog.source
-  in
+  let name = bench.Suite.Bench_prog.name in
+  Obs.Inject.fire "compile" ~key:name;
+  let c = Pipeline.compile ~name bench.Suite.Bench_prog.source in
   (* Lower to closures as part of the (parallel) compile stage, so the
      one-time cost is off the profiling path and spread across the
      domain pool during warm-up. *)
@@ -92,30 +117,67 @@ let compile_stage (bench : Suite.Bench_prog.t) : Pipeline.compiled =
     ignore (Pipeline.closure_exe c);
   c
 
-let profile_stage (compiled : Pipeline.compiled)
+let compile_entry (bench : Suite.Bench_prog.t) :
+    (Pipeline.compiled, Fault.t) result =
+  Fault.capture ~stage:Fault.Compile
+    ~subject:bench.Suite.Bench_prog.name ~recovery:drop_recovery (fun () ->
+      compile_stage bench)
+
+(* One (program, run) interpretation. Exhausting the fuel or wall-clock
+   budget is a *recoverable* fault: the partial profile is kept (both
+   back ends decrement fuel identically, so partial profiles stay
+   bit-identical across back ends) and the program stays healthy. *)
+let profile_stage (compiled : Pipeline.compiled) (run_index : int)
     (r : Suite.Bench_prog.run) : Profile.t =
+  let name = compiled.Pipeline.name in
+  Obs.Inject.fire "profile" ~key:name;
+  let fuel =
+    if Obs.Inject.should_fire "profile.fuel" ~key:name then
+      Some injected_fuel
+    else None
+  in
   let run =
     { Pipeline.argv = r.Suite.Bench_prog.r_argv;
       input = r.Suite.Bench_prog.r_input }
   in
-  (Pipeline.run_once compiled run).Cinterp.Eval.profile
+  match Pipeline.run_once ?fuel ~deadline_s:run_deadline_s compiled run with
+  | o -> o.Eval.profile
+  | exception Eval.Budget_exhausted (stop, outcome) ->
+    Obs.Probe.count "context.partial_profile";
+    Fault.record
+      { Fault.f_stage = Fault.Profile; f_subject = name;
+        f_detail =
+          Printf.sprintf "run %d: %s budget exhausted" run_index
+            (Eval.budget_stop_to_string stop);
+        f_exn = ""; f_backtrace = "";
+        f_recovery = "kept partial profile" };
+    outcome.Eval.profile
 
-let compute (bench : Suite.Bench_prog.t) : prog_data =
-  let compiled = compile_stage bench in
-  let profiles =
-    List.map (profile_stage compiled) bench.Suite.Bench_prog.runs
-  in
-  { bench; compiled; profiles }
+let profiles_entry (bench : Suite.Bench_prog.t)
+    (compiled : Pipeline.compiled) : (Profile.t list, Fault.t) result =
+  Fault.capture ~stage:Fault.Profile
+    ~subject:bench.Suite.Bench_prog.name ~recovery:drop_recovery (fun () ->
+      List.mapi
+        (fun i r -> profile_stage compiled i r)
+        bench.Suite.Bench_prog.runs)
 
-let load (bench : Suite.Bench_prog.t) : prog_data =
+let compute (bench : Suite.Bench_prog.t) : entry =
+  match compile_entry bench with
+  | Error f -> Error f
+  | Ok compiled -> (
+    match profiles_entry bench compiled with
+    | Error f -> Error f
+    | Ok profiles -> Ok { bench; compiled; profiles })
+
+let load (bench : Suite.Bench_prog.t) : entry =
   let k = key bench in
   Mutex.lock m;
   let rec get () =
     match Hashtbl.find_opt cache k with
-    | Some (Ready d) ->
+    | Some (Done e) ->
       Mutex.unlock m;
       Obs.Probe.count "context.cache_hit";
-      d
+      e
     | Some Computing ->
       Obs.Probe.count "context.cache_wait";
       Condition.wait cell_changed m;
@@ -125,8 +187,13 @@ let load (bench : Suite.Bench_prog.t) : prog_data =
       Mutex.unlock m;
       Obs.Probe.count "context.cache_miss";
       (match compute bench with
-      | d -> publish k d; d
-      | exception e -> abandon k; raise e)
+      | e -> publish k e; e
+      | exception e ->
+        (* strict mode (or a bug below the captures): leave the key
+           retryable, never poisoned *)
+        let bt = Printexc.get_raw_backtrace () in
+        abandon k;
+        Printexc.raise_with_backtrace e bt)
   in
   get ()
 
@@ -134,7 +201,21 @@ let load (bench : Suite.Bench_prog.t) : prog_data =
 (* Parallel warm-up: claim every missing program, fan the compile stage
    out per program, then the profile stage per (program, run) pair, and
    publish assembled results. Pure fan-out/merge: stage outputs are
-   indexed by input position, never by completion order. *)
+   indexed by input position, never by completion order. Worker-level
+   task deaths (the ["worker"] injection point, or anything thrown
+   outside the stage captures) degrade the one program they belong to;
+   in strict mode [Fault.absorb] re-raises instead and every claimed key
+   is abandoned. *)
+
+let absorb_slot ~(subject : string) ?detail
+    (slot : (('a, Fault.t) result, exn * Printexc.raw_backtrace) result) :
+    ('a, Fault.t) result =
+  match slot with
+  | Ok entry -> entry
+  | Error (e, bt) ->
+    Error
+      (Fault.absorb ~stage:Fault.Worker ~subject ?detail
+         ~recovery:drop_recovery e bt)
 
 let warm () : unit =
   Obs.Probe.with_span "context.warm" @@ fun () ->
@@ -154,16 +235,42 @@ let warm () : unit =
   Mutex.unlock m;
   if missing <> [] then begin
     match
-      let compiled = Parallel.map compile_stage missing in
-      let runs_of (b : Suite.Bench_prog.t) c =
-        List.map (fun r -> (c, r)) b.Suite.Bench_prog.runs
+      let compiled_entries =
+        List.map2
+          (fun (b : Suite.Bench_prog.t) slot ->
+            absorb_slot ~subject:b.Suite.Bench_prog.name slot)
+          missing
+          (Parallel.map_results compile_entry missing)
       in
-      let flat_runs = List.concat (List.map2 runs_of missing compiled) in
+      (* Fan the profile stage out per (program, run) pair of the
+         healthy compiles. *)
+      let flat_runs =
+        List.concat
+          (List.map2
+             (fun (b : Suite.Bench_prog.t) ce ->
+               match ce with
+               | Ok c ->
+                 List.mapi (fun i r -> (b, c, i, r)) b.Suite.Bench_prog.runs
+               | Error _ -> [])
+             missing compiled_entries)
+      in
       let flat_profiles =
-        Parallel.map (fun (c, r) -> profile_stage c r) flat_runs
+        List.map2
+          (fun ((b : Suite.Bench_prog.t), _, i, _) slot ->
+            absorb_slot ~subject:b.Suite.Bench_prog.name
+              ~detail:(Printf.sprintf "run %d" i) slot)
+          flat_runs
+          (Parallel.map_results
+             (fun (b, c, i, r) ->
+               Fault.capture ~stage:Fault.Profile
+                 ~subject:b.Suite.Bench_prog.name
+                 ~detail:(Printf.sprintf "run %d" i)
+                 ~recovery:drop_recovery (fun () -> profile_stage c i r))
+             flat_runs)
       in
       (* Reassemble the flat profile list program by program, in run
-         order, and publish each entry. *)
+         order, and publish each entry. A program with any faulted run
+         degrades to its first (lowest-index) fault. *)
       let rec split n = function
         | rest when n = 0 -> ([], rest)
         | p :: rest ->
@@ -173,27 +280,64 @@ let warm () : unit =
       in
       let leftover =
         List.fold_left2
-          (fun profiles b c ->
-            let mine, rest =
-              split (List.length b.Suite.Bench_prog.runs) profiles
-            in
-            publish (key b) { bench = b; compiled = c; profiles = mine };
-            rest)
-          flat_profiles missing compiled
+          (fun profiles (b : Suite.Bench_prog.t) ce ->
+            match ce with
+            | Error f ->
+              publish (key b) (Error f);
+              profiles
+            | Ok c ->
+              let mine, rest =
+                split (List.length b.Suite.Bench_prog.runs) profiles
+              in
+              let entry =
+                match
+                  List.find_map
+                    (function Error f -> Some f | Ok _ -> None)
+                    mine
+                with
+                | Some f -> Error f
+                | None ->
+                  Ok
+                    { bench = b; compiled = c;
+                      profiles =
+                        List.map
+                          (function Ok p -> p | Error _ -> assert false)
+                          mine }
+              in
+              publish (key b) entry;
+              rest)
+          flat_profiles missing compiled_entries
       in
       assert (leftover = [])
     with
     | () -> ()
     | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
       List.iter (fun b -> abandon (key b)) missing;
-      raise e
+      Printexc.raise_with_backtrace e bt
   end
 
-let all () : prog_data list =
+let all_entries () : (Suite.Bench_prog.t * entry) list =
   warm ();
-  List.map load Suite.Registry.all
+  List.map (fun b -> (b, load b)) Suite.Registry.all
+
+let all () : prog_data list =
+  List.filter_map
+    (fun (_, e) -> match e with Ok d -> Some d | Error _ -> None)
+    (all_entries ())
+
+let degraded () : (string * Fault.t) list =
+  List.filter_map
+    (fun ((b : Suite.Bench_prog.t), e) ->
+      match e with
+      | Ok _ -> None
+      | Error f -> Some (b.Suite.Bench_prog.name, f))
+    (all_entries ())
 
 let by_name (name : string) : prog_data =
   match Suite.Registry.find name with
-  | Some bench -> load bench
+  | Some bench -> (
+    match load bench with
+    | Ok d -> d
+    | Error f -> raise (Fault.Degraded f))
   | None -> invalid_arg ("unknown suite program " ^ name)

@@ -20,9 +20,45 @@ let bprintf = Printf.bprintf
 (* Fan a per-program computation across the [Parallel] pool. Results
    come back in registry order whatever the jobs setting, so every
    table below renders byte-identically to its sequential form; tasks
-   only read shared state (see the contract in [Parallel]). *)
+   only read shared state (see the contract in [Parallel]). Only the
+   healthy subset of the suite flows through here, so averages and
+   series skip degraded programs. *)
 let suite_map (f : Context.prog_data -> 'a) : 'a list =
   Parallel.map f (Context.all ())
+
+(* Per-program table rows over the *whole* registry: [f] renders a row
+   for each healthy program (in parallel; [None] drops the program, as
+   fig9 does for programs without call sites) and every degraded
+   program renders a dagger-marked placeholder row padded to [width]
+   columns, so a failing program stays visible in every table instead
+   of silently vanishing. With no faults this is exactly the old
+   healthy-row list — byte-identical output. *)
+let suite_rows ~(width : int) (f : Context.prog_data -> string list option) :
+    string list list =
+  Context.all_entries ()
+  |> Parallel.map (fun ((b : Suite.Bench_prog.t), entry) ->
+       match entry with
+       | Ok d -> f d
+       | Error (_ : Fault.t) ->
+         Some
+           ((b.Suite.Bench_prog.name ^ " †")
+            :: List.init (width - 1) (fun _ -> "—")))
+  |> List.filter_map Fun.id
+
+(* The footnote explaining the daggers; "" when the suite is healthy. *)
+let degraded_note () : string =
+  match Context.degraded () with
+  | [] -> ""
+  | faults ->
+    "\n"
+    ^ String.concat ""
+        (List.map
+           (fun (name, (f : Fault.t)) ->
+             Printf.sprintf "† %s degraded at the %s stage: %s\n" name
+               (Fault.stage_to_string f.Fault.f_stage)
+               (if f.Fault.f_exn <> "" then f.Fault.f_exn
+                else f.Fault.f_detail))
+           faults)
 
 (* ------------------------------------------------------------------ *)
 (* The paper's running example, used by table2 / fig3 / fig6_7. *)
@@ -134,19 +170,20 @@ let mean (xs : float list) : float =
 
 let table1 () : string =
   let rows =
-    suite_map
+    suite_rows ~width:7
       (fun (d : Context.prog_data) ->
         let b = d.Context.bench in
-        [ b.Suite.Bench_prog.name;
+        Some
+          [ b.Suite.Bench_prog.name;
           string_of_int (Suite.Bench_prog.loc b);
           string_of_int (List.length d.Context.compiled.Pipeline.prog.Cfg.prog_fns);
           string_of_int
             (List.fold_left
                (fun acc fn -> acc + Cfg.n_blocks fn)
                0 d.Context.compiled.Pipeline.prog.Cfg.prog_fns);
-          string_of_int (Suite.Bench_prog.n_runs b);
-          b.Suite.Bench_prog.analogue;
-          b.Suite.Bench_prog.description ])
+            string_of_int (Suite.Bench_prog.n_runs b);
+            b.Suite.Bench_prog.analogue;
+            b.Suite.Bench_prog.description ])
   in
   "Table 1: programs used in this study\n\n"
   ^ Text_table.render
@@ -156,6 +193,7 @@ let table1 () : string =
       [ "program"; "lines"; "funcs"; "blocks"; "inputs"; "stands in for";
         "description" ]
       rows
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: the strchr weight-matching worked example *)
@@ -192,7 +230,7 @@ let table2 () : string =
 
 let fig2 () : string =
   let rows =
-    suite_map
+    suite_rows ~width:4
       (fun (d : Context.prog_data) ->
         let prog = d.Context.compiled.Pipeline.prog in
         let smart = Missrate.smart_predictor prog in
@@ -207,10 +245,11 @@ let fig2 () : string =
         let psp_rate =
           mean (List.map (fun p -> Missrate.psp_rate prog p) d.Context.profiles)
         in
-        [ d.Context.bench.Suite.Bench_prog.name;
-          Text_table.pct smart_rate;
-          Text_table.pct prof_rate;
-          Text_table.pct psp_rate ])
+        Some
+          [ d.Context.bench.Suite.Bench_prog.name;
+            Text_table.pct smart_rate;
+            Text_table.pct prof_rate;
+            Text_table.pct psp_rate ])
   in
   let avg col =
     Text_table.pct
@@ -240,6 +279,7 @@ let fig2 () : string =
       [ "program"; "predictor"; "profiling"; "PSP" ]
       (rows @ [ [ "AVERAGE"; avg `Smart; avg `Prof; avg `Psp ] ])
   ^ "\npaper: predictor ~2x the profiling miss rate; PSP lowest.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: the annotated AST of strchr *)
@@ -265,13 +305,14 @@ let fig3 () : string =
 let fig4 () : string =
   let cutoff = 0.05 in
   let rows =
-    suite_map
+    suite_rows ~width:5
       (fun (d : Context.prog_data) ->
-        [ d.Context.bench.Suite.Bench_prog.name;
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
-          Text_table.pct (intra_profiling_score d ~cutoff) ])
+        Some
+          [ d.Context.bench.Suite.Bench_prog.name;
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
+            Text_table.pct (intra_profiling_score d ~cutoff) ])
   in
   let avg i =
     Text_table.pct
@@ -291,6 +332,7 @@ let fig4 () : string =
       (rows @ [ [ "AVERAGE"; avg 0; avg 1; avg 2; avg 3 ] ])
   ^ "\npaper: smart ~81% on average, within a few points of profiling;\n\
      markov no better than smart at the intra level.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5a: simple function-invocation estimators at 25% *)
@@ -301,13 +343,14 @@ let fig5a () : string =
     List.map (fun k -> Pipeline.Isimple k) Inter_simple.all_kinds
   in
   let rows =
-    suite_map
+    suite_rows ~width:6
       (fun (d : Context.prog_data) ->
-        d.Context.bench.Suite.Bench_prog.name
-        :: List.map
-             (fun k -> Text_table.pct (inter_static_score d ~cutoff k))
-             kinds
-        @ [ Text_table.pct (inter_profiling_score d ~cutoff) ])
+        Some
+          (d.Context.bench.Suite.Bench_prog.name
+           :: List.map
+                (fun k -> Text_table.pct (inter_static_score d ~cutoff k))
+                kinds
+           @ [ Text_table.pct (inter_profiling_score d ~cutoff) ]))
   in
   let avg_row =
     "AVERAGE"
@@ -326,6 +369,7 @@ let fig5a () : string =
       (rows @ [ avg_row ])
   ^ "\npaper: all_rec2 slightly best at 25%; direct nearly as good and more\n\
      stable across cutoffs.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5b/c: direct vs markov vs profiling at 10% and 25% *)
@@ -333,13 +377,16 @@ let fig5a () : string =
 let fig5bc () : string =
   let section cutoff tag paper_note =
     let rows =
-      suite_map
+      suite_rows ~width:4
         (fun (d : Context.prog_data) ->
-          [ d.Context.bench.Suite.Bench_prog.name;
-            Text_table.pct
-              (inter_static_score d ~cutoff (Pipeline.Isimple Inter_simple.Direct));
-            Text_table.pct (inter_static_score d ~cutoff Pipeline.Imarkov_inter);
-            Text_table.pct (inter_profiling_score d ~cutoff) ])
+          Some
+            [ d.Context.bench.Suite.Bench_prog.name;
+              Text_table.pct
+                (inter_static_score d ~cutoff
+                   (Pipeline.Isimple Inter_simple.Direct));
+              Text_table.pct
+                (inter_static_score d ~cutoff Pipeline.Imarkov_inter);
+              Text_table.pct (inter_profiling_score d ~cutoff) ])
     in
     let avg_row =
       [ "AVERAGE";
@@ -369,6 +416,7 @@ let fig5bc () : string =
   ^ section 0.25 "c"
       "\npaper: markov ~10 points above direct at both cutoffs;\n\
        ~81% on average at 25%.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6-7: the strchr CFG linear system and its solution *)
@@ -456,19 +504,18 @@ let fig8 () : string =
 let fig9 () : string =
   let cutoff = 0.25 in
   let rows =
-    List.filter_map Fun.id
-      (suite_map
-         (fun (d : Context.prog_data) ->
-           if Cfg.direct_sites d.Context.compiled.Pipeline.prog = [] then None
-           else
-             Some
-               [ d.Context.bench.Suite.Bench_prog.name;
-                 Text_table.pct
-                   (callsite_static_score d ~cutoff
-                      (Pipeline.Isimple Inter_simple.Direct));
-                 Text_table.pct
-                   (callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
-                 Text_table.pct (callsite_profiling_score d ~cutoff) ]))
+    suite_rows ~width:4
+      (fun (d : Context.prog_data) ->
+        if Cfg.direct_sites d.Context.compiled.Pipeline.prog = [] then None
+        else
+          Some
+            [ d.Context.bench.Suite.Bench_prog.name;
+              Text_table.pct
+                (callsite_static_score d ~cutoff
+                   (Pipeline.Isimple Inter_simple.Direct));
+              Text_table.pct
+                (callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
+              Text_table.pct (callsite_profiling_score d ~cutoff) ])
   in
   let ds =
     List.filter
@@ -500,6 +547,7 @@ let fig9 () : string =
       (rows @ [ avg_row ])
   ^ "\npaper: the markov combination identifies the busiest quarter of call\n\
      sites with ~76% accuracy.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: selective optimization of compress *)
@@ -692,12 +740,13 @@ let ablation_switch_weighting () : string =
 let ext_structural () : string =
   let cutoff = 0.05 in
   let rows =
-    suite_map
+    suite_rows ~width:4
       (fun (d : Context.prog_data) ->
-        [ d.Context.bench.Suite.Bench_prog.name;
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Istructural);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart) ])
+        Some
+          [ d.Context.bench.Suite.Bench_prog.name;
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Istructural);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart) ])
   in
   let avg kind =
     Text_table.pct
@@ -713,6 +762,7 @@ let ext_structural () : string =
   ^ "\nThe structural estimator recovers loop nesting from dominators and\n\
      back edges alone; the AST adds branch direction, which is where the\n\
      remaining gap comes from.\n"
+  ^ degraded_note ()
 
 (* Extension: the paper's closing open question — does a predictor that
    generates probabilities directly (Wu-Larus evidence combination) make
@@ -720,13 +770,14 @@ let ext_structural () : string =
 let ext_wu_larus () : string =
   let cutoff = 0.05 in
   let rows =
-    suite_map
+    suite_rows ~width:5
       (fun (d : Context.prog_data) ->
-        [ d.Context.bench.Suite.Bench_prog.name;
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
-          Text_table.pct (intra_static_score d ~cutoff Pipeline.Icombined);
-          Text_table.pct (intra_profiling_score d ~cutoff) ])
+        Some
+          [ d.Context.bench.Suite.Bench_prog.name;
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
+            Text_table.pct (intra_static_score d ~cutoff Pipeline.Icombined);
+            Text_table.pct (intra_profiling_score d ~cutoff) ])
   in
   let avg kind =
     Text_table.pct
@@ -746,6 +797,7 @@ let ext_wu_larus () : string =
             avg Pipeline.Icombined; avg_prof ] ])
   ^ "\nmarkov(WL) combines all firing heuristics with the Dempster-Shafer\n\
      rule and Ball/Larus hit rates instead of a single 0.8/0.2 guess.\n"
+  ^ degraded_note ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -771,7 +823,26 @@ let all : (string * string * (unit -> string)) list =
     ("ext_structural", "CFG-only structural estimator", ext_structural);
     ("ext_wu_larus", "probability-generating prediction", ext_wu_larus) ]
   |> List.map (fun (id, desc, f) ->
-       (id, desc, fun () -> Obs.Probe.with_span ("experiment." ^ id) f))
+       (* Per-experiment isolation: one table failing (a degraded
+          program a figure insists on, an injected worker death in a
+          row fan-out) degrades to a notice while the rest of the
+          evaluation renders; [--strict] re-raises out of here with the
+          original backtrace. *)
+       ( id, desc,
+         fun () ->
+           Obs.Probe.with_span ("experiment." ^ id) (fun () ->
+               match
+                 Fault.capture ~stage:Fault.Experiment ~subject:id
+                   ~recovery:"experiment output replaced by a degradation \
+                              notice"
+                   f
+               with
+               | Ok s -> s
+               | Error fault ->
+                 Printf.sprintf
+                   "experiment %s DEGRADED: %s\n\
+                    (output omitted; see the fault summary)\n"
+                   id fault.Fault.f_exn) ))
 
 let find (id : string) : (unit -> string) option =
   List.find_map (fun (i, _, f) -> if i = id then Some f else None) all

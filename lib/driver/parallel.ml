@@ -6,6 +6,19 @@
    input position, so merge order never depends on scheduling — the
    determinism the differential tests assert.
 
+   Error handling: every slot always runs (a failure in one task never
+   short-circuits the others, at any jobs setting, so the set of
+   side effects is jobs-independent), and every failure is kept with its
+   index and raw backtrace. [map_results] hands the per-slot outcomes to
+   callers that degrade per item; [map] re-raises — the original
+   exception with its original backtrace for a single failure,
+   [Worker_errors] (ordered by input index) for several.
+
+   Each slot passes the ["worker"] injection point (key = input index)
+   before its task body, so the chaos harness can kill tasks at the
+   pool boundary deterministically; disarmed, the check is one atomic
+   load.
+
    Thread-safety contract with the rest of the tree: tasks must only
    read shared state (the analysis passes are pure per call; the config
    record in [Core.Config] is written strictly between parallel
@@ -17,6 +30,20 @@ let default_jobs () = Domain.recommended_domain_count ()
 let jobs_setting = Atomic.make (default_jobs ())
 
 let jobs () = Atomic.get jobs_setting
+
+exception Worker_errors of (int * exn * Printexc.raw_backtrace) list
+
+let () =
+  Printexc.register_printer (function
+    | Worker_errors errors ->
+      Some
+        (Printf.sprintf "Driver.Parallel.Worker_errors([%s])"
+           (String.concat "; "
+              (List.map
+                 (fun (i, e, _) ->
+                   Printf.sprintf "task %d: %s" i (Printexc.to_string e))
+                 errors)))
+    | _ -> None)
 
 (* Tasks run with this flag set; a nested [map] sees it and runs inline
    rather than re-entering the queue it is being drained from. *)
@@ -119,18 +146,31 @@ let get_pool () : pool =
   Mutex.unlock pool_lock;
   p
 
-(* One fan-out/merge cycle. The caller seeds the queue, then alternates
-   between draining tasks itself and sleeping on [all_done] until every
-   slot is filled. *)
-let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+(* One slot: the worker injection gate, then the task body. Identical on
+   the sequential and pooled paths — the chaos harness's jobs-
+   independence depends on that. *)
+let run_one (f : 'a -> 'b) (x : 'a) (i : int) :
+    ('b, exn * Printexc.raw_backtrace) result =
+  match
+    Obs.Inject.fire "worker" ~key:(string_of_int i);
+    f x
+  with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+(* One fan-out/merge cycle yielding per-slot outcomes. The caller seeds
+   the queue, then alternates between draining tasks itself and sleeping
+   on [all_done] until every slot is filled. *)
+let map_results (f : 'a -> 'b) (xs : 'a list) :
+    ('b, exn * Printexc.raw_backtrace) result list =
   let n = List.length xs in
-  if jobs () <= 1 || n <= 1 || Domain.DLS.get in_task then List.map f xs
+  if jobs () <= 1 || n <= 1 || Domain.DLS.get in_task then
+    List.mapi (fun i x -> run_one f x i) xs
   else begin
     let p = get_pool () in
     let input = Array.of_list xs in
-    let results : 'b option array = Array.make n None in
-    let first_error : (int * exn * Printexc.raw_backtrace) option ref =
-      ref None
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
     in
     let remaining = ref n in
     let all_done = Condition.create () in
@@ -139,26 +179,17 @@ let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
     let parent = Obs.Probe.current_span () in
     let run_slot i =
       let outcome =
-        match
-          Obs.Probe.with_parent parent (fun () ->
-              if Obs.Probe.enabled () then begin
-                Obs.Probe.count "parallel.task";
-                Obs.Probe.count
-                  (Printf.sprintf "parallel.tasks.d%d"
-                     (Domain.self () :> int))
-              end;
-              f input.(i))
-        with
-        | v -> Ok v
-        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        Obs.Probe.with_parent parent (fun () ->
+            if Obs.Probe.enabled () then begin
+              Obs.Probe.count "parallel.task";
+              Obs.Probe.count
+                (Printf.sprintf "parallel.tasks.d%d"
+                   (Domain.self () :> int))
+            end;
+            run_one f input.(i) i)
       in
       Mutex.lock p.m;
-      (match outcome with
-      | Ok v -> results.(i) <- Some v
-      | Error (e, bt) -> (
-        match !first_error with
-        | Some (j, _, _) when j < i -> ()
-        | _ -> first_error := Some (i, e, bt)));
+      results.(i) <- Some outcome;
       decr remaining;
       if !remaining = 0 then Condition.broadcast all_done;
       Mutex.unlock p.m
@@ -183,9 +214,21 @@ let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
     in
     drain ();
     Mutex.unlock p.m;
-    match !first_error with
-    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> List.init n (fun i -> Option.get results.(i))
+    List.init n (fun i -> Option.get results.(i))
   end
+
+let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let slots = map_results f xs in
+  let errors =
+    List.concat
+      (List.mapi
+         (fun i -> function Error (e, bt) -> [ (i, e, bt) ] | Ok _ -> [])
+         slots)
+  in
+  match errors with
+  | [] ->
+    List.map (function Ok v -> v | Error _ -> assert false) slots
+  | [ (_, e, bt) ] -> Printexc.raise_with_backtrace e bt
+  | errors -> raise (Worker_errors errors)
 
 let run (thunks : (unit -> 'a) list) : 'a list = map (fun t -> t ()) thunks

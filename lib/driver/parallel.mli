@@ -16,10 +16,25 @@
 
     Nested {!map} calls (a task that itself maps) run inline in the
     domain that is executing the task: the pool never deadlocks waiting
-    on itself, and nesting cannot change results. Exceptions raised by
-    tasks are re-raised in the caller; when several tasks fail, the one
-    with the lowest input index wins, mirroring where [List.map] would
-    have stopped. *)
+    on itself, and nesting cannot change results.
+
+    Error handling: every slot always runs — one failing task never
+    short-circuits the rest, at any jobs setting — and every failure is
+    collected with its input index and raw backtrace. {!map} re-raises:
+    a single failure re-raises the original exception with its original
+    backtrace; several raise {!Worker_errors} ordered by input index.
+    {!map_results} returns the per-slot outcomes instead, for callers
+    (the suite cache) that degrade per item rather than abort.
+
+    Every slot also passes the ["worker"] fault-injection point
+    ({!Obs.Inject}, key = input index as a string) before its task body,
+    on the sequential and pooled paths alike, so chaos runs kill the
+    same tasks at every jobs setting. *)
+
+exception Worker_errors of (int * exn * Printexc.raw_backtrace) list
+(** Raised by {!map} when more than one task failed: every failure, with
+    its input index and the raw backtrace captured where it was thrown,
+    in input-index order. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the default parallelism. *)
@@ -34,10 +49,17 @@ val set_jobs : int -> unit
     called from inside a {!map} task: retiring the pool would join the
     very domain making the call, deadlocking it. *)
 
+val map_results :
+  ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+(** [map_results f xs] runs every [f x] (up to [jobs ()] concurrently)
+    and returns each slot's outcome in input order, never raising
+    itself. *)
+
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element of [xs], running up to
     [jobs ()] applications concurrently, and returns the results in
-    input order. *)
+    input order. On failure, re-raises (see the error-handling notes
+    above). *)
 
 val run : (unit -> 'a) list -> 'a list
 (** [run thunks] executes the thunks across the pool and returns their

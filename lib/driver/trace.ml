@@ -107,6 +107,13 @@ let render_tree () : string =
                name c.Probe.hits c.Probe.total c.Probe.vmin c.Probe.vmax))
       counters
   end;
+  (* Degradations taken during the run; absent entirely when healthy,
+     so healthy trace output is unchanged. *)
+  let faults = Fault.summary () in
+  if faults <> "" then begin
+    Buffer.add_string buf "trace: faults\n";
+    Buffer.add_string buf faults
+  end;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -175,6 +182,25 @@ let metrics_json () : string =
            (json_float c.Probe.vmin) (json_float c.Probe.vmax)
            (if i < List.length counters - 1 then "," else "")))
     counters;
+  Buffer.add_string buf "  ],\n";
+  (* Every degradation the run recorded, in the deterministic
+     [Fault.sorted] order — the chaos CI job archives this document as
+     its fault-summary artifact. *)
+  Buffer.add_string buf "  \"faults\": [\n";
+  let faults = Fault.sorted () in
+  List.iteri
+    (fun i (f : Fault.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"stage\": \"%s\", \"subject\": \"%s\", \"detail\": \
+            \"%s\", \"exn\": \"%s\", \"recovery\": \"%s\"}%s\n"
+           (json_escape (Fault.stage_to_string f.Fault.f_stage))
+           (json_escape f.Fault.f_subject)
+           (json_escape f.Fault.f_detail)
+           (json_escape f.Fault.f_exn)
+           (json_escape f.Fault.f_recovery)
+           (if i < List.length faults - 1 then "," else "")))
+    faults;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 

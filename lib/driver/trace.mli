@@ -22,15 +22,18 @@ val render_tree : unit -> string
 (** The recorded spans as a human-readable tree: spans are merged by
     span id (never completion order), grouped by label under their
     parent, and reported as [count × total-time]. Counters follow,
-    sorted by name. *)
+    sorted by name; then the fault summary ({!Fault.summary}), present
+    only when the run degraded somewhere. *)
 
 val metrics_json : unit -> string
-(** The recorded spans and counters as a JSON document:
+(** The recorded spans, counters and faults as a JSON document:
     [{"jobs": n, "spans": [{"path", "count", "total_ms"} ...],
-      "counters": [{"name", "hits", "total", "min", "max"} ...]}].
+      "counters": [{"name", "hits", "total", "min", "max"} ...],
+      "faults": [{"stage", "subject", "detail", "exn", "recovery"} ...]}].
     Span paths are slash-joined label chains, sorted lexicographically;
-    counters are sorted by name — the document layout is deterministic
-    for a given execution structure. *)
+    counters are sorted by name; faults follow the deterministic
+    {!Fault.sorted} order ([[]] when the run was healthy) — the document
+    layout is deterministic for a given execution structure. *)
 
 val with_reporting :
   trace:bool -> metrics_out:string option -> (unit -> 'a) -> 'a

@@ -1,0 +1,47 @@
+(* Process-wide fault record store.
+
+   This is the recording half of the driver's fault-tolerance layer
+   ([Driver.Fault] adds the typed taxonomy, capture combinators and
+   rendering). It lives in [obs] — the dependency-free bottom of the
+   tree — because recoveries happen *below* the driver too: the Markov
+   solvers record their last-resort fallbacks and the interpreter
+   records budget exhaustion, and neither can link against [Driver].
+
+   Records accumulate under a mutex; cross-domain record order is
+   scheduling-dependent, so consumers sort before rendering. *)
+
+type t = {
+  stage : string;      (* compile | profile | solve | estimate | ... *)
+  subject : string;    (* program or function name; "" when global *)
+  detail : string;     (* free-form context: injection point, run index *)
+  exn_text : string;   (* printed exception, "" for non-exception faults *)
+  backtrace : string;  (* raw backtrace text, "" when not captured *)
+  recovery : string;   (* what the system did instead of crashing *)
+}
+
+let m = Mutex.create ()
+let log : t list ref = ref [] (* reversed: most recent first *)
+
+let record ?(subject = "") ?(detail = "") ?(exn_text = "")
+    ?(backtrace = "") ~(stage : string) (recovery : string) : unit =
+  let f = { stage; subject; detail; exn_text; backtrace; recovery } in
+  Mutex.lock m;
+  log := f :: !log;
+  Mutex.unlock m
+
+let all () : t list =
+  Mutex.lock m;
+  let l = List.rev !log in
+  Mutex.unlock m;
+  l
+
+let count () : int =
+  Mutex.lock m;
+  let n = List.length !log in
+  Mutex.unlock m;
+  n
+
+let reset () : unit =
+  Mutex.lock m;
+  log := [];
+  Mutex.unlock m

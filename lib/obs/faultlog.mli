@@ -1,0 +1,36 @@
+(** Process-wide fault record store — the recording half of the fault
+    tolerance layer. [Driver.Fault] builds the typed taxonomy, capture
+    combinators and rendering on top; this module lives at the bottom of
+    the tree so the solvers and the interpreter can record recoveries
+    without linking against the driver.
+
+    Thread model: one mutex-protected list. Record order across domains
+    is scheduling-dependent; consumers must sort before rendering
+    anything that has to be deterministic. *)
+
+type t = {
+  stage : string;      (** compile | profile | solve | estimate | ... *)
+  subject : string;    (** program or function name; [""] when global *)
+  detail : string;     (** free-form context: injection point, run index *)
+  exn_text : string;   (** printed exception, [""] for non-exception faults *)
+  backtrace : string;  (** raw backtrace text, [""] when not captured *)
+  recovery : string;   (** what the system did instead of crashing *)
+}
+
+val record :
+  ?subject:string ->
+  ?detail:string ->
+  ?exn_text:string ->
+  ?backtrace:string ->
+  stage:string ->
+  string ->
+  unit
+(** [record ~stage recovery] appends a fault record. *)
+
+val all : unit -> t list
+(** Every recorded fault, oldest first. *)
+
+val count : unit -> int
+
+val reset : unit -> unit
+(** Drop all records. Call between parallel regions only. *)

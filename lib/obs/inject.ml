@@ -1,0 +1,128 @@
+(* Deterministic, seeded fault injection.
+
+   Call sites name an *injection point* and a stable *key* (usually the
+   program or function being processed) and ask whether to fail there:
+
+     if Obs.Inject.should_fire "solve.intra" ~key:fn_name then ...
+     Obs.Inject.fire "compile" ~key:prog_name   (* raises [Injected] *)
+
+   Nothing fires unless a test or the [--chaos] mode armed the registry,
+   and the disarmed fast path is a single atomic load — instrumented
+   code costs nothing in normal runs and output stays byte-identical.
+
+   Two arming modes:
+
+   - [arm point ?key ?count]: targeted — fire at [point] (for one key or
+     all keys), at most [count] times. Tests use this to force a
+     specific recovery path, including fail-once-then-succeed.
+
+   - [arm_chaos ~seed ?rate]: every point armed at once; a given
+     (point, key) pair fires iff a hash of (seed, point, key) lands
+     under [rate]. The decision depends only on the seed and the stable
+     key — never on call order or scheduling — so a chaos run is
+     reproducible at any [--jobs] setting. *)
+
+exception Injected of string * string (* point, key *)
+
+let () =
+  Printexc.register_printer (function
+    | Injected (point, key) ->
+      Some (Printf.sprintf "Obs.Inject.Injected(%s, %s)" point key)
+    | _ -> None)
+
+type arming = {
+  a_point : string;
+  a_key : string option;      (* None = every key *)
+  mutable a_remaining : int;  (* max_int = unlimited *)
+}
+
+type chaos = { c_seed : int; c_rate : float }
+
+let m = Mutex.create ()
+let armings : arming list ref = ref []
+let chaos : chaos option ref = ref None
+
+(* Disarmed fast path: one atomic load. *)
+let active = Atomic.make false
+
+(* Known injection points, in registration order. The driver registers
+   its static list at startup; [should_fire] also registers points
+   lazily so dynamically-discovered sites still show up. *)
+let points : string list ref = ref []
+
+let register (point : string) : unit =
+  Mutex.lock m;
+  if not (List.mem point !points) then points := !points @ [ point ];
+  Mutex.unlock m
+
+let registered () : string list =
+  Mutex.lock m;
+  let ps = !points in
+  Mutex.unlock m;
+  ps
+
+let disarm_all () : unit =
+  Mutex.lock m;
+  armings := [];
+  chaos := None;
+  Atomic.set active false;
+  Mutex.unlock m
+
+let arm ?key ?(count = max_int) (point : string) : unit =
+  register point;
+  Mutex.lock m;
+  armings := { a_point = point; a_key = key; a_remaining = count } :: !armings;
+  Atomic.set active true;
+  Mutex.unlock m
+
+let arm_chaos ~(seed : int) ?(rate = 0.3) () : unit =
+  Mutex.lock m;
+  chaos := Some { c_seed = seed; c_rate = rate };
+  Atomic.set active true;
+  Mutex.unlock m
+
+let chaos_seed () : int option =
+  Mutex.lock m;
+  let s = Option.map (fun c -> c.c_seed) !chaos in
+  Mutex.unlock m;
+  s
+
+let armed () : bool = Atomic.get active
+
+(* Deterministic hash of (seed, point, key) to [0, 1): the first eight
+   hex digits of an MD5. Stable across runs, OCaml versions and domain
+   scheduling — the property the chaos tests rely on. *)
+let chaos_draw (seed : int) (point : string) (key : string) : float =
+  let h =
+    Digest.to_hex
+      (Digest.string (Printf.sprintf "%d|%s|%s" seed point key))
+  in
+  float_of_string ("0x" ^ String.sub h 0 8) /. 4294967296.0
+
+let should_fire (point : string) ~(key : string) : bool =
+  if not (Atomic.get active) then false
+  else begin
+    Mutex.lock m;
+    if not (List.mem point !points) then points := !points @ [ point ];
+    let hit =
+      match
+        List.find_opt
+          (fun a ->
+            a.a_point = point && a.a_remaining > 0
+            && match a.a_key with None -> true | Some k -> k = key)
+          !armings
+      with
+      | Some a ->
+        if a.a_remaining < max_int then a.a_remaining <- a.a_remaining - 1;
+        true
+      | None -> (
+        match !chaos with
+        | Some c -> chaos_draw c.c_seed point key < c.c_rate
+        | None -> false)
+    in
+    Mutex.unlock m;
+    hit
+  end
+
+let fire (point : string) ~(key : string) : unit =
+  if should_fire point ~key then raise (Injected (point, key))

@@ -1,0 +1,44 @@
+(** Deterministic, seeded fault injection.
+
+    Instrumented code names an injection point and a stable key (the
+    program or function being processed) and asks whether to fail
+    there. Nothing fires unless armed — the disarmed fast path is a
+    single atomic load, so output is byte-identical with the registry
+    idle — and the chaos mode's decisions depend only on
+    [(seed, point, key)], never on call order or domain scheduling, so
+    a chaos run reproduces at any [--jobs] setting. *)
+
+exception Injected of string * string
+(** [Injected (point, key)] — the failure thrown by {!fire}. *)
+
+val register : string -> unit
+(** Declare an injection point so it appears in {!registered} before the
+    first call reaches it. Idempotent. *)
+
+val registered : unit -> string list
+(** All known injection points, registration order. *)
+
+val arm : ?key:string -> ?count:int -> string -> unit
+(** [arm point] makes {!should_fire}/{!fire} trigger at [point] — for
+    every key, or only [?key]; forever, or at most [?count] times
+    (counted down per firing; a fail-once loader is [~count:1]). *)
+
+val arm_chaos : seed:int -> ?rate:float -> unit -> unit
+(** Arm every point probabilistically: a (point, key) pair fires iff a
+    deterministic hash of [(seed, point, key)] lands below [rate]
+    (default 0.3). *)
+
+val chaos_seed : unit -> int option
+
+val disarm_all : unit -> unit
+(** Return the registry to the idle state. *)
+
+val armed : unit -> bool
+
+val should_fire : string -> key:string -> bool
+(** Decision without a throw: lets call sites raise a domain-specific
+    exception (e.g. a singular matrix) instead of {!Injected}. Consumes
+    one firing from a [~count]-limited arming. *)
+
+val fire : string -> key:string -> unit
+(** Raise [Injected (point, key)] if the point is armed for this key. *)

@@ -4,8 +4,10 @@
    walker [Cinterp.Eval] are observationally identical — bit-identical
    profiles (block counts, branch taken/not-taken, call-site counts,
    work units; compared through the %.17g [Profile.save] text), the same
-   stdout, the same exit codes, and the same [Runtime_error] diagnostics
-   (out-of-bounds, use-after-free, division by zero, fuel exhaustion).
+   stdout, the same exit codes, the same [Runtime_error] diagnostics
+   (out-of-bounds, use-after-free, division by zero), and the same
+   [Budget_exhausted] stops with bit-identical partial profiles when a
+   fuel or wall-clock budget runs out mid-execution.
 
    Coverage: the whole 16-program suite on every registered input, a
    qcheck property over generated programs (arrays, pointers, helper
@@ -20,8 +22,8 @@ module Cfg = Cfg_ir.Cfg
 
 let compile src = Pipeline.compile ~name:"t" src
 
-let run_with backend ?fuel ?(argv = []) ?(input = "") c =
-  Pipeline.run_once ?fuel ~backend c { Pipeline.argv; input }
+let run_with backend ?fuel ?deadline_s ?(argv = []) ?(input = "") c =
+  Pipeline.run_once ?fuel ?deadline_s ~backend c { Pipeline.argv; input }
 
 (* Compare every observable of one run under both back ends. *)
 let check_identical name ?fuel ?argv ?input c =
@@ -78,10 +80,18 @@ int main(int argc, char **argv) {
    message, at the same point in execution (stdout up to the fault is
    part of the comparison). *)
 
-let observe backend ?fuel c =
-  match run_with backend ?fuel c with
+let observe backend ?fuel ?deadline_s c =
+  match run_with backend ?fuel ?deadline_s c with
   | o -> Ok (o.Eval.exit_code, o.Eval.stdout_text)
   | exception Value.Runtime_error m -> Error m
+  | exception Eval.Budget_exhausted (stop, o) ->
+    (* fold the stop kind and the partial observables into the compared
+       value: both back ends must stop at the same point *)
+    Error
+      (Printf.sprintf "budget:%s:%s:%s"
+         (Eval.budget_stop_to_string stop)
+         o.Eval.stdout_text
+         (Profile.save o.Eval.profile))
 
 let outcome_t =
   Alcotest.(result (pair int string) string)
@@ -123,13 +133,41 @@ let test_diagnostics () =
     "int ghost(int);\nint main(void) { return ghost(1); }"
 
 let test_fuel_limit () =
-  check_same_error "infinite loop hits the step limit" ~fuel:1000
-    ~expect:"step limit exceeded in main"
-    "int main(void) { while (1) { } return 0; }";
+  (* Fuel exhaustion is no longer a fatal [Runtime_error]: both back
+     ends raise [Budget_exhausted (Fuel, outcome)] carrying the partial
+     profile accumulated so far, and those partials are bit-identical
+     (the per-block decrement order is the same). *)
+  let c = compile "int main(void) { while (1) { } return 0; }" in
+  let partial backend =
+    match run_with backend ~fuel:1000 c with
+    | _ -> Alcotest.fail "expected fuel exhaustion"
+    | exception Eval.Budget_exhausted (Eval.Fuel, o) ->
+      (o.Eval.stdout_text, Profile.save o.Eval.profile)
+  in
+  let t_out, t_prof = partial Pipeline.Tree in
+  let k_out, k_prof = partial Pipeline.Compiled in
+  Alcotest.(check string) "partial stdout identical" t_out k_out;
+  Alcotest.(check string) "partial profile bits identical" t_prof k_prof;
+  Alcotest.(check bool) "partial profile is non-empty" true
+    (String.length t_prof > 0);
   (* A program that finishes exactly within its budget behaves the same
-     under both back ends (the per-block decrement order is identical). *)
+     under both back ends. *)
   let c = compile "int main(void) { int i; for (i = 0; i < 10; i++) { } return i; }" in
   check_identical "tight fuel" ~fuel:100 c
+
+let test_wall_clock_limit () =
+  (* An already-expired deadline stops the runaway loop at the first
+     clock check — a fixed number of blocks in — so the partial profiles
+     are still bit-identical across back ends. *)
+  let c = compile "int main(void) { while (1) { } return 0; }" in
+  let partial backend =
+    match run_with backend ~deadline_s:0.0 c with
+    | _ -> Alcotest.fail "expected wall-clock exhaustion"
+    | exception Eval.Budget_exhausted (Eval.Wall_clock, o) ->
+      Profile.save o.Eval.profile
+  in
+  Alcotest.(check string) "partial profile bits identical"
+    (partial Pipeline.Tree) (partial Pipeline.Compiled)
 
 (* ------------------------------------------------------------------ *)
 (* Shared-state memos on the compiled record. *)
@@ -205,8 +243,8 @@ int main(void) {
   QCheck.make body ~print:(fun s -> s)
 
 (* Generated loops may diverge ([while (x > 0) { x--; x++; }]); a small
-   fuel budget turns those into a step-limit diagnostic, which must also
-   be identical across back ends. *)
+   fuel budget turns those into a [Budget_exhausted] stop whose partial
+   observables must also be identical across back ends. *)
 let prop_backends_identical =
   QCheck.Test.make
     ~name:"compiled back end is observationally identical to the tree walker"
@@ -217,6 +255,12 @@ let prop_backends_identical =
         | o ->
           Ok (o.Eval.exit_code, o.Eval.stdout_text, Profile.save o.Eval.profile)
         | exception Value.Runtime_error m -> Error m
+        | exception Eval.Budget_exhausted (stop, o) ->
+          Error
+            (Printf.sprintf "budget:%s:%s:%s"
+               (Eval.budget_stop_to_string stop)
+               o.Eval.stdout_text
+               (Profile.save o.Eval.profile))
       in
       obs Pipeline.Tree = obs Pipeline.Compiled)
 
@@ -226,5 +270,6 @@ let suite =
     Alcotest.test_case "argv and stdin" `Quick test_argv_and_stdin;
     Alcotest.test_case "identical diagnostics" `Quick test_diagnostics;
     Alcotest.test_case "fuel limit" `Quick test_fuel_limit;
+    Alcotest.test_case "wall-clock limit" `Quick test_wall_clock_limit;
     Alcotest.test_case "memoized shared state" `Quick test_memoization;
     QCheck_alcotest.to_alcotest prop_backends_identical ]

@@ -304,7 +304,10 @@ let test_memory_safety () =
 let test_fuel_limit () =
   let c = Pipeline.compile ~name:"t" "int main(void){ int i; for(i=0;i<100000;i++); return 0; }" in
   match Eval.run ~fuel:100 c.Pipeline.prog with
-  | exception Cinterp.Value.Runtime_error _ -> ()
+  | exception Eval.Budget_exhausted (Eval.Fuel, o) ->
+    (* the partial outcome carries the profile accumulated so far *)
+    Alcotest.(check bool) "partial profile recorded" true
+      (Cinterp.Profile.save o.Eval.profile <> "")
   | _ -> Alcotest.fail "fuel should run out"
 
 let test_profile_counters () =

@@ -20,6 +20,7 @@ let () =
       ("config", Test_config.suite);
       ("differential", Test_differential.suite);
       ("parallel", Test_parallel.suite);
+      ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);

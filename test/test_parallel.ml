@@ -34,6 +34,21 @@ let test_map_order () =
         (List.map (fun i -> i * i) xs)
         (Parallel.map (fun i -> i * i) xs))
 
+(* A single task failure re-raises the original exception (with its
+   backtrace); the other slots still run to completion. *)
+let test_map_single_exception () =
+  with_jobs 4 (fun () ->
+      match
+        Parallel.map
+          (fun i -> if i = 7 then failwith (string_of_int i) else i)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        Alcotest.(check string) "the task's own exception escapes" "7" msg)
+
+(* Several failures are collected — every one, ordered by input index —
+   and surfaced together as [Worker_errors]. *)
 let test_map_exception () =
   with_jobs 4 (fun () ->
       match
@@ -42,9 +57,44 @@ let test_map_exception () =
           (List.init 20 Fun.id)
       with
       | _ -> Alcotest.fail "expected an exception"
-      | exception Failure msg ->
-        (* the lowest failing index wins, as List.map would *)
-        Alcotest.(check string) "first error by input index" "7" msg)
+      | exception Parallel.Worker_errors errors ->
+        Alcotest.(check (list int))
+          "all failing indices, in input order"
+          [ 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19 ]
+          (List.map (fun (i, _, _) -> i) errors);
+        List.iter
+          (fun (i, e, _) ->
+            match e with
+            | Failure msg ->
+              Alcotest.(check string) "each slot keeps its own exception"
+                (string_of_int i) msg
+            | e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+          errors)
+
+(* [map_results] never raises: every slot reports Ok or Error in input
+   order, at any jobs setting. *)
+let test_map_results () =
+  let exercise jobs =
+    with_jobs jobs (fun () ->
+        let slots =
+          Parallel.map_results
+            (fun i -> if i mod 3 = 0 then failwith "boom" else i * 10)
+            (List.init 10 Fun.id)
+        in
+        List.iteri
+          (fun i slot ->
+            match slot with
+            | Ok v ->
+              Alcotest.(check bool) "ok slot survives" true (i mod 3 <> 0);
+              Alcotest.(check int) "ok slot value" (i * 10) v
+            | Error (Failure _, _) ->
+              Alcotest.(check bool) "error slot failed" true (i mod 3 = 0)
+            | Error (e, _) ->
+              Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+          slots)
+  in
+  exercise 1;
+  exercise 4
 
 let test_nested_map () =
   with_jobs 4 (fun () ->
@@ -223,8 +273,11 @@ let test_resize_churn () =
 
 let suite =
   [ Alcotest.test_case "map preserves order" `Quick test_map_order;
-    Alcotest.test_case "map re-raises the first error" `Quick
+    Alcotest.test_case "map re-raises a lone error" `Quick
+      test_map_single_exception;
+    Alcotest.test_case "map collects every error in input order" `Quick
       test_map_exception;
+    Alcotest.test_case "map_results never raises" `Quick test_map_results;
     Alcotest.test_case "nested maps" `Quick test_nested_map;
     Alcotest.test_case "run thunks" `Quick test_run_thunks;
     Alcotest.test_case "pool resize churn" `Quick test_resize_churn;
