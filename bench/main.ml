@@ -282,6 +282,25 @@ let run_profile_throughput (jobs : int) (json_path : string) =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"suite\": \"%s\",\n" (json_escape "pldi94-estimators"));
+  (* The same environment block the run records carry, so bench numbers
+     from different machines/commits can be told apart when compared. *)
+  let env =
+    Obs.Envmeta.common ()
+    @ [ ("timestamp",
+         let t = Unix.gmtime (Unix.gettimeofday ()) in
+         Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+           (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
+           t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec) ]
+  in
+  Buffer.add_string buf "  \"env\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": \"%s\"%s\n" (json_escape k)
+           (json_escape v)
+           (if i = List.length env - 1 then "" else ",")))
+    env;
+  Buffer.add_string buf "  },\n";
   Buffer.add_string buf (Printf.sprintf "  \"programs\": %d,\n" n_programs);
   Buffer.add_string buf (Printf.sprintf "  \"run_pairs\": %d,\n" n_pairs);
   Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);

@@ -10,6 +10,8 @@
      run          interpret a C program (profiling; --save-profile FILE)
      score        score static estimates against a saved profile
      experiment   reproduce one of the paper's tables/figures/ablations
+     record       run the full suite and write a typed run record (JSON)
+     diff         compare a run record against the committed baseline
      suite        list the benchmark suite *)
 
 module Pipeline = Core.Pipeline
@@ -415,6 +417,98 @@ let cmd_experiment =
     Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ trace_arg
           $ metrics_arg $ id)
 
+(* ---- record: run the suite, persist the typed score records ---- *)
+
+let cmd_record =
+  let run jobs () () out =
+    Driver.Parallel.set_jobs jobs;
+    Driver.Score.reset ();
+    Driver.Trace.enable ();
+    (* The record wants the scores and timings, not the rendered text. *)
+    let (_ : string) =
+      Driver.Trace.with_span "run" Driver.Experiments.run_all
+    in
+    let meta =
+      [ ("jobs", string_of_int jobs);
+        ("chaos_seed",
+         match Obs.Inject.chaos_seed () with
+         | Some s -> string_of_int s
+         | None -> "none");
+        ("backend",
+         match !Pipeline.default_backend with
+         | Pipeline.Tree -> "tree"
+         | Pipeline.Compiled -> "compiled") ]
+    in
+    let record = Driver.Run_record.collect ~meta in
+    Driver.Run_record.write_file out record;
+    Printf.eprintf "[run record: %d scores, %d degraded -> %s]\n"
+      (List.length record.Driver.Run_record.r_scores)
+      (List.length record.Driver.Run_record.r_degraded)
+      out;
+    finish_with_fault_status ()
+  in
+  let out =
+    Arg.(value & opt string "run_record.json" & info [ "o"; "out" ]
+           ~docv:"FILE" ~doc:"Where to write the run record.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run the full experiment suite and write a typed run record \
+             (scores, environment, faults, timings) as JSON")
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ out)
+
+(* ---- diff: gate a run record against the committed baseline ---- *)
+
+let cmd_diff =
+  let run record_path baseline_path timing_factor html_out =
+    let load_record what path =
+      match Driver.Run_record.read_file path with
+      | Ok r -> r
+      | Error e ->
+        Printf.eprintf "error reading %s: %s\n" what e;
+        exit 2
+    in
+    let baseline = load_record "baseline" baseline_path in
+    let current = load_record "run record" record_path in
+    let report =
+      Driver.Drift.diff ~timing_factor ~baseline ~current ()
+    in
+    print_string (Driver.Drift.render report);
+    (match html_out with
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Driver.Report.html ~baseline ~current report);
+      close_out oc;
+      Printf.eprintf "[html report -> %s]\n" path
+    | None -> ());
+    if Driver.Drift.has_drift report then exit 1
+  in
+  let record_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"RECORD.json"
+           ~doc:"Run record written by $(b,record).")
+  in
+  let baseline_path =
+    Arg.(value & opt string "BASELINE.json" & info [ "baseline" ]
+           ~docv:"FILE" ~doc:"Baseline run record (default: the committed \
+                              BASELINE.json).")
+  in
+  let timing_factor =
+    Arg.(value & opt float Driver.Drift.default_timing_factor
+         & info [ "timing-factor" ] ~docv:"F"
+             ~doc:"Timings drift only when they leave the [1/F, F] \
+                   multiplicative band around the baseline (scores are \
+                   always compared exactly).")
+  in
+  let html_out =
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE"
+           ~doc:"Also write a self-contained HTML drift report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare a run record against the committed baseline; exit 1 \
+             on score drift")
+    Term.(const run $ record_path $ baseline_path $ timing_factor $ html_out)
+
 (* ---- suite ---- *)
 
 let cmd_suite =
@@ -454,6 +548,7 @@ let main =
     (Cmd.info "estimator" ~version:"1.0"
        ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
     [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;
-      cmd_score; cmd_annotate; cmd_experiment; cmd_suite ]
+      cmd_score; cmd_annotate; cmd_experiment; cmd_record; cmd_diff;
+      cmd_suite ]
 
 let () = exit (Cmd.eval main)

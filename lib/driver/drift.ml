@@ -1,0 +1,159 @@
+(* Score-drift detection: compare a run record against the committed
+   baseline and classify every difference.
+
+   Scores are deterministic IEEE-754 doubles (the differential harness
+   pins jobs-invariance), so they are compared *exactly* — any bit
+   difference is drift. Timings are machine-dependent, so they only
+   drift when outside a wide multiplicative tolerance band. A program
+   that degraded in the current run is reported as degraded (with its
+   stage), never as a score regression: its baseline scores are
+   missing, not wrong. *)
+
+type finding =
+  | Changed of Score.t * float
+    (* baseline record; the current run's differing value *)
+  | Missing of Score.t
+    (* baseline record with no counterpart in the current run *)
+  | Added of Score.t
+    (* current-run record with no counterpart in the baseline *)
+  | Degraded_program of Score.t * string
+    (* baseline record whose program degraded in the current run; the
+       stage it degraded at *)
+  | Timing_out_of_band of string * float * float
+    (* label, baseline total ms, current total ms *)
+
+type report = {
+  findings : finding list;     (* deterministic order: kind within key *)
+  compared : int;              (* baseline scores with an exact match *)
+  degraded_programs : (string * string) list;  (* current run: program, stage *)
+}
+
+let default_timing_factor = 50.0
+
+(* Timings below this total are noise — a sub-millisecond experiment
+   span can jitter by more than any sane factor between two runs. *)
+let timing_floor_ms = 5.0
+
+let finding_key = function
+  | Changed (s, _) | Missing s | Added s | Degraded_program (s, _) ->
+    Some (Score.key s)
+  | Timing_out_of_band _ -> None
+
+(* Exact equality that treats nan as equal to itself (a degraded mean
+   must not drift against itself). *)
+let same_value (a : float) (b : float) : bool = compare a b = 0
+
+let diff ?(timing_factor = default_timing_factor)
+    ~(baseline : Run_record.t) ~(current : Run_record.t) () : report =
+  let index (r : Run_record.t) : (Score.key, Score.t) Hashtbl.t =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun (s : Score.t) -> Hashtbl.replace tbl (Score.key s) s)
+      r.Run_record.r_scores;
+    tbl
+  in
+  let cur_by_key = index current in
+  let base_by_key = index baseline in
+  let degraded_stage program =
+    List.assoc_opt program current.Run_record.r_degraded
+  in
+  let compared = ref 0 in
+  let score_findings =
+    List.filter_map
+      (fun (b : Score.t) ->
+        match Hashtbl.find_opt cur_by_key (Score.key b) with
+        | Some c ->
+          if same_value b.Score.s_value c.Score.s_value then begin
+            incr compared;
+            None
+          end
+          else Some (Changed (b, c.Score.s_value))
+        | None -> (
+          match degraded_stage b.Score.s_program with
+          | Some stage -> Some (Degraded_program (b, stage))
+          | None -> Some (Missing b)))
+      baseline.Run_record.r_scores
+    @ List.filter_map
+        (fun (c : Score.t) ->
+          if Hashtbl.mem base_by_key (Score.key c) then None
+          else Some (Added c))
+        current.Run_record.r_scores
+  in
+  let timing_findings =
+    List.filter_map
+      (fun (b : Run_record.timing) ->
+        let label = b.Run_record.t_label in
+        match
+          List.find_opt
+            (fun (c : Run_record.timing) -> c.Run_record.t_label = label)
+            current.Run_record.r_timings
+        with
+        | None -> None
+        | Some c ->
+          let bms = b.Run_record.t_total_ms
+          and cms = c.Run_record.t_total_ms in
+          if bms < timing_floor_ms || cms < timing_floor_ms then None
+          else if cms > bms *. timing_factor || cms < bms /. timing_factor
+          then Some (Timing_out_of_band (label, bms, cms))
+          else None)
+      baseline.Run_record.r_timings
+  in
+  let rank = function
+    | Changed _ -> 0
+    | Missing _ -> 1
+    | Degraded_program _ -> 2
+    | Added _ -> 3
+    | Timing_out_of_band _ -> 4
+  in
+  let sort_key f =
+    ( rank f,
+      (match finding_key f with Some k -> Score.key_to_string k | None -> ""),
+      match f with Timing_out_of_band (l, _, _) -> l | _ -> "" )
+  in
+  { findings =
+      List.sort
+        (fun a b -> compare (sort_key a) (sort_key b))
+        (score_findings @ timing_findings);
+    compared = !compared;
+    degraded_programs = current.Run_record.r_degraded }
+
+let has_drift (r : report) : bool = r.findings <> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let fmt_value (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e9 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let finding_row = function
+  | Changed (s, cur) ->
+    [ "changed"; Score.key_to_string (Score.key s);
+      fmt_value s.Score.s_value; fmt_value cur;
+      Printf.sprintf "%+.6g" (cur -. s.Score.s_value) ]
+  | Missing s ->
+    [ "missing"; Score.key_to_string (Score.key s);
+      fmt_value s.Score.s_value; "—"; "" ]
+  | Added s ->
+    [ "added"; Score.key_to_string (Score.key s); "—";
+      fmt_value s.Score.s_value; "" ]
+  | Degraded_program (s, stage) ->
+    [ "degraded"; Score.key_to_string (Score.key s);
+      fmt_value s.Score.s_value; "— (" ^ stage ^ ")"; "" ]
+  | Timing_out_of_band (label, bms, cms) ->
+    [ "timing"; label; Printf.sprintf "%.1fms" bms;
+      Printf.sprintf "%.1fms" cms;
+      Printf.sprintf "%.1fx" (cms /. bms) ]
+
+let render (r : report) : string =
+  let header =
+    Printf.sprintf "%d baseline scores matched exactly" r.compared
+  in
+  if r.findings = [] then
+    header ^ "; no drift.\n"
+  else
+    Printf.sprintf "%s; %d findings:\n\n" header (List.length r.findings)
+    ^ Text_table.render
+        ~aligns:[ Text_table.Left; Text_table.Left ]
+        [ "kind"; "score"; "baseline"; "current"; "delta" ]
+        (List.map finding_row r.findings)

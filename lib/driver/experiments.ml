@@ -1,6 +1,15 @@
 (* One reproduction per table/figure of the paper's evaluation. Each
    experiment renders the same rows/series the paper reports, from the
-   shared compiled-and-profiled suite in [Context]. *)
+   shared compiled-and-profiled suite in [Context].
+
+   Result-level observability: every number an experiment prints is
+   first computed into a typed [Score] record
+   (experiment × program × estimator × metric × parameter → value) and
+   the text tables are rendered *from* those records — the rendering is
+   a pure function of the record stream, so the [record]/[diff]
+   subcommands can persist a run and gate refactors on score drift
+   without touching the tables. The full-suite text output is
+   byte-identical to the pre-record rendering. *)
 
 module Ast = Cfront.Ast
 module Pretty = Cfront.Pretty
@@ -80,7 +89,10 @@ int main(void) {
 }
 |}
 
-let strchr_compiled () = Pipeline.compile ~name:"strchr_example" strchr_source
+(* The [Score.s_program] of the worked example's records. *)
+let strchr_program = "strchr_example"
+
+let strchr_compiled () = Pipeline.compile ~name:strchr_program strchr_source
 
 (* Short description of a block from its contents. *)
 let block_label (fn : Cfg.fn) (b : Cfg.block) : string =
@@ -160,10 +172,114 @@ let callsite_profiling_score (d : Context.prog_data) ~(cutoff : float) :
         ~actual:(Pipeline.callsite_actual d.Context.compiled eval_p)
         ~cutoff)
 
-let mean (xs : float list) : float =
+let mean_opt (xs : float list) : float option =
   match xs with
-  | [] -> 0.0
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  | [] -> None
+  | _ -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+(* The mean of an empty series used to be a plausible-looking [0.0] — an
+   all-degraded suite would quietly report a zero score. Surface it: the
+   fault goes on the record (so the run exits 3) and the NaN renders as
+   an explicit marker wherever a table formats it. *)
+let mean (xs : float list) : float =
+  match mean_opt xs with
+  | Some v -> v
+  | None ->
+    Fault.record
+      { Fault.f_stage = Fault.Estimate; f_subject = "mean";
+        f_detail = "mean of empty series"; f_exn = ""; f_backtrace = "";
+        f_recovery = "rendered as a — marker instead of 0" };
+    Float.nan
+
+(* ------------------------------------------------------------------ *)
+(* The typed-record layer: per-program score tables compute every cell
+   into a [Score] record once — one parallel task per program evaluates
+   all columns — and both the rows and the AVERAGE line render from
+   those records. *)
+
+let emit ~(exp : string) ~(program : string) ~(estimator : string)
+    ?(param = 0.0) (metric : Score.metric) (value : float) : unit =
+  Score.emit
+    { Score.s_experiment = exp; s_program = program; s_estimator = estimator;
+      s_metric = metric; s_param = param; s_value = value }
+
+(* A column of a per-program score table: the estimator label recorded,
+   the metric and its parameter (q-cutoff), and the per-program value. *)
+type score_col = {
+  c_estimator : string;
+  c_metric : Score.metric;
+  c_param : float;
+  c_value : Context.prog_data -> float;
+}
+
+let col ?(param = 0.0) (estimator : string) (metric : Score.metric)
+    (value : Context.prog_data -> float) : score_col =
+  { c_estimator = estimator; c_metric = metric; c_param = param;
+    c_value = value }
+
+(* Compute a per-program score table for [exp_id]. Healthy programs
+   passing [keep] get every column evaluated in one parallel task (and
+   one record emitted per cell); degraded programs render the
+   dagger-marked placeholder row. Returns the rendered rows (registry
+   order) and the AVERAGE row over the kept healthy programs; an
+   average over *no* programs renders the — marker and records a fault
+   instead of reporting 0. *)
+let score_table ~(exp_id : string)
+    ?(keep : Context.prog_data -> bool = fun _ -> true)
+    ?(fmt : float -> string = Text_table.pct) (cols : score_col list) :
+    string list list * string list =
+  let width = 1 + List.length cols in
+  let computed =
+    Context.all_entries ()
+    |> Parallel.map (fun ((b : Suite.Bench_prog.t), entry) ->
+         match entry with
+         | Ok d when keep d ->
+           `Scores
+             (b.Suite.Bench_prog.name, List.map (fun c -> c.c_value d) cols)
+         | Ok _ -> `Skip
+         | Error (_ : Fault.t) -> `Degraded b.Suite.Bench_prog.name)
+  in
+  let rows =
+    List.filter_map
+      (function
+        | `Scores (name, values) ->
+          List.iter2
+            (fun c v ->
+              emit ~exp:exp_id ~program:name ~estimator:c.c_estimator
+                ~param:c.c_param c.c_metric v)
+            cols values;
+          Some (name :: List.map fmt values)
+        | `Skip -> None
+        | `Degraded name ->
+          Some ((name ^ " †") :: List.init (width - 1) (fun _ -> "—")))
+      computed
+  in
+  let healthy =
+    List.filter_map
+      (function `Scores (_, values) -> Some values | _ -> None)
+      computed
+  in
+  let avg_row =
+    Score.average_program
+    :: List.mapi
+         (fun i c ->
+           match mean_opt (List.map (fun vs -> List.nth vs i) healthy) with
+           | Some v ->
+             emit ~exp:exp_id ~program:Score.average_program
+               ~estimator:c.c_estimator ~param:c.c_param c.c_metric v;
+             fmt v
+           | None ->
+             Fault.record
+               { Fault.f_stage = Fault.Estimate; f_subject = exp_id;
+                 f_detail =
+                   Printf.sprintf "average of %s: no healthy programs"
+                     c.c_estimator;
+                 f_exn = ""; f_backtrace = "";
+                 f_recovery = "average rendered as a — marker" };
+             "—")
+         cols
+  in
+  (rows, avg_row)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
@@ -173,15 +289,28 @@ let table1 () : string =
     suite_rows ~width:7
       (fun (d : Context.prog_data) ->
         let b = d.Context.bench in
+        let name = b.Suite.Bench_prog.name in
+        let loc = Suite.Bench_prog.loc b in
+        let funcs =
+          List.length d.Context.compiled.Pipeline.prog.Cfg.prog_fns
+        in
+        let blocks =
+          List.fold_left
+            (fun acc fn -> acc + Cfg.n_blocks fn)
+            0 d.Context.compiled.Pipeline.prog.Cfg.prog_fns
+        in
+        let inputs = Suite.Bench_prog.n_runs b in
+        List.iter
+          (fun (estimator, v) ->
+            emit ~exp:"table1" ~program:name ~estimator Score.Count (float_of_int v))
+          [ ("lines", loc); ("funcs", funcs); ("blocks", blocks);
+            ("inputs", inputs) ];
         Some
-          [ b.Suite.Bench_prog.name;
-          string_of_int (Suite.Bench_prog.loc b);
-          string_of_int (List.length d.Context.compiled.Pipeline.prog.Cfg.prog_fns);
-          string_of_int
-            (List.fold_left
-               (fun acc fn -> acc + Cfg.n_blocks fn)
-               0 d.Context.compiled.Pipeline.prog.Cfg.prog_fns);
-            string_of_int (Suite.Bench_prog.n_runs b);
+          [ name;
+            string_of_int loc;
+            string_of_int funcs;
+            string_of_int blocks;
+            string_of_int inputs;
             b.Suite.Bench_prog.analogue;
             b.Suite.Bench_prog.description ])
   in
@@ -207,12 +336,21 @@ let table2 () : string =
   let rows =
     Array.to_list fn.Cfg.fn_blocks
     |> List.map (fun (b : Cfg.block) ->
+         emit ~exp:"table2" ~program:strchr_program
+           ~estimator:(Printf.sprintf "B%d.actual" b.Cfg.b_id)
+           Score.Freq actual.(b.Cfg.b_id);
+         emit ~exp:"table2" ~program:strchr_program
+           ~estimator:(Printf.sprintf "B%d.estimate" b.Cfg.b_id)
+           Score.Freq estimate.(b.Cfg.b_id);
          [ block_label fn b;
            Printf.sprintf "%.0f" actual.(b.Cfg.b_id);
            Printf.sprintf "%.1f" estimate.(b.Cfg.b_id) ])
   in
   let wm cutoff =
-    Weight_matching.score ~estimate ~actual ~cutoff
+    let v = Weight_matching.score ~estimate ~actual ~cutoff in
+    emit ~exp:"table2" ~program:strchr_program ~estimator:"smart"
+      ~param:cutoff Score.Wm_intra v;
+    v
   in
   "Table 2: intra-procedural weight-matching for strchr\n"
   ^ "(actual: strchr(\"abc\",'a') and strchr(\"abc\",'b'); estimate: smart)\n\n"
@@ -229,55 +367,31 @@ let table2 () : string =
 (* Figure 2: branch prediction miss rates *)
 
 let fig2 () : string =
-  let rows =
-    suite_rows ~width:4
-      (fun (d : Context.prog_data) ->
-        let prog = d.Context.compiled.Pipeline.prog in
-        let smart = Missrate.smart_predictor prog in
-        let smart_rate =
-          mean (List.map (fun p -> Missrate.rate prog p smart) d.Context.profiles)
-        in
-        let prof_rate =
-          Pipeline.cross_profile_mean d.Context.compiled d.Context.profiles
-            (fun ~train ~eval_p ->
-              Missrate.rate prog eval_p (Missrate.majority_predictor train))
-        in
-        let psp_rate =
-          mean (List.map (fun p -> Missrate.psp_rate prog p) d.Context.profiles)
-        in
-        Some
-          [ d.Context.bench.Suite.Bench_prog.name;
-            Text_table.pct smart_rate;
-            Text_table.pct prof_rate;
-            Text_table.pct psp_rate ])
-  in
-  let avg col =
-    Text_table.pct
-      (mean
-         (suite_map
-            (fun (d : Context.prog_data) ->
-              let prog = d.Context.compiled.Pipeline.prog in
-              match col with
-              | `Smart ->
-                mean
-                  (List.map
-                     (fun p -> Missrate.rate prog p (Missrate.smart_predictor prog))
-                     d.Context.profiles)
-              | `Prof ->
-                Pipeline.cross_profile_mean d.Context.compiled
-                  d.Context.profiles (fun ~train ~eval_p ->
-                    Missrate.rate prog eval_p (Missrate.majority_predictor train))
-              | `Psp ->
-                mean
-                  (List.map (fun p -> Missrate.psp_rate prog p)
-                     d.Context.profiles))))
+  let rows, avg_row =
+    score_table ~exp_id:"fig2"
+      [ col "predictor" Score.Miss_rate (fun d ->
+            let prog = d.Context.compiled.Pipeline.prog in
+            let smart = Missrate.smart_predictor prog in
+            mean
+              (List.map (fun p -> Missrate.rate prog p smart)
+                 d.Context.profiles));
+        col "profiling" Score.Miss_rate (fun d ->
+            Pipeline.cross_profile_mean d.Context.compiled d.Context.profiles
+              (fun ~train ~eval_p ->
+                Missrate.rate d.Context.compiled.Pipeline.prog eval_p
+                  (Missrate.majority_predictor train)));
+        col "PSP" Score.Miss_rate (fun d ->
+            mean
+              (List.map
+                 (fun p -> Missrate.psp_rate d.Context.compiled.Pipeline.prog p)
+                 d.Context.profiles)) ]
   in
   "Figure 2: dynamic branch misprediction rates\n"
   ^ "(constant-foldable conditions and switches excluded, as in the paper)\n\n"
   ^ Text_table.render
       ~aligns:[ Text_table.Left ]
       [ "program"; "predictor"; "profiling"; "PSP" ]
-      (rows @ [ [ "AVERAGE"; avg `Smart; avg `Prof; avg `Psp ] ])
+      (rows @ [ avg_row ])
   ^ "\npaper: predictor ~2x the profiling miss rate; PSP lowest.\n"
   ^ degraded_note ()
 
@@ -289,6 +403,12 @@ let fig3 () : string =
   let fi = Option.get (Cfront.Typecheck.fun_info c.Pipeline.tc "strchr") in
   let f = fi.Cfront.Typecheck.fi_def in
   let freqs = Ast_estimator.stmt_freqs c.Pipeline.tc f Ast_estimator.Smart in
+  Hashtbl.fold (fun sid v acc -> (sid, v) :: acc) freqs []
+  |> List.sort compare
+  |> List.iter (fun (sid, v) ->
+       emit ~exp:"fig3" ~program:strchr_program
+         ~estimator:(Printf.sprintf "sid%d" sid)
+         Score.Freq v);
   let annot (s : Ast.stmt) =
     match Hashtbl.find_opt freqs s.Ast.sid with
     | Some v -> Printf.sprintf "%.1f" v
@@ -304,32 +424,22 @@ let fig3 () : string =
 
 let fig4 () : string =
   let cutoff = 0.05 in
-  let rows =
-    suite_rows ~width:5
-      (fun (d : Context.prog_data) ->
-        Some
-          [ d.Context.bench.Suite.Bench_prog.name;
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
-            Text_table.pct (intra_profiling_score d ~cutoff) ])
-  in
-  let avg i =
-    Text_table.pct
-      (mean
-         (suite_map
-            (fun d ->
-              match i with
-              | 0 -> intra_static_score d ~cutoff Pipeline.Iloop
-              | 1 -> intra_static_score d ~cutoff Pipeline.Ismart
-              | 2 -> intra_static_score d ~cutoff Pipeline.Imarkov
-              | _ -> intra_profiling_score d ~cutoff)))
+  let rows, avg_row =
+    score_table ~exp_id:"fig4"
+      [ col ~param:cutoff "loop" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Iloop);
+        col ~param:cutoff "smart" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Ismart);
+        col ~param:cutoff "markov" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Imarkov);
+        col ~param:cutoff "profiling" Score.Wm_intra (fun d ->
+            intra_profiling_score d ~cutoff) ]
   in
   "Figure 4: intra-procedural basic-block weight matching (5% cutoff)\n\n"
   ^ Text_table.render
       ~aligns:[ Text_table.Left ]
       [ "program"; "loop"; "smart"; "markov"; "profiling" ]
-      (rows @ [ [ "AVERAGE"; avg 0; avg 1; avg 2; avg 3 ] ])
+      (rows @ [ avg_row ])
   ^ "\npaper: smart ~81% on average, within a few points of profiling;\n\
      markov no better than smart at the intra level.\n"
   ^ degraded_note ()
@@ -339,28 +449,19 @@ let fig4 () : string =
 
 let fig5a () : string =
   let cutoff = 0.25 in
-  let kinds =
-    List.map (fun k -> Pipeline.Isimple k) Inter_simple.all_kinds
+  let simple_cols =
+    List.map2
+      (fun estimator k ->
+        col ~param:cutoff estimator Score.Wm_inter (fun d ->
+            inter_static_score d ~cutoff (Pipeline.Isimple k)))
+      [ "call_site"; "direct"; "all_rec"; "all_rec2" ]
+      Inter_simple.all_kinds
   in
-  let rows =
-    suite_rows ~width:6
-      (fun (d : Context.prog_data) ->
-        Some
-          (d.Context.bench.Suite.Bench_prog.name
-           :: List.map
-                (fun k -> Text_table.pct (inter_static_score d ~cutoff k))
-                kinds
-           @ [ Text_table.pct (inter_profiling_score d ~cutoff) ]))
-  in
-  let avg_row =
-    "AVERAGE"
-    :: List.map
-         (fun k ->
-           Text_table.pct
-             (mean (suite_map (fun d -> inter_static_score d ~cutoff k))))
-         kinds
-    @ [ Text_table.pct
-          (mean (suite_map (fun d -> inter_profiling_score d ~cutoff))) ]
+  let rows, avg_row =
+    score_table ~exp_id:"fig5a"
+      (simple_cols
+      @ [ col ~param:cutoff "profiling" Score.Wm_inter (fun d ->
+              inter_profiling_score d ~cutoff) ])
   in
   "Figure 5a: function invocation estimates, simple predictors (25% cutoff)\n\n"
   ^ Text_table.render
@@ -376,32 +477,15 @@ let fig5a () : string =
 
 let fig5bc () : string =
   let section cutoff tag paper_note =
-    let rows =
-      suite_rows ~width:4
-        (fun (d : Context.prog_data) ->
-          Some
-            [ d.Context.bench.Suite.Bench_prog.name;
-              Text_table.pct
-                (inter_static_score d ~cutoff
-                   (Pipeline.Isimple Inter_simple.Direct));
-              Text_table.pct
-                (inter_static_score d ~cutoff Pipeline.Imarkov_inter);
-              Text_table.pct (inter_profiling_score d ~cutoff) ])
-    in
-    let avg_row =
-      [ "AVERAGE";
-        Text_table.pct
-          (mean
-             (suite_map
-                (fun d ->
-                  inter_static_score d ~cutoff
-                    (Pipeline.Isimple Inter_simple.Direct))));
-        Text_table.pct
-          (mean
-             (suite_map
-                (fun d -> inter_static_score d ~cutoff Pipeline.Imarkov_inter)));
-        Text_table.pct
-          (mean (suite_map (fun d -> inter_profiling_score d ~cutoff))) ]
+    let rows, avg_row =
+      score_table ~exp_id:"fig5bc"
+        [ col ~param:cutoff "direct" Score.Wm_inter (fun d ->
+              inter_static_score d ~cutoff
+                (Pipeline.Isimple Inter_simple.Direct));
+          col ~param:cutoff "markov" Score.Wm_inter (fun d ->
+              inter_static_score d ~cutoff Pipeline.Imarkov_inter);
+          col ~param:cutoff "profiling" Score.Wm_inter (fun d ->
+              inter_profiling_score d ~cutoff) ]
     in
     Printf.sprintf "Figure 5%s: function invocations at the %.0f%% cutoff\n\n"
       tag (cutoff *. 100.0)
@@ -427,6 +511,12 @@ let fig6_7 () : string =
   let presented =
     Markov_intra.present ~usage:(Pipeline.usage_of c fn) c.Pipeline.tc fn
   in
+  Array.iteri
+    (fun i v ->
+      emit ~exp:"fig6_7" ~program:strchr_program
+        ~estimator:(Printf.sprintf "x%d" i)
+        Score.Freq v)
+    presented.Markov_intra.solution;
   let buf = Buffer.create 512 in
   bprintf buf
     "Figures 6-7: Markov model of strchr (branch probabilities 0.8/0.2)\n\n";
@@ -479,6 +569,11 @@ let fig8 () : string =
     (Markov_inter.arc_weights c.Pipeline.graph ~intra);
   (match Markov_inter.estimate_raw c.Pipeline.graph ~intra with
   | Some raw ->
+    List.iter
+      (fun (name, v) ->
+        emit ~exp:"fig8" ~program:"tree_mini"
+          ~estimator:("naive:" ^ name) Score.Freq v)
+      raw;
     let negatives = List.filter (fun (_, v) -> v < 0.0) raw in
     bprintf buf "\nnaive solve:%s\n"
       (if negatives = [] then " (no negative frequencies this time)" else "");
@@ -487,11 +582,23 @@ let fig8 () : string =
       raw
   | None -> bprintf buf "\nnaive solve: system singular\n");
   let repaired = Markov_inter.estimate c.Pipeline.graph ~intra in
+  List.iter
+    (fun (name, v) ->
+      emit ~exp:"fig8" ~program:"tree_mini"
+        ~estimator:("repaired:" ^ name) Score.Freq v)
+    repaired.Markov_inter.freqs;
   bprintf buf "\nafter clamping (recursive arcs > 1 reset to 0.8) and SCC repair:\n";
   List.iter
     (fun (name, v) -> bprintf buf "  %-14s %10.2f\n" name v)
     repaired.Markov_inter.freqs;
   let diag = repaired.Markov_inter.diag in
+  List.iter
+    (fun (estimator, v) ->
+      emit ~exp:"fig8" ~program:"tree_mini" ~estimator Score.Count
+        (float_of_int v))
+    [ ("diag.clamped", List.length diag.Markov_inter.clamped_self_arcs);
+      ("diag.repaired_sccs", diag.Markov_inter.repaired_sccs);
+      ("diag.scale_iterations", diag.Markov_inter.scale_iterations) ];
   bprintf buf
     "\nclamped arcs: %d; SCC subproblems rescaled: %d (%d scale steps)\n"
     (List.length diag.Markov_inter.clamped_self_arcs)
@@ -503,42 +610,16 @@ let fig8 () : string =
 
 let fig9 () : string =
   let cutoff = 0.25 in
-  let rows =
-    suite_rows ~width:4
-      (fun (d : Context.prog_data) ->
-        if Cfg.direct_sites d.Context.compiled.Pipeline.prog = [] then None
-        else
-          Some
-            [ d.Context.bench.Suite.Bench_prog.name;
-              Text_table.pct
-                (callsite_static_score d ~cutoff
-                   (Pipeline.Isimple Inter_simple.Direct));
-              Text_table.pct
-                (callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
-              Text_table.pct (callsite_profiling_score d ~cutoff) ])
-  in
-  let ds =
-    List.filter
-      (fun (d : Context.prog_data) ->
-        Cfg.direct_sites d.Context.compiled.Pipeline.prog <> [])
-      (Context.all ())
-  in
-  let avg_row =
-    [ "AVERAGE";
-      Text_table.pct
-        (mean
-           (Parallel.map
-              (fun d ->
-                callsite_static_score d ~cutoff
-                  (Pipeline.Isimple Inter_simple.Direct))
-              ds));
-      Text_table.pct
-        (mean
-           (Parallel.map
-              (fun d -> callsite_static_score d ~cutoff Pipeline.Imarkov_inter)
-              ds));
-      Text_table.pct
-        (mean (Parallel.map (fun d -> callsite_profiling_score d ~cutoff) ds)) ]
+  let rows, avg_row =
+    score_table ~exp_id:"fig9"
+      ~keep:(fun d -> Cfg.direct_sites d.Context.compiled.Pipeline.prog <> [])
+      [ col ~param:cutoff "direct" Score.Wm_callsite (fun d ->
+            callsite_static_score d ~cutoff
+              (Pipeline.Isimple Inter_simple.Direct));
+        col ~param:cutoff "markov" Score.Wm_callsite (fun d ->
+            callsite_static_score d ~cutoff Pipeline.Imarkov_inter);
+        col ~param:cutoff "profiling" Score.Wm_callsite (fun d ->
+            callsite_profiling_score d ~cutoff) ]
   in
   "Figure 9: call-site ranking (25% cutoff; indirect calls omitted)\n\n"
   ^ Text_table.render
@@ -585,20 +666,35 @@ let fig10 () : string =
   let time optimized = Pipeline.modelled_time c eval_profile ~optimized in
   let base = time [] in
   let take n l = List.filteri (fun i _ -> i < n) l in
+  let emit_speedups n triples =
+    List.iter
+      (fun (estimator, v) ->
+        emit ~exp:"fig10" ~program:"compress_mini" ~estimator
+          ~param:(float_of_int n) Score.Speedup v)
+      triples
+  in
   let row n =
-    let speedup rank = base /. time (take n rank) in
+    let s_est = base /. time (take n markov_rank) in
+    let s_prof = base /. time (take n (profile_rank first_profile)) in
+    let s_agg = base /. time (take n (profile_rank aggregate)) in
+    emit_speedups n
+      [ ("estimate", s_est); ("profile", s_prof); ("aggregate", s_agg) ];
     [ string_of_int n;
-      Text_table.f2 (speedup markov_rank);
-      Text_table.f2 (speedup (profile_rank first_profile));
-      Text_table.f2 (speedup (profile_rank aggregate)) ]
+      Text_table.f2 s_est;
+      Text_table.f2 s_prof;
+      Text_table.f2 s_agg ]
   in
   let all_fns = Array.to_list names in
   let rows =
     List.map row [ 0; 1; 2; 3; 4; 5; 6 ]
-    @ [ [ string_of_int (List.length all_fns);
-          Text_table.f2 (base /. time all_fns);
-          Text_table.f2 (base /. time all_fns);
-          Text_table.f2 (base /. time all_fns) ] ]
+    @ [ (let n = List.length all_fns in
+         let s_all = base /. time all_fns in
+         emit_speedups n
+           [ ("estimate", s_all); ("profile", s_all); ("aggregate", s_all) ];
+         [ string_of_int n;
+           Text_table.f2 s_all;
+           Text_table.f2 s_all;
+           Text_table.f2 s_all ]) ]
   in
   "Figure 10: selective optimization of compress_mini\n"
   ^ "(modelled run time; optimized functions execute at half cost)\n\n"
@@ -614,11 +710,17 @@ let fig10 () : string =
 (* Ablations: the paper asserts several knob choices without data
    ("the exact value chosen did not have a significant effect", "the
    latter performed slightly better"); these experiments produce the
-   missing tables. *)
+   missing tables. Each cell is recorded with the row label folded into
+   the estimator field ("row/column"), program = AVERAGE. *)
 
 module Config = Core.Config
 
 let suite_mean f = mean (suite_map f)
+
+let emit_cell ~(exp : string) ~(row : string) ~(column : string)
+    ?(param = 0.0) (metric : Score.metric) (value : float) : unit =
+  emit ~exp ~program:Score.average_program ~estimator:(row ^ "/" ^ column)
+    ~param metric value
 
 let smart_fig4_avg () =
   suite_mean (fun d -> intra_static_score d ~cutoff:0.05 Pipeline.Ismart)
@@ -638,10 +740,15 @@ let missrate_avg () =
 (* Leave-one-out heuristic contributions (paper section 4.1 discusses the
    heuristic list; this quantifies each member). *)
 let ablation_heuristics () : string =
+  let exp = "ablation_heuristics" in
   let row name set =
     Config.with_settings set (fun () ->
-        [ name; Text_table.pct (missrate_avg ());
-          Text_table.pct (smart_fig4_avg ()) ])
+        let miss = missrate_avg () in
+        let fig4 = smart_fig4_avg () in
+        emit_cell ~exp ~row:name ~column:"miss_rate" Score.Miss_rate miss;
+        emit_cell ~exp ~row:name ~column:"fig4_smart" ~param:0.05
+          Score.Wm_intra fig4;
+        [ name; Text_table.pct miss; Text_table.pct fig4 ])
   in
   let rows =
     [ row "full predictor" (fun _ -> ());
@@ -670,15 +777,21 @@ let ablation_heuristics () : string =
 
 (* Sensitivity to the predicted-arm probability (paper footnote 5). *)
 let ablation_branch_probability () : string =
+  let exp = "ablation_branch_prob" in
   let rows =
     List.map
       (fun p ->
         Config.with_settings
           (fun c -> c.Config.branch_probability <- p)
           (fun () ->
-            [ Printf.sprintf "%.2f" p;
-              Text_table.pct (smart_fig4_avg ());
-              Text_table.pct (markov_fig5_avg ()) ]))
+            let name = Printf.sprintf "%.2f" p in
+            let fig4 = smart_fig4_avg () in
+            let fig5 = markov_fig5_avg () in
+            emit_cell ~exp ~row:name ~column:"fig4_smart" ~param:0.05
+              Score.Wm_intra fig4;
+            emit_cell ~exp ~row:name ~column:"fig5_markov" ~param:0.25
+              Score.Wm_inter fig5;
+            [ name; Text_table.pct fig4; Text_table.pct fig5 ]))
       [ 0.6; 0.7; 0.8; 0.9; 0.95 ]
   in
   "Ablation B: sensitivity to the predicted-arm probability\n\
@@ -692,16 +805,25 @@ let ablation_branch_probability () : string =
 (* Sensitivity to the standard loop count (paper section 4.1 argues 5 is
    near the observed average for non-scientific codes). *)
 let ablation_loop_count () : string =
+  let exp = "ablation_loop_count" in
   let rows =
     List.map
       (fun k ->
         Config.with_settings
           (fun c -> c.Config.loop_iterations <- k)
           (fun () ->
-            [ Printf.sprintf "%.0f" k;
-              Text_table.pct (smart_fig4_avg ());
-              Text_table.pct (markov_fig4_avg ());
-              Text_table.pct (markov_fig5_avg ()) ]))
+            let name = Printf.sprintf "%.0f" k in
+            let fig4_smart = smart_fig4_avg () in
+            let fig4_markov = markov_fig4_avg () in
+            let fig5_markov = markov_fig5_avg () in
+            emit_cell ~exp ~row:name ~column:"fig4_smart" ~param:0.05
+              Score.Wm_intra fig4_smart;
+            emit_cell ~exp ~row:name ~column:"fig4_markov" ~param:0.05
+              Score.Wm_intra fig4_markov;
+            emit_cell ~exp ~row:name ~column:"fig5_markov" ~param:0.25
+              Score.Wm_inter fig5_markov;
+            [ name; Text_table.pct fig4_smart; Text_table.pct fig4_markov;
+              Text_table.pct fig5_markov ]))
       [ 2.0; 3.0; 5.0; 10.0; 50.0 ]
   in
   "Ablation C: sensitivity to the standard loop count\n\n"
@@ -715,14 +837,24 @@ let ablation_loop_count () : string =
 (* Switch-arm weighting (paper footnote 3: weighting arms by their number
    of case labels "performed slightly better"). *)
 let ablation_switch_weighting () : string =
+  let exp = "ablation_switch" in
   let row name by_labels =
     Config.with_settings
       (fun c -> c.Config.switch_by_labels <- by_labels)
       (fun () ->
+        let fig4_smart = smart_fig4_avg () in
+        let fig4_markov = markov_fig4_avg () in
+        let fig5_markov = markov_fig5_avg () in
+        emit_cell ~exp ~row:name ~column:"fig4_smart" ~param:0.05
+          Score.Wm_intra fig4_smart;
+        emit_cell ~exp ~row:name ~column:"fig4_markov" ~param:0.05
+          Score.Wm_intra fig4_markov;
+        emit_cell ~exp ~row:name ~column:"fig5_markov" ~param:0.25
+          Score.Wm_inter fig5_markov;
         [ name;
-          Text_table.pct (smart_fig4_avg ());
-          Text_table.pct (markov_fig4_avg ());
-          Text_table.pct (markov_fig5_avg ()) ])
+          Text_table.pct fig4_smart;
+          Text_table.pct fig4_markov;
+          Text_table.pct fig5_markov ])
   in
   let rows =
     [ row "by case labels" true; row "arms equally likely" false ]
@@ -739,26 +871,20 @@ let ablation_switch_weighting () : string =
    the abstract syntax" instead of Ball/Larus-style executable analysis. *)
 let ext_structural () : string =
   let cutoff = 0.05 in
-  let rows =
-    suite_rows ~width:4
-      (fun (d : Context.prog_data) ->
-        Some
-          [ d.Context.bench.Suite.Bench_prog.name;
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Istructural);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Iloop);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart) ])
-  in
-  let avg kind =
-    Text_table.pct
-      (mean (suite_map (fun d -> intra_static_score d ~cutoff kind)))
+  let rows, avg_row =
+    score_table ~exp_id:"ext_structural"
+      [ col ~param:cutoff "structural" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Istructural);
+        col ~param:cutoff "loop" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Iloop);
+        col ~param:cutoff "smart" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Ismart) ]
   in
   "Extension: structural (CFG-only) vs AST-based estimation (5% cutoff)\n\n"
   ^ Text_table.render
       ~aligns:[ Text_table.Left ]
       [ "program"; "structural"; "loop (AST)"; "smart (AST)" ]
-      (rows
-      @ [ [ "AVERAGE"; avg Pipeline.Istructural; avg Pipeline.Iloop;
-            avg Pipeline.Ismart ] ])
+      (rows @ [ avg_row ])
   ^ "\nThe structural estimator recovers loop nesting from dominators and\n\
      back edges alone; the AST adds branch direction, which is where the\n\
      remaining gap comes from.\n"
@@ -769,32 +895,23 @@ let ext_structural () : string =
    the intra-procedural Markov model worthwhile? *)
 let ext_wu_larus () : string =
   let cutoff = 0.05 in
-  let rows =
-    suite_rows ~width:5
-      (fun (d : Context.prog_data) ->
-        Some
-          [ d.Context.bench.Suite.Bench_prog.name;
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Ismart);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Imarkov);
-            Text_table.pct (intra_static_score d ~cutoff Pipeline.Icombined);
-            Text_table.pct (intra_profiling_score d ~cutoff) ])
-  in
-  let avg kind =
-    Text_table.pct
-      (mean (suite_map (fun d -> intra_static_score d ~cutoff kind)))
-  in
-  let avg_prof =
-    Text_table.pct
-      (mean (suite_map (fun d -> intra_profiling_score d ~cutoff)))
+  let rows, avg_row =
+    score_table ~exp_id:"ext_wu_larus"
+      [ col ~param:cutoff "smart" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Ismart);
+        col ~param:cutoff "markov" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Imarkov);
+        col ~param:cutoff "markov_wl" Score.Wm_intra (fun d ->
+            intra_static_score d ~cutoff Pipeline.Icombined);
+        col ~param:cutoff "profiling" Score.Wm_intra (fun d ->
+            intra_profiling_score d ~cutoff) ]
   in
   "Extension: probability-generating prediction (Wu-Larus 1994) feeding\n\
    the intra Markov model — the paper's closing open question\n\n"
   ^ Text_table.render
       ~aligns:[ Text_table.Left ]
       [ "program"; "smart"; "markov(0.8)"; "markov(WL)"; "profiling" ]
-      (rows
-      @ [ [ "AVERAGE"; avg Pipeline.Ismart; avg Pipeline.Imarkov;
-            avg Pipeline.Icombined; avg_prof ] ])
+      (rows @ [ avg_row ])
   ^ "\nmarkov(WL) combines all firing heuristics with the Dempster-Shafer\n\
      rule and Ball/Larus hit rates instead of a single 0.8/0.2 guess.\n"
   ^ degraded_note ()

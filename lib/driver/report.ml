@@ -1,0 +1,231 @@
+(* Self-contained HTML report for a drift comparison: one file, inline
+   CSS and inline SVG only (it is uploaded as a CI artifact and opened
+   from disk — no external assets, no scripts). Shows the run metadata,
+   a per-program drift bar chart, the findings table and the full score
+   tables of the current run. *)
+
+let esc (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+         max-width: 60em; color: #1a1a2e; padding: 0 1em; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.15em; margin-top: 2em; }
+  table { border-collapse: collapse; margin: 0.8em 0; }
+  th, td { padding: 0.25em 0.7em; text-align: right;
+           border-bottom: 1px solid #e0e0e8; }
+  th { background: #f4f4f8; } td.l, th.l { text-align: left; }
+  .ok { color: #1a7f37; } .bad { color: #b42318; font-weight: 600; }
+  .warn { color: #b25e09; }
+  .meta td { font-family: ui-monospace, monospace; font-size: 0.92em; }
+  .flag { background: #fdf0ef; }
+  svg text { font: 11px system-ui, sans-serif; }
+  details summary { cursor: pointer; color: #444; margin: 0.6em 0; }
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Per-program drift bars *)
+
+type prog_stat = {
+  p_name : string;
+  p_total : int;       (* baseline records for this program *)
+  p_drifted : int;     (* of those, how many appear in a finding *)
+  p_stage : string option;  (* Some stage when degraded in the current run *)
+}
+
+let program_stats (baseline : Run_record.t) (report : Drift.report) :
+    prog_stat list =
+  let programs =
+    List.sort_uniq compare
+      (List.map (fun (s : Score.t) -> s.Score.s_program)
+         baseline.Run_record.r_scores)
+  in
+  let drifted_of program =
+    List.length
+      (List.filter
+         (fun f ->
+           match f with
+           | Drift.Changed (s, _) | Drift.Missing s
+           | Drift.Degraded_program (s, _) ->
+             s.Score.s_program = program
+           | Drift.Added s -> s.Score.s_program = program
+           | Drift.Timing_out_of_band _ -> false)
+         report.Drift.findings)
+  in
+  List.map
+    (fun p ->
+      { p_name = p;
+        p_total =
+          List.length
+            (List.filter
+               (fun (s : Score.t) -> s.Score.s_program = p)
+               baseline.Run_record.r_scores);
+        p_drifted = drifted_of p;
+        p_stage = List.assoc_opt p report.Drift.degraded_programs })
+    programs
+
+let drift_svg (stats : prog_stat list) : string =
+  let row_h = 22 and label_w = 150 and bar_w = 420 and pad = 4 in
+  let height = (List.length stats * row_h) + (2 * pad) in
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" \
+     role=\"img\" aria-label=\"per-program drift\">\n"
+    (label_w + bar_w + 120) height (label_w + bar_w + 120) height;
+  List.iteri
+    (fun i st ->
+      let y = pad + (i * row_h) in
+      let frac =
+        if st.p_total = 0 then 0.0
+        else float_of_int st.p_drifted /. float_of_int st.p_total
+      in
+      let w = int_of_float (frac *. float_of_int bar_w) in
+      let w = if st.p_drifted > 0 && w < 3 then 3 else w in
+      let color =
+        if st.p_stage <> None then "#b42318"
+        else if st.p_drifted > 0 then "#b25e09"
+        else "#1a7f37"
+      in
+      Printf.bprintf buf
+        "  <text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n"
+        (label_w - 8) (y + 15) (esc st.p_name);
+      Printf.bprintf buf
+        "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+         fill=\"#eceef2\"/>\n"
+        label_w (y + 3) bar_w (row_h - 8);
+      if w > 0 then
+        Printf.bprintf buf
+          "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+           fill=\"%s\"/>\n"
+          label_w (y + 3) w (row_h - 8) color;
+      Printf.bprintf buf
+        "  <text x=\"%d\" y=\"%d\" fill=\"%s\">%s</text>\n"
+        (label_w + bar_w + 8) (y + 15) color
+        (match st.p_stage with
+        | Some stage ->
+          esc (Printf.sprintf "DEGRADED (%s)" stage)
+        | None ->
+          if st.p_drifted = 0 then "ok"
+          else esc (Printf.sprintf "%d/%d" st.p_drifted st.p_total)))
+    stats;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let meta_table (r : Run_record.t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<table class=\"meta\">\n";
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf buf
+        "<tr><td class=\"l\">%s</td><td class=\"l\">%s</td></tr>\n" (esc k)
+        (esc v))
+    r.Run_record.r_meta;
+  Buffer.add_string buf "</table>\n";
+  buf |> Buffer.contents
+
+let findings_table (report : Drift.report) : string =
+  if report.Drift.findings = [] then
+    "<p class=\"ok\">No drift: every baseline score matched exactly.</p>\n"
+  else begin
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf
+      "<p class=\"bad\">%d findings.</p>\n<table>\n\
+       <tr><th class=\"l\">kind</th><th class=\"l\">score</th>\
+       <th>baseline</th><th>current</th><th>delta</th></tr>\n"
+      (List.length report.Drift.findings);
+    List.iter
+      (fun f ->
+        match Drift.finding_row f with
+        | [ kind; key; b; c; d ] ->
+          Printf.bprintf buf
+            "<tr%s><td class=\"l\">%s</td><td class=\"l\">%s</td>\
+             <td>%s</td><td>%s</td><td>%s</td></tr>\n"
+            (match f with
+            | Drift.Degraded_program _ -> " class=\"flag\""
+            | _ -> "")
+            (esc kind) (esc key) (esc b) (esc c) (esc d)
+        | _ -> ())
+      report.Drift.findings;
+    Buffer.add_string buf "</table>\n";
+    Buffer.contents buf
+  end
+
+(* The current run's scores, one collapsible table per experiment. *)
+let score_tables (current : Run_record.t) : string =
+  let by_exp = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Score.t) ->
+      let e = s.Score.s_experiment in
+      if not (Hashtbl.mem by_exp e) then begin
+        Hashtbl.add by_exp e (ref []);
+        order := e :: !order
+      end;
+      let cell = Hashtbl.find by_exp e in
+      cell := s :: !cell)
+    current.Run_record.r_scores;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      let scores = List.rev !(Hashtbl.find by_exp e) in
+      Printf.bprintf buf
+        "<details><summary>%s (%d records)</summary>\n<table>\n\
+         <tr><th class=\"l\">program</th><th class=\"l\">estimator</th>\
+         <th class=\"l\">metric</th><th>param</th><th>value</th></tr>\n"
+        (esc e) (List.length scores);
+      List.iter
+        (fun (s : Score.t) ->
+          Printf.bprintf buf
+            "<tr><td class=\"l\">%s</td><td class=\"l\">%s</td>\
+             <td class=\"l\">%s</td><td>%g</td><td>%s</td></tr>\n"
+            (esc s.Score.s_program) (esc s.Score.s_estimator)
+            (esc (Score.metric_to_string s.Score.s_metric))
+            s.Score.s_param
+            (esc (Drift.fmt_value s.Score.s_value)))
+        scores;
+      Buffer.add_string buf "</table></details>\n")
+    (List.sort compare !order);
+  Buffer.contents buf
+
+let html ~(baseline : Run_record.t) ~(current : Run_record.t)
+    (report : Drift.report) : string =
+  let buf = Buffer.create 16384 in
+  let verdict_class, verdict =
+    if report.Drift.degraded_programs <> [] then
+      ("bad", "DEGRADED — some programs did not produce scores")
+    else if Drift.has_drift report then ("bad", "DRIFT DETECTED")
+    else ("ok", "CLEAN — matches the committed baseline")
+  in
+  Printf.bprintf buf
+    "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+     <title>score drift report</title>\n<style>%s</style></head>\n<body>\n\
+     <h1>Score drift report</h1>\n\
+     <p>Status: <span class=\"%s\">%s</span> — %d baseline scores matched \
+     exactly.</p>\n"
+    style verdict_class (esc verdict) report.Drift.compared;
+  Printf.bprintf buf "<h2>Run metadata</h2>\n%s" (meta_table current);
+  (match List.assoc_opt "git_rev" baseline.Run_record.r_meta with
+  | Some rev ->
+    Printf.bprintf buf
+      "<p>Baseline recorded at <code>%s</code>.</p>\n" (esc rev)
+  | None -> ());
+  Printf.bprintf buf "<h2>Per-program drift</h2>\n%s"
+    (drift_svg (program_stats baseline report));
+  Printf.bprintf buf "<h2>Findings</h2>\n%s" (findings_table report);
+  Printf.bprintf buf "<h2>Scores (current run)</h2>\n%s"
+    (score_tables current);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

@@ -45,6 +45,10 @@ let render ?(aligns : align list = []) (headers : string list)
     rows;
   Buffer.contents buf
 
-let pct (v : float) : string = Printf.sprintf "%.1f%%" (100.0 *. v)
+(* Non-finite values (the empty-series mean, a degraded score) render
+   as an explicit marker rather than "nan%". *)
+let pct (v : float) : string =
+  if Float.is_finite v then Printf.sprintf "%.1f%%" (100.0 *. v) else "—"
 
-let f2 (v : float) : string = Printf.sprintf "%.2f" v
+let f2 (v : float) : string =
+  if Float.is_finite v then Printf.sprintf "%.2f" v else "—"

@@ -1,0 +1,110 @@
+(* Best-effort environment metadata, embedded in every persisted
+   observability document (run records, bench JSON) so numbers collected
+   on different machines can be told apart when they are compared.
+
+   Everything here is dependency-free and never fails: a field that
+   cannot be determined is the string "unknown". The git revision is
+   read straight from the .git directory (no subprocess — the binaries
+   must work without git on PATH, and bin/ does not link unix). *)
+
+let read_file (path : string) : string option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+
+let trim_line (s : string) : string =
+  match String.index_opt s '\n' with
+  | Some i -> String.trim (String.sub s 0 i)
+  | None -> String.trim s
+
+let is_hex (s : string) : bool =
+  s <> ""
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+(* Walk up from [start] looking for a .git directory (or the "gitdir:"
+   pointer file a worktree leaves behind). *)
+let rec find_git_dir (dir : string) (fuel : int) : string option =
+  if fuel = 0 then None
+  else
+    let cand = Filename.concat dir ".git" in
+    if Sys.file_exists cand then
+      if Sys.is_directory cand then Some cand
+      else
+        (* worktree: ".git" is a one-line file "gitdir: <path>" *)
+        match read_file cand with
+        | Some contents ->
+          let line = trim_line contents in
+          let prefix = "gitdir:" in
+          if String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+          then
+            let p =
+              String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+            in
+            Some (if Filename.is_relative p then Filename.concat dir p else p)
+          else None
+        | None -> None
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_git_dir parent (fuel - 1)
+
+(* Resolve "ref: refs/heads/x" through the loose ref file or
+   packed-refs; a detached HEAD is already the hash. *)
+let resolve_ref (git_dir : string) (refname : string) : string option =
+  match read_file (Filename.concat git_dir refname) with
+  | Some contents when is_hex (trim_line contents) -> Some (trim_line contents)
+  | _ -> (
+    match read_file (Filename.concat git_dir "packed-refs") with
+    | None -> None
+    | Some packed ->
+      String.split_on_char '\n' packed
+      |> List.find_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i
+             when String.sub line (i + 1) (String.length line - i - 1)
+                  = refname
+                  && is_hex (String.sub line 0 i) ->
+             Some (String.sub line 0 i)
+           | _ -> None))
+
+let git_rev () : string =
+  let result =
+    match find_git_dir (Sys.getcwd ()) 64 with
+    | None -> None
+    | Some git_dir -> (
+      match read_file (Filename.concat git_dir "HEAD") with
+      | None -> None
+      | Some head ->
+        let head = trim_line head in
+        if is_hex head then Some head
+        else
+          let prefix = "ref:" in
+          if String.length head > String.length prefix
+             && String.sub head 0 (String.length prefix) = prefix
+          then
+            resolve_ref git_dir
+              (String.trim
+                 (String.sub head (String.length prefix)
+                    (String.length head - String.length prefix)))
+          else None)
+  in
+  Option.value ~default:"unknown" result
+
+let ocaml_version : string = Sys.ocaml_version
+
+let cores () : int = Domain.recommended_domain_count ()
+
+let common () : (string * string) list =
+  [ ("git_rev", git_rev ());
+    ("ocaml_version", ocaml_version);
+    ("cores", string_of_int (cores ()));
+    ("os", Sys.os_type);
+    ("word_size", string_of_int Sys.word_size) ]

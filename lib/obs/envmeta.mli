@@ -1,0 +1,19 @@
+(** Best-effort environment metadata for persisted observability
+    documents (run records, bench JSON): which machine and toolchain
+    produced the numbers. Dependency-free and total — a field that
+    cannot be determined is ["unknown"], never an exception. *)
+
+val git_rev : unit -> string
+(** The HEAD commit hash, read directly from the nearest enclosing
+    [.git] (loose refs, packed-refs and worktree pointer files are all
+    handled; no subprocess). ["unknown"] outside a repository. *)
+
+val ocaml_version : string
+
+val cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val common : unit -> (string * string) list
+(** The standard metadata block: [git_rev], [ocaml_version], [cores],
+    [os], [word_size]. Callers append run-specific fields (jobs, seed,
+    backend, timestamp). *)

@@ -22,6 +22,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
+      ("record", Test_record.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);
       ("suite-programs", Test_suite_programs.suite) ]

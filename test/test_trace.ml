@@ -115,136 +115,11 @@ let contains (haystack : string) (needle : string) : bool =
   let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
   at 0
 
-(* --- a minimal JSON validity checker ---------------------------------- *)
+(* --- the shared JSON validity checker --------------------------------- *)
 
-exception Bad_json of string
-
-let parse_json (s : string) : unit =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal lit =
-    String.iter expect lit
-  in
-  let string_body () =
-    expect '"';
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-          advance ();
-          go ()
-        | Some 'u' ->
-          advance ();
-          for _ = 1 to 4 do
-            match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-            | _ -> fail "bad \\u escape"
-          done;
-          go ()
-        | _ -> fail "bad escape")
-      | Some c when Char.code c < 0x20 -> fail "control char in string"
-      | Some _ ->
-        advance ();
-        go ()
-    in
-    go ()
-  in
-  let number () =
-    if peek () = Some '-' then advance ();
-    let digits () =
-      let start = !pos in
-      let rec go () =
-        match peek () with
-        | Some '0' .. '9' ->
-          advance ();
-          go ()
-        | _ -> ()
-      in
-      go ();
-      if !pos = start then fail "expected digits"
-    in
-    digits ();
-    if peek () = Some '.' then begin
-      advance ();
-      digits ()
-    end;
-    (match peek () with
-    | Some ('e' | 'E') ->
-      advance ();
-      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-      digits ()
-    | _ -> ())
-  in
-  let rec value () =
-    skip_ws ();
-    (match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then advance ()
-      else begin
-        let rec members () =
-          skip_ws ();
-          string_body ();
-          skip_ws ();
-          expect ':';
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected , or }"
-        in
-        members ()
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then advance ()
-      else begin
-        let rec elements () =
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected , or ]"
-        in
-        elements ()
-      end
-    | Some '"' -> string_body ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail "expected a value");
-    skip_ws ()
-  in
-  value ();
-  if !pos <> n then fail "trailing garbage"
+(* The checker itself lives in [Json_check] so the run-record tests can
+   use it too; keep its self-test next to its original consumers. *)
+let parse_json = Json_check.parse_json
 
 let test_json_checker_self_test () =
   List.iter parse_json
@@ -252,7 +127,7 @@ let test_json_checker_self_test () =
   List.iter
     (fun bad ->
       match parse_json bad with
-      | exception Bad_json _ -> ()
+      | exception Json_check.Bad_json _ -> ()
       | () -> Alcotest.failf "accepted invalid JSON %S" bad)
     [ "{"; {|{"a" 1}|}; "[1,]"; "nul"; "1 2"; {|"unterminated|} ]
 
@@ -284,7 +159,7 @@ let test_metrics_json_valid () =
       let json = Trace.metrics_json () in
       (match parse_json json with
       | () -> ()
-      | exception Bad_json msg ->
+      | exception Json_check.Bad_json msg ->
         Alcotest.failf "invalid metrics JSON (%s):\n%s" msg json);
       List.iter
         (fun needle ->
@@ -312,7 +187,7 @@ let test_with_reporting_on_failure () =
   Probe.reset ();
   (match parse_json contents with
   | () -> ()
-  | exception Bad_json msg ->
+  | exception Json_check.Bad_json msg ->
     Alcotest.failf "invalid metrics JSON after failure (%s)" msg);
   Alcotest.(check bool) "root run span present" true
     (contains contents {|"path": "run"|})
