@@ -27,7 +27,16 @@
    The profile-throughput section times the two interpreter back ends
    (tree walker vs closure-compiled) over every (program, input) pair of
    the suite at jobs 1 and jobs N, and writes the numbers to
-   BENCH_profile.json (path override: --profile-json FILE). *)
+   BENCH_profile.json (path override: --profile-json FILE).
+
+   --corpus sweeps the generated-corpus pipeline (generate + compile +
+   profile + every estimator) over corpus size x jobs and writes
+   BENCH_corpus.json (path override: --corpus-json FILE).
+
+   On a single-core machine every BENCH_*.json env block is tagged
+   "single_core": "true" and a warning is printed, because jobs > 1 then
+   adds domain-scheduling overhead without speedup — the documented
+   jobs-4-slower-than-jobs-1 anomaly. *)
 
 open Bechamel
 
@@ -189,6 +198,20 @@ let run_suite_throughput (jobs : int) =
    suite in [test/test_compile.ml] proves the two back ends produce
    bit-identical profiles, so this section only reports wall-clock. *)
 
+(* One core means the domain pool can only time-slice: parallel configs
+   measure scheduling overhead, not speedup. Say so once on stderr and
+   tag every emitted JSON env block, so a BENCH file from such a machine
+   is self-explaining. *)
+let single_core () = Obs.Envmeta.cores () < 2
+
+let warn_single_core () =
+  if single_core () then
+    prerr_endline
+      "bench: warning: only one core available — jobs > 1 adds \
+       domain-scheduling overhead without speedup, so parallel configs \
+       will look slower than --jobs 1 (env blocks are tagged \
+       \"single_core\": \"true\")"
+
 let json_escape (s : string) : string =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -201,6 +224,29 @@ let json_escape (s : string) : string =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* The same environment block the run records carry — plus the
+   single-core tag — so bench numbers from different machines/commits
+   can be told apart when compared. Shared by every BENCH_*.json. *)
+let add_env_block (buf : Buffer.t) : unit =
+  let env =
+    Obs.Envmeta.common ()
+    @ (if single_core () then [ ("single_core", "true") ] else [])
+    @ [ ("timestamp",
+         let t = Unix.gmtime (Unix.gettimeofday ()) in
+         Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+           (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
+           t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec) ]
+  in
+  Buffer.add_string buf "  \"env\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": \"%s\"%s\n" (json_escape k)
+           (json_escape v)
+           (if i = List.length env - 1 then "" else ",")))
+    env;
+  Buffer.add_string buf "  },\n"
 
 let run_profile_throughput (jobs : int) (json_path : string) =
   (* Compile (and profile-warm) the suite via the shared cache, then
@@ -282,25 +328,7 @@ let run_profile_throughput (jobs : int) (json_path : string) =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"suite\": \"%s\",\n" (json_escape "pldi94-estimators"));
-  (* The same environment block the run records carry, so bench numbers
-     from different machines/commits can be told apart when compared. *)
-  let env =
-    Obs.Envmeta.common ()
-    @ [ ("timestamp",
-         let t = Unix.gmtime (Unix.gettimeofday ()) in
-         Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
-           (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday
-           t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec) ]
-  in
-  Buffer.add_string buf "  \"env\": {\n";
-  List.iteri
-    (fun i (k, v) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": \"%s\"%s\n" (json_escape k)
-           (json_escape v)
-           (if i = List.length env - 1 then "" else ",")))
-    env;
-  Buffer.add_string buf "  },\n";
+  add_env_block buf;
   Buffer.add_string buf (Printf.sprintf "  \"programs\": %d,\n" n_programs);
   Buffer.add_string buf (Printf.sprintf "  \"run_pairs\": %d,\n" n_pairs);
   Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
@@ -327,6 +355,72 @@ let run_profile_throughput (jobs : int) (json_path : string) =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  [profile throughput written to %s]\n\n" json_path
+
+(* ------------------------------------------------------------------ *)
+(* Corpus throughput: the full generated-corpus pipeline (seeded
+   generation, compile, fuel-budgeted profiling, every estimator,
+   distribution aggregation) swept over corpus size x jobs. The score
+   store is reset around each configuration — corpus sizes share class
+   names, so stale records from a larger sweep would otherwise leak
+   into a smaller one's aggregate. *)
+
+let run_corpus_sweep (jobs : int) (json_path : string) =
+  let per_class_sizes = [ 5; 10; 20 ] in
+  let jobs_list = if jobs <= 1 then [ 1 ] else [ 1; jobs ] in
+  Printf.printf
+    "=== Corpus throughput (generate + compile + profile + every estimator, \
+     size small) ===\n\n";
+  let results =
+    List.concat_map
+      (fun per_class ->
+        List.map
+          (fun j ->
+            Parallel.set_jobs j;
+            Driver.Score.reset ();
+            let spec =
+              { Driver.Corpus_eval.default_spec with
+                Driver.Corpus_eval.c_per_class = per_class;
+                c_size = Corpus.Shape.small }
+            in
+            let t0 = Unix.gettimeofday () in
+            let r = Driver.Corpus_eval.evaluate spec in
+            let dt = Unix.gettimeofday () -. t0 in
+            let n = r.Driver.Corpus_eval.o_programs in
+            Printf.printf
+              "  per-class %-3d (%3d programs)  --jobs %-2d   %8.3f s   \
+               %7.1f programs/s\n%!"
+              per_class n j dt
+              (float_of_int n /. dt);
+            (per_class, j, n, dt))
+          jobs_list)
+      per_class_sizes
+  in
+  Driver.Score.reset ();
+  Parallel.set_jobs jobs;
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": \"%s\",\n"
+       (json_escape "pldi94-estimators-corpus"));
+  add_env_block buf;
+  Buffer.add_string buf "  \"seed\": 1,\n  \"size\": \"small\",\n";
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun i (per_class, j, n, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"per_class\": %d, \"jobs\": %d, \"programs\": %d, \
+            \"seconds\": %.6f, \"programs_per_s\": %.1f }%s\n"
+           per_class j n dt
+           (float_of_int n /. dt)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [corpus throughput written to %s]\n\n" json_path
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -378,6 +472,15 @@ let () =
     in
     find args
   in
+  let corpus_only = List.mem "--corpus" args in
+  let corpus_json =
+    let rec find = function
+      | "--corpus-json" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_corpus.json"
+    in
+    find args
+  in
   if List.mem "--strict" args then Driver.Fault.set_strict true;
   (let rec find = function
      | "--chaos" :: s :: _ -> (
@@ -391,8 +494,10 @@ let () =
    in
    find args);
   Parallel.set_jobs jobs;
+  warn_single_core ();
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
-      if profile_only then run_profile_throughput (max 2 jobs) profile_json
+      if corpus_only then run_corpus_sweep (max 2 jobs) corpus_json
+      else if profile_only then run_profile_throughput (max 2 jobs) profile_json
       else begin
         if not bench_only then begin
           print_endline

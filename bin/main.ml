@@ -11,6 +11,7 @@
      score        score static estimates against a saved profile
      experiment   reproduce one of the paper's tables/figures/ablations
      record       run the full suite and write a typed run record (JSON)
+     corpus       generate a seeded shaped corpus and score every estimator
      diff         compare a run record against the committed baseline
      suite        list the benchmark suite *)
 
@@ -439,7 +440,7 @@ let cmd_record =
          | Pipeline.Tree -> "tree"
          | Pipeline.Compiled -> "compiled") ]
     in
-    let record = Driver.Run_record.collect ~meta in
+    let record = Driver.Run_record.collect ~meta () in
     Driver.Run_record.write_file out record;
     Printf.eprintf "[run record: %d scores, %d degraded -> %s]\n"
       (List.length record.Driver.Run_record.r_scores)
@@ -456,6 +457,95 @@ let cmd_record =
        ~doc:"Run the full experiment suite and write a typed run record \
              (scores, environment, faults, timings) as JSON")
     Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ out)
+
+(* ---- corpus: seeded shaped-program generation + estimator sweep ---- *)
+
+let cmd_corpus =
+  let run jobs () () seed per_class size classes_opt out =
+    Driver.Parallel.set_jobs jobs;
+    Driver.Score.reset ();
+    let classes =
+      match classes_opt with
+      | None -> Corpus.Shape.all_classes
+      | Some s ->
+        List.map
+          (fun name ->
+            match Corpus.Shape.class_of_string (String.trim name) with
+            | Some c -> c
+            | None -> failwith ("unknown workload class " ^ name))
+          (String.split_on_char ',' s)
+    in
+    let spec =
+      { Driver.Corpus_eval.c_seed = seed; c_per_class = per_class;
+        c_size = size; c_classes = classes }
+    in
+    let r = Driver.Corpus_eval.evaluate spec in
+    print_string r.Driver.Corpus_eval.o_rendered;
+    (* The record meta deliberately excludes the jobs setting: records
+       from the same spec are bit-identical at any --jobs value, and a
+       meta difference would defeat exactly that comparison. *)
+    let meta =
+      [ ("corpus_seed", string_of_int seed);
+        ("per_class", string_of_int per_class);
+        ("size", Corpus.Shape.size_to_string size);
+        ("classes",
+         String.concat "," (List.map Corpus.Shape.class_to_string classes));
+        ("chaos_seed",
+         match Obs.Inject.chaos_seed () with
+         | Some s -> string_of_int s
+         | None -> "none");
+        ("backend",
+         match !Pipeline.default_backend with
+         | Pipeline.Tree -> "tree"
+         | Pipeline.Compiled -> "compiled") ]
+    in
+    let record =
+      Driver.Run_record.collect
+        ~degraded:r.Driver.Corpus_eval.o_degraded ~meta ()
+    in
+    Driver.Run_record.write_file out record;
+    Printf.eprintf
+      "[corpus record: %d scores, %d programs, %d degraded, %d divergent \
+       -> %s]\n"
+      (List.length record.Driver.Run_record.r_scores)
+      r.Driver.Corpus_eval.o_programs
+      (List.length record.Driver.Run_record.r_degraded)
+      r.Driver.Corpus_eval.o_divergent out;
+    finish_with_fault_status ()
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Corpus seed: generation is a pure function of (seed, \
+                 class, size, index).")
+  in
+  let per_class =
+    Arg.(value & opt int Driver.Corpus_eval.default_spec.Driver.Corpus_eval.c_per_class
+         & info [ "per-class" ] ~docv:"N"
+             ~doc:"Generated programs per workload class.")
+  in
+  let size =
+    Arg.(value
+         & opt (enum Corpus.Shape.size_presets) Corpus.Shape.medium
+         & info [ "size" ] ~docv:"PRESET"
+             ~doc:"Size preset: $(b,small), $(b,medium) or $(b,large) \
+                   (functions, statements, loop depth, call fanout).")
+  in
+  let classes =
+    Arg.(value & opt (some string) None & info [ "classes" ] ~docv:"LIST"
+           ~doc:"Comma-separated workload classes (default: all of \
+                 loop_nest, branchy, pointer_table, recursive).")
+  in
+  let out =
+    Arg.(value & opt string "corpus_record.json" & info [ "o"; "out" ]
+           ~docv:"FILE" ~doc:"Where to write the corpus run record.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Generate a seeded shaped-program corpus, run every estimator \
+             over it, and write per-class score distributions \
+             (mean/median/p10/p90) as a typed run record")
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ seed $ per_class
+          $ size $ classes $ out)
 
 (* ---- diff: gate a run record against the committed baseline ---- *)
 
@@ -548,7 +638,7 @@ let main =
     (Cmd.info "estimator" ~version:"1.0"
        ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
     [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;
-      cmd_score; cmd_annotate; cmd_experiment; cmd_record; cmd_diff;
-      cmd_suite ]
+      cmd_score; cmd_annotate; cmd_experiment; cmd_record; cmd_corpus;
+      cmd_diff; cmd_suite ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,343 @@
+(* Shaped-program generation: (seed, class, size, index) -> C source.
+
+   Every program terminates *by construction*, not by luck: loop-nest
+   programs use counting loops with literal trip counts, branchy
+   programs are loop-free below main, the pointer-table interpreter
+   walks a monotone pc over a fixed-length code array, and every
+   recursive call passes a strictly smaller depth argument.  The fuel
+   budget in the corpus driver is a safety net, not the termination
+   argument — a generated program that trips it is a generator bug and
+   is surfaced as a degraded row.
+
+   Determinism: the only source of randomness is the splitmix64 stream
+   derived from the full parameter path in [generate]; no wall clock,
+   no [Random], no hashing of OCaml values.  Two calls with equal
+   parameters return byte-identical strings. *)
+
+module Shape = Shape
+
+let class_tag = function
+  | Shape.Loop_nest -> 1
+  | Shape.Branchy -> 2
+  | Shape.Pointer_table -> 3
+  | Shape.Recursive -> 4
+
+let name (cls : Shape.workload_class) (index : int) : string =
+  Printf.sprintf "corpus.%s.%03d" (Shape.class_to_string cls) index
+
+let bput buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let header buf ~seed ~cls ~size ~index =
+  bput buf "/* corpus %s #%d (seed %d, size %s) -- generated, do not edit */\n"
+    (Shape.class_to_string cls) index seed (Shape.size_to_string size)
+
+(* ------------------------------------------------------------------ *)
+(* Loop_nest: nested counting loops over double arrays, leaf-helper
+   calls from the innermost body, kernels driven from main.  The
+   alvinn_mini personality: high trip-count inner blocks, few branches,
+   loop heuristics should dominate. *)
+
+let gen_loop_nest buf rng (size : Shape.size) =
+  let n_leaves = max 1 size.s_fanout in
+  let n_kerns = max 1 size.s_functions in
+  bput buf "double va[32];\ndouble vb[32];\ndouble acc;\nint g;\n\n";
+  for l = 0 to n_leaves - 1 do
+    let c1 = Rng.pick rng [ "0.25"; "0.5"; "0.75"; "1.5" ] in
+    let c2 = Rng.pick rng [ "1.0"; "0.125"; "2.0"; "0.375" ] in
+    bput buf "double leaf%d(double x) { return x * %s + %s; }\n" l c1 c2
+  done;
+  Buffer.add_string buf "\n";
+  for k = 0 to n_kerns - 1 do
+    let depth = Rng.range rng 1 (max 1 size.s_loop_depth) in
+    (* A third of the trip counts depend on the argument ((n & 3) + K,
+       still bounded): the static estimators can't see those, which is
+       what gives the class a score *distribution* instead of a flat
+       100%. *)
+    let trips =
+      Array.init depth (fun _ ->
+          if Rng.chance rng 1 3 then
+            Printf.sprintf "(n & 3) + %d" (Rng.range rng 2 4)
+          else string_of_int (Rng.range rng 3 6))
+    in
+    bput buf "double kern%d(int n) {\n  double s = 0.0;\n" k;
+    for i = 0 to depth - 1 do
+      bput buf "  int i%d;\n" i
+    done;
+    for i = 0 to depth - 1 do
+      bput buf "%sfor (i%d = 0; i%d < %s; i%d++) {\n"
+        (String.make ((i + 1) * 2) ' ')
+        i i trips.(i) i
+    done;
+    let pad = String.make ((depth + 1) * 2) ' ' in
+    let ivar () = Printf.sprintf "i%d" (Rng.int rng depth) in
+    let n_stmts = Rng.range rng 2 (max 2 size.s_stmts) in
+    for _ = 1 to n_stmts do
+      (match Rng.int rng 6 with
+      | 0 ->
+        bput buf "%ss = s + va[(%s * %d + %d) & 31] * vb[(%s + %d) & 31];\n"
+          pad (ivar ()) (Rng.range rng 1 5) (Rng.int rng 8) (ivar ())
+          (Rng.int rng 8)
+      | 1 ->
+        bput buf "%sva[(%s + %d) & 31] = s * %s + vb[%s & 31];\n" pad
+          (ivar ()) (Rng.int rng 8)
+          (Rng.pick rng [ "0.5"; "0.25"; "0.75" ])
+          (ivar ())
+      | 2 when Rng.bool rng ->
+        (* data-dependent guarded call: invocation counts the inter
+           estimators must guess, not read off the nest structure *)
+        bput buf "%sif (s > %s) { s = s + leaf%d(s + (double) %s); }\n" pad
+          (Rng.pick rng [ "1.0"; "4.0"; "16.0" ])
+          (Rng.int rng n_leaves) (ivar ())
+      | 2 ->
+        bput buf "%ss = s + leaf%d(s + (double) %s);\n" pad
+          (Rng.int rng n_leaves) (ivar ())
+      | 3 -> bput buf "%sacc = acc + s * %s;\n" pad (Rng.pick rng [ "0.125"; "0.0625" ])
+      | 4 -> bput buf "%sg = g + ((%s + %d) & 7);\n" pad (ivar ()) (Rng.int rng 8)
+      | _ ->
+        bput buf "%sif (%s > %d) { s = s - %s; }\n" pad (ivar ())
+          (Rng.range rng 1 4)
+          (Rng.pick rng [ "0.5"; "1.0" ]))
+    done;
+    for i = depth - 1 downto 0 do
+      Buffer.add_string buf (String.make ((i + 1) * 2) ' ');
+      Buffer.add_string buf "}\n"
+    done;
+    if Rng.bool rng then bput buf "  if (n > 2) { acc = acc * 0.875; }\n";
+    bput buf "  return s + (double) g * 0.001;\n}\n\n"
+  done;
+  bput buf "int main(int argc, char **argv) {\n";
+  bput buf "  int rep = %d; int i;\n" (Rng.range rng 1 3);
+  bput buf "  if (argc > 1) { rep = atoi(argv[1]) & 7; }\n";
+  bput buf
+    "  for (i = 0; i < 32; i++) { va[i] = (double) (i %% 7) * 0.25; vb[i] = \
+     (double) ((i * 3) %% 11) * 0.125; }\n";
+  bput buf "  for (i = 0; i < rep + 2; i++) {\n";
+  for k = 0 to n_kerns - 1 do
+    bput buf "    acc = acc + kern%d(i + %d);\n" k (Rng.int rng 3)
+  done;
+  bput buf "  }\n  printf(\"%%g %%d\\n\", acc, g);\n  return g & 7;\n}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Branchy: loop-free classifier chains with comparison ladders,
+   switches, table updates and a rare error path — the shape the
+   paper's branch heuristics (opcode, guard, error-call) were fit on.
+   Only main loops; classifiers may call earlier classifiers. *)
+
+let gen_branchy buf rng (size : Shape.size) =
+  let n_fns = max 1 size.s_functions in
+  bput buf "int counts[8];\nint ga;\nint gb;\nint err;\n\n";
+  bput buf "void fail(int code) { err = err + code; }\n\n";
+  for k = 0 to n_fns - 1 do
+    bput buf "int class%d(int x) {\n  int r = 0;\n  int t;\n" k;
+    let calls_left = ref (min size.s_fanout 3) in
+    let n_stmts = Rng.range rng 3 (max 3 size.s_stmts) in
+    for _ = 1 to n_stmts do
+      match Rng.int rng 7 with
+      | 0 ->
+        bput buf "  if ((x & %d) == %d) { r = r + %d; } else { r = r - %d; }\n"
+          (Rng.pick rng [ 1; 3; 7; 15 ])
+          (Rng.int rng 2) (Rng.range rng 1 9) (Rng.range rng 1 4)
+      | 1 ->
+        bput buf
+          "  if (x > %d) { r = r + %d; } else { if (x > %d) { r = r ^ %d; } \
+           else { r = r + %d; } }\n"
+          (Rng.range rng 20 60) (Rng.range rng 1 9)
+          (Rng.range rng (-10) 10)
+          (Rng.range rng 1 15) (Rng.range rng 1 5)
+      | 2 ->
+        let cases = Rng.range rng 3 5 in
+        bput buf "  switch ((x + r) %% %d) {\n" cases;
+        for c = 0 to cases - 1 do
+          bput buf "  case %d: r = r %s %d; break;\n" c
+            (Rng.pick rng [ "+"; "-"; "^" ])
+            (Rng.range rng 1 9)
+        done;
+        bput buf "  default: r = r + 1;\n  }\n"
+      | 3 ->
+        bput buf "  t = (x >> %d) & 7;\n  counts[t] = counts[t] + 1;\n"
+          (Rng.range rng 0 3)
+      | 4 ->
+        (* fires on ~1/128 of inputs: the error-path shape the
+           error-call heuristic keys on *)
+        bput buf "  if (((x * %d) & 127) == 0) { fail(%d); return -r; }\n"
+          (Rng.pick rng [ 13; 29; 37; 53 ])
+          (Rng.range rng 1 7)
+      | 5 when k > 0 && !calls_left > 0 ->
+        decr calls_left;
+        bput buf "  r = r + class%d(x - %d);\n" (Rng.int rng k)
+          (Rng.range rng 1 9)
+      | _ -> bput buf "  ga = ga + (r & 15);\n"
+    done;
+    bput buf "  counts[x & 7] = counts[x & 7] + 1;\n  return r;\n}\n\n"
+  done;
+  bput buf "int main(int argc, char **argv) {\n";
+  bput buf "  int rep = %d; int i; int v;\n" (Rng.range rng 1 3);
+  bput buf "  if (argc > 1) { rep = atoi(argv[1]) & 7; }\n";
+  bput buf "  for (i = 0; i < 60 + rep * 30; i++) {\n";
+  bput buf "    v = ((i * 37) + 11) %% 211 - 40;\n";
+  let top = min n_fns 4 in
+  for k = n_fns - top to n_fns - 1 do
+    bput buf "    %s = %s %s class%d(v + %d);\n"
+      (if k land 1 = 0 then "ga" else "gb")
+      (if k land 1 = 0 then "ga" else "gb")
+      (Rng.pick rng [ "+"; "^" ])
+      k (Rng.int rng 5)
+  done;
+  bput buf "  }\n";
+  bput buf "  printf(\"%%d %%d %%d %%d\\n\", ga, gb, err, counts[3]);\n";
+  bput buf "  return err & 7;\n}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Pointer_table: a tiny stack machine.  Opcode bodies are generated,
+   dispatch goes through a struct-wrapped function-pointer table (the
+   gs_mini idiom), and the fetch loop walks a monotone pc over a code
+   array filled by a linear-congruential formula — so execution length
+   is exactly the code length, every time. *)
+
+let gen_pointer_table buf rng (size : Shape.size) =
+  let n_ops = max 4 (size.s_functions + 2) in
+  let code_len = 32 + (size.s_stmts * 8) in
+  let lit_base = 16 in
+  bput buf "int stack[64];\nint sp;\nint mem[16];\nint err;\n\n";
+  bput buf
+    "void push(int v) { if (sp < 64) { stack[sp] = v; sp = sp + 1; } else { \
+     err = err + 1; } }\n";
+  bput buf
+    "int pop(void) { if (sp > 0) { sp = sp - 1; return stack[sp]; } err = err \
+     + 1; return 0; }\n\n";
+  for k = 0 to n_ops - 1 do
+    bput buf "void op%d(void) {\n  int a;\n  int b;\n" k;
+    let n_stmts = Rng.range rng 1 3 in
+    for _ = 1 to n_stmts do
+      match Rng.int rng 8 with
+      | 0 -> bput buf "  push(pop() + pop());\n"
+      | 1 -> bput buf "  b = pop();\n  a = pop();\n  push(a - b);\n"
+      | 2 -> bput buf "  push(pop() * %d);\n" (Rng.range rng 2 5)
+      | 3 -> bput buf "  a = pop();\n  mem[a & 15] = pop();\n"
+      | 4 -> bput buf "  push(mem[pop() & 15]);\n"
+      | 5 ->
+        bput buf
+          "  a = pop();\n  if (a > 0) { push(a - 1); push(1); } else { \
+           push(0); }\n"
+      | 6 -> bput buf "  push(pop() ^ %d);\n" (Rng.range rng 1 31)
+      | _ when k > 0 && Rng.chance rng size.s_fanout 4 ->
+        bput buf "  op%d();\n" (Rng.int rng k)
+      | _ -> bput buf "  a = pop();\n  push(a);\n  push(a);\n"
+    done;
+    bput buf "  b = 0;\n}\n"
+  done;
+  bput buf "\nstruct opdef { int weight; void (*fn)(void); };\n";
+  bput buf "struct opdef ops[%d] = {\n" n_ops;
+  for k = 0 to n_ops - 1 do
+    bput buf "  { %d, op%d }%s\n" (Rng.range rng 1 9) k
+      (if k < n_ops - 1 then "," else "")
+  done;
+  bput buf "};\n\nint code[%d];\n\n" code_len;
+  let p = Rng.pick rng [ 7; 11; 13; 17 ] in
+  let q = Rng.pick rng [ 3; 5; 19; 23 ] in
+  bput buf "void load(int key) {\n  int k;\n";
+  bput buf
+    "  for (k = 0; k < %d; k++) { code[k] = (k * %d + key * %d) %% %d; }\n"
+    code_len p q (lit_base + 8);
+  bput buf "}\n\n";
+  bput buf "int main(int argc, char **argv) {\n";
+  bput buf "  int rep = %d; int n; int pc; int b;\n" (Rng.range rng 1 2);
+  bput buf "  if (argc > 1) { rep = atoi(argv[1]) & 3; }\n";
+  bput buf "  for (n = 0; n <= rep; n++) {\n";
+  bput buf "    load(n);\n    sp = 0;\n    push(n + 1);\n    push(3);\n";
+  bput buf "    for (pc = 0; pc < %d; pc++) {\n" code_len;
+  bput buf "      b = code[pc];\n";
+  bput buf "      if (b >= %d) { push(b - %d); } else { ops[b %% %d].fn(); }\n"
+    lit_base lit_base n_ops;
+  bput buf "    }\n  }\n";
+  bput buf
+    "  printf(\"%%d %%d %%d %%d\\n\", sp, (sp > 0 ? stack[sp - 1] : -1), \
+     mem[5], err);\n";
+  bput buf "  return err & 7;\n}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Recursive: a ring of mutually recursive walkers, each call passing
+   d - 1 (the termination measure), plus a fixed backtracking
+   subset-sum search.  Recursion depth scales with s_loop_depth; the
+   per-body call count is capped at 3 so the call tree stays under
+   3^depth. *)
+
+let gen_recursive buf rng (size : Shape.size) =
+  let n_walks = max 2 size.s_functions in
+  let n_leaves = max 1 (min size.s_fanout 3) in
+  let dmax = min 7 (size.s_loop_depth + 3) in
+  bput buf "int calls;\nint best;\nint weights[8];\n\n";
+  for l = 0 to n_leaves - 1 do
+    bput buf "int combine%d(int a, int b) { return ((a * %d) + (b << %d)) & 1023; }\n"
+      l (Rng.pick rng [ 3; 5; 7 ]) (Rng.range rng 1 2)
+  done;
+  Buffer.add_string buf "\n";
+  (* forward declarations: the walker ring is mutually recursive *)
+  for k = 0 to n_walks - 1 do
+    bput buf "int walk%d(int d, int x);\n" k
+  done;
+  Buffer.add_string buf "\n";
+  for k = 0 to n_walks - 1 do
+    bput buf "int walk%d(int d, int x) {\n  int r;\n" k;
+    bput buf "  r = x & 7;\n  calls = calls + 1;\n";
+    bput buf "  if (d <= 0) { return r + 1; }\n";
+    let n_calls = Rng.range rng 1 (min 3 (max 1 size.s_fanout)) in
+    for _ = 1 to n_calls do
+      let target = (k + 1 + Rng.int rng (n_walks - 1)) mod n_walks in
+      let target = if Rng.chance rng 1 3 then k else target in
+      match Rng.int rng 3 with
+      | 0 ->
+        bput buf "  if ((x & %d) == %d) { r = r + walk%d(d - 1, x / 2 + %d); }\n"
+          (Rng.pick rng [ 1; 3 ])
+          (Rng.int rng 2) target (Rng.range rng 1 5)
+      | 1 ->
+        bput buf "  r = combine%d(r, walk%d(d - 1, x + %d));\n"
+          (Rng.int rng n_leaves) target (Rng.range rng 1 7)
+      | _ -> bput buf "  r = r ^ walk%d(d - 1, x - %d);\n" target (Rng.range rng 1 4)
+    done;
+    if Rng.bool rng then
+      bput buf "  if (r > %d) { r = r - %d; }\n" (Rng.range rng 100 800)
+        (Rng.range rng 10 90);
+    bput buf "  return r & 1023;\n}\n\n"
+  done;
+  bput buf "int search(int i, int target, int sum) {\n  int r;\n";
+  bput buf "  calls = calls + 1;\n";
+  bput buf "  if (sum == target) { return 1; }\n";
+  bput buf "  if (i >= 8) { return 0; }\n";
+  bput buf "  if (sum > target) { return 0; }\n";
+  bput buf "  r = search(i + 1, target, sum + weights[i]);\n";
+  bput buf "  if (r == 0) { r = search(i + 1, target, sum); }\n";
+  bput buf "  return r;\n}\n\n";
+  bput buf "int main(int argc, char **argv) {\n";
+  bput buf "  int rep = %d; int d; int total; int i;\n" (Rng.range rng 1 2);
+  bput buf "  total = 0;\n";
+  bput buf "  if (argc > 1) { rep = atoi(argv[1]) & 3; }\n";
+  bput buf "  for (i = 0; i < 8; i++) { weights[i] = (i * 7 + 3) %% 13 + 1; }\n";
+  bput buf "  for (d = 1; d <= %d + (rep & 1); d++) { total = total + walk%d(d, d * 3 + 1); }\n"
+    dmax (Rng.int rng n_walks);
+  bput buf "  best = search(0, %d, 0);\n" (Rng.range rng 9 30);
+  bput buf "  printf(\"%%d %%d %%d\\n\", total, calls, best);\n";
+  bput buf "  return total & 7;\n}\n"
+
+(* ------------------------------------------------------------------ *)
+
+let generate ~(seed : int) ~(cls : Shape.workload_class) ~(size : Shape.size)
+    ~(index : int) : string =
+  let rng =
+    Rng.of_path
+      [ seed; class_tag cls; index; size.Shape.s_functions;
+        size.Shape.s_stmts; size.Shape.s_loop_depth; size.Shape.s_fanout ]
+  in
+  let buf = Buffer.create 4096 in
+  header buf ~seed ~cls ~size ~index;
+  (match cls with
+  | Shape.Loop_nest -> gen_loop_nest buf rng size
+  | Shape.Branchy -> gen_branchy buf rng size
+  | Shape.Pointer_table -> gen_pointer_table buf rng size
+  | Shape.Recursive -> gen_recursive buf rng size);
+  Buffer.contents buf
+
+(* Each corpus program is profiled on two inputs: the bare run and one
+   that bumps the argv-controlled repetition knob — enough to exercise
+   the cross-profile averaging the estimators are scored under. *)
+let runs : (string list * string) list = [ ([], ""); ([ "7" ], "") ]

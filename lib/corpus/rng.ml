@@ -1,0 +1,67 @@
+(* Self-contained splitmix64 stream.
+
+   Corpus generation must be a pure function of (seed, class, size,
+   index): byte-identical sources on every run, every machine, every
+   jobs setting.  OCaml's [Random] gives no cross-version stability
+   guarantee and its state is awkward to fork deterministically, so we
+   carry our own 20-line generator.  splitmix64 is the usual choice for
+   this job: a counter-mode mixer, so deriving an independent substream
+   for program #k of class c is just hashing the path (seed, c, k) —
+   no sequential dependence between programs, which is what lets the
+   parallel driver evaluate them in any order. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 (z : int64) : int64 =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_raw (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(* Fold a derivation path into an initial state: each component is
+   absorbed with one full mix round, so (seed=1, index=2) and
+   (seed=2, index=1) land in unrelated streams. *)
+let of_path (path : int list) : t =
+  let state =
+    List.fold_left
+      (fun acc component -> mix64 (Int64.add (Int64.mul acc golden) (Int64.of_int component)))
+      0x5851F42D4C957F2DL path
+  in
+  { state }
+
+let create (seed : int) : t = of_path [ seed ]
+
+(* Uniform-ish int in [0, bound).  The modulo bias at 63 bits over
+   bounds < 2^10 is far below anything the corpus shapes can observe,
+   and keeping it branch-free keeps the stream consumption rate fixed
+   per call — one draw, always. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.shift_right_logical (next_raw t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let range (t : t) (lo : int) (hi : int) : int =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool (t : t) : bool = int t 2 = 0
+
+(* true with probability num/den — used for rare-path shaping. *)
+let chance (t : t) (num : int) (den : int) : bool = int t den < num
+
+let choose (t : t) (xs : 'a array) : 'a =
+  if Array.length xs = 0 then invalid_arg "Rng.choose: empty array";
+  xs.(int t (Array.length xs))
+
+let pick (t : t) (xs : 'a list) : 'a = choose t (Array.of_list xs)

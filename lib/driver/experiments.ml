@@ -172,24 +172,13 @@ let callsite_profiling_score (d : Context.prog_data) ~(cutoff : float) :
         ~actual:(Pipeline.callsite_actual d.Context.compiled eval_p)
         ~cutoff)
 
-let mean_opt (xs : float list) : float option =
-  match xs with
-  | [] -> None
-  | _ -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
-
 (* The mean of an empty series used to be a plausible-looking [0.0] — an
-   all-degraded suite would quietly report a zero score. Surface it: the
-   fault goes on the record (so the run exits 3) and the NaN renders as
-   an explicit marker wherever a table formats it. *)
-let mean (xs : float list) : float =
-  match mean_opt xs with
-  | Some v -> v
-  | None ->
-    Fault.record
-      { Fault.f_stage = Fault.Estimate; f_subject = "mean";
-        f_detail = "mean of empty series"; f_exn = ""; f_backtrace = "";
-        f_recovery = "rendered as a — marker instead of 0" };
-    Float.nan
+   all-degraded suite would quietly report a zero score. [Stats] owns
+   the convention now (fault on the record so the run exits 3, NaN
+   renders as an explicit marker); these aliases keep every call site
+   below unchanged. *)
+let mean_opt = Stats.mean_opt
+let mean (xs : float list) : float = Stats.mean xs
 
 (* ------------------------------------------------------------------ *)
 (* The typed-record layer: per-program score tables compute every cell

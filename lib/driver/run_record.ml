@@ -73,15 +73,25 @@ let strip_backtrace (f : Fault.t) : Fault.t = { f with Fault.f_backtrace = "" }
 (* Snapshot the process-wide observability state into a record. Call
    after the run: the score store, the context fault cells and the
    probe buffers must already hold the run's results. [meta] fields are
-   appended to the standard environment block. *)
-let collect ~(meta : (string * string) list) : t =
+   appended to the standard environment block.
+
+   [degraded] overrides the degraded-program list for runs that do not
+   go through [Context] (the corpus driver keeps its own); the default
+   reads the suite context — note that touches [Context.degraded],
+   which warms (compiles + profiles) the whole 16-program suite if the
+   caller has not already. *)
+let collect ?(degraded : (string * string) list option)
+    ~(meta : (string * string) list) () : t =
   { r_meta = Obs.Envmeta.common () @ meta;
     r_scores = Score.all ();
     r_degraded =
-      List.map
-        (fun (name, (f : Fault.t)) ->
-          (name, Fault.stage_to_string f.Fault.f_stage))
-        (Context.degraded ());
+      (match degraded with
+      | Some d -> d
+      | None ->
+        List.map
+          (fun (name, (f : Fault.t)) ->
+            (name, Fault.stage_to_string f.Fault.f_stage))
+          (Context.degraded ()));
     r_faults = List.map strip_backtrace (Fault.sorted ());
     r_timings = timing_summary () }
 

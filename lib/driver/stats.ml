@@ -1,0 +1,54 @@
+(* Small-sample statistics for score aggregation.
+
+   The empty-series convention matches [Experiments.mean]: a statistic
+   of nothing is not a plausible-looking 0.0 — it records an
+   [Estimate]-stage fault (so the run exits 3) and returns NaN, which
+   every table formatter renders as an explicit — marker.  NaN *inputs*
+   propagate silently: the fault was already recorded wherever the NaN
+   was produced, and re-reporting it per statistic would quadruple the
+   noise. *)
+
+let mean_opt (xs : float list) : float option =
+  match xs with
+  | [] -> None
+  | _ -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let empty_series_fault ~(what : string) ~(subject : string) : unit =
+  Fault.record
+    { Fault.f_stage = Fault.Estimate; f_subject = subject;
+      f_detail = Printf.sprintf "%s of empty series" what; f_exn = "";
+      f_backtrace = ""; f_recovery = "rendered as a — marker instead of 0" }
+
+let mean ?(subject = "mean") (xs : float list) : float =
+  match mean_opt xs with
+  | Some v -> v
+  | None ->
+    empty_series_fault ~what:"mean" ~subject;
+    Float.nan
+
+(* Quantile with type-7 (linear) interpolation — the R/NumPy default,
+   so p50 on an odd-length list is the middle element exactly and on an
+   even-length list the midpoint of the two central elements.  [q] is
+   clamped to [0, 1]; q=0 is the minimum, q=1 the maximum. *)
+let quantile_opt (q : float) (xs : float list) : float option =
+  match xs with
+  | [] -> None
+  | _ when List.exists (fun x -> Float.is_nan x) xs -> Some Float.nan
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    if frac = 0.0 then Some a.(lo)
+    else Some (((1.0 -. frac) *. a.(lo)) +. (frac *. a.(hi)))
+
+let quantile ?(subject = "quantile") (q : float) (xs : float list) : float =
+  match quantile_opt q xs with
+  | Some v -> v
+  | None ->
+    empty_series_fault ~what:(Printf.sprintf "p%g quantile" (q *. 100.0)) ~subject;
+    Float.nan

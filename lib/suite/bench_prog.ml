@@ -17,6 +17,13 @@ type t = {
 
 let run ?(argv = []) ?(input = "") () = { r_argv = argv; r_input = input }
 
+(* A synthetic (generated) program. Corpus rows wear the same record as
+   the hand-written suite so every [Bench_prog] consumer — [loc],
+   [n_runs], the pipeline stages — handles them unchanged; only the
+   analogue column marks their origin. *)
+let synthetic ~name ~description ~source ~runs : t =
+  { name; description; analogue = "generated"; source; runs }
+
 (* Source lines of code (non-blank), for the Table 1 line-count column. *)
 let loc (p : t) : int =
   String.split_on_char '\n' p.source

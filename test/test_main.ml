@@ -23,6 +23,7 @@ let () =
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("record", Test_record.suite);
+      ("corpus", Test_corpus.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);
       ("suite-programs", Test_suite_programs.suite) ]

@@ -295,7 +295,7 @@ let chaos_record (jobs : int) : Run_record.t =
       | Some f -> ignore (f ())
       | None -> Alcotest.failf "experiment %s missing" id)
     [ "table1"; "fig2"; "fig4"; "fig9" ];
-  let r = Run_record.collect ~meta:[ ("jobs", string_of_int jobs) ] in
+  let r = Run_record.collect ~meta:[ ("jobs", string_of_int jobs) ] () in
   pristine ();
   r
 
