@@ -33,6 +33,11 @@
    profile + every estimator) over corpus size x jobs and writes
    BENCH_corpus.json (path override: --corpus-json FILE).
 
+   --solver-only benchmarks the dense vs sparse Markov solvers over
+   synthetic 10^3..10^5-node graphs and writes BENCH_solver.json (path
+   override: --solver-json FILE); --solver MODE selects the solver used
+   by the reproduction/throughput sections (dense, sparse or auto).
+
    On a single-core machine every BENCH_*.json env block is tagged
    "single_core": "true" and a warning is printed, because jobs > 1 then
    adds domain-scheduling overhead without speedup — the documented
@@ -422,6 +427,188 @@ let run_corpus_sweep (jobs : int) (json_path : string) =
   close_out oc;
   Printf.printf "  [corpus throughput written to %s]\n\n" json_path
 
+(* ------------------------------------------------------------------ *)
+(* Solver scaling: dense elimination vs the sparse iterative path over
+   synthetic huge graphs (10^3..10^5 nodes) — the regime ROADMAP item 2
+   targets, far beyond the 60-400 LoC suite minis. Both generators are
+   deterministic (pure functions of n), so the numbers are comparable
+   across machines and commits. The CLI solver mode is saved and
+   restored: this section times both paths explicitly. *)
+
+(* A long CFG: straight-line flow partitioned into 25-block loop
+   segments. Each segment ends in a 0.8 back edge to its header (the
+   standard loop-guess probability) and a 0.2 exit into the next
+   segment; every 7th block inside a segment is a 0.8/0.2 forward
+   branch that skips one block. The last block returns. *)
+let synthetic_cfg_arcs (n : int) : Linalg.Csr.arcs_iter =
+ fun f ->
+  for i = 0 to n - 2 do
+    if i mod 25 = 24 then begin
+      f i (i - 24) 0.8;
+      f i (i + 1) 0.2
+    end
+    else if i mod 7 = 3 && i + 2 <= n - 1 then begin
+      f i (i + 1) 0.8;
+      f i (i + 2) 0.2
+    end
+    else f i (i + 1) 1.0
+  done
+
+(* A call graph shaped like a 4-ary tree (node i calls 4i+1..4i+4) with
+   per-arc call weights cycling through 0.6..1.3 calls per invocation,
+   a 0.3 direct-recursion self arc on every 13th node, and a low-weight
+   cross arc (0.05) from every 11th node to an arbitrary other node —
+   the irregular edges that keep the system from being a pure DAG. *)
+let synthetic_callgraph_arcs (n : int) : Linalg.Csr.arcs_iter =
+ fun f ->
+  for i = 0 to n - 1 do
+    for k = 0 to 3 do
+      let child = (4 * i) + 1 + k in
+      if child < n then
+        f i child (0.6 +. (0.1 *. float_of_int ((i + k) mod 8)))
+    done;
+    if i mod 13 = 5 then f i i 0.3;
+    if i mod 11 = 7 && n > 1 then begin
+      let t = ((i * 7) + 3) mod n in
+      if t <> i then f i t 0.05
+    end
+  done
+
+let count_arcs (arcs : Linalg.Csr.arcs_iter) : int =
+  let k = ref 0 in
+  arcs (fun _ _ _ -> incr k);
+  !k
+
+let max_rel_diff (a : float array) (b : float array) : float =
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i av ->
+      let d =
+        Float.abs (av -. b.(i))
+        /. Float.max 1.0 (Float.max (Float.abs av) (Float.abs b.(i)))
+      in
+      if d > !m then m := d)
+    a;
+  !m
+
+let run_solver_bench (json_path : string) =
+  let saved_mode = !Linalg.Linsolve.solver_mode in
+  let saved_probes = Obs.Probe.enabled () in
+  Fun.protect ~finally:(fun () ->
+      Linalg.Linsolve.solver_mode := saved_mode;
+      Obs.Probe.set_enabled saved_probes)
+  @@ fun () ->
+  Printf.printf
+    "=== Solver scaling (dense elimination vs sparse iterative, synthetic \
+     graphs) ===\n\n";
+  let time_solve mode ~n arcs reps =
+    Linalg.Linsolve.solver_mode := mode;
+    let best = ref infinity in
+    let result = ref [||] in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      result := Linalg.Linsolve.markov_frequencies_iter ~n ~source:0 arcs;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!best, !result)
+  in
+  (* One probe-instrumented sparse solve per config reports the sweep
+     count and final residual alongside the wall clock. *)
+  let sparse_diag ~n arcs =
+    Obs.Probe.set_enabled true;
+    Obs.Probe.reset ();
+    Linalg.Linsolve.solver_mode := Linalg.Linsolve.Sparse;
+    ignore (Linalg.Linsolve.markov_frequencies_iter ~n ~source:0 arcs);
+    let counter name =
+      Option.map
+        (fun c -> c.Obs.Probe.vmax)
+        (List.assoc_opt name (Obs.Probe.counters ()))
+    in
+    let sweeps = counter "linsolve.gs.sweeps" in
+    let residual = counter "linsolve.gs.residual" in
+    Obs.Probe.set_enabled false;
+    Obs.Probe.reset ();
+    (sweeps, residual)
+  in
+  let configs =
+    [ ("cfg", synthetic_cfg_arcs, [ 1_000; 3_000; 10_000; 100_000 ]);
+      ("callgraph", synthetic_callgraph_arcs,
+       [ 1_000; 3_000; 10_000; 100_000 ]) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, gen, sizes) ->
+        List.map
+          (fun n ->
+            let arcs = gen n in
+            let nnz = count_arcs arcs in
+            let reps = if n >= 10_000 then 1 else 3 in
+            let sparse_s, sparse_x =
+              time_solve Linalg.Linsolve.Sparse ~n arcs reps
+            in
+            let sweeps, residual = sparse_diag ~n arcs in
+            (* the dense n*n build at 10^5 nodes is 80 GB — skip it *)
+            let dense =
+              if n > Linalg.Linsolve.dense_fallback_limit then None
+              else begin
+                let dense_s, dense_x =
+                  time_solve Linalg.Linsolve.Dense ~n arcs reps
+                in
+                Some (dense_s, max_rel_diff dense_x sparse_x)
+              end
+            in
+            (match dense with
+            | Some (dense_s, diff) ->
+              Printf.printf
+                "  %-10s n=%-7d arcs=%-7d sparse %10.6f s   dense %10.6f \
+                 s   speedup %8.1fx   max_rel_diff %.2e\n%!"
+                label n nnz sparse_s dense_s (dense_s /. sparse_s) diff
+            | None ->
+              Printf.printf
+                "  %-10s n=%-7d arcs=%-7d sparse %10.6f s   dense \
+                 (skipped: system would be %d GB)\n%!"
+                label n nnz sparse_s
+                (n * n * 8 / 1_000_000_000));
+            (label, n, nnz, sparse_s, sweeps, residual, dense))
+          sizes)
+      configs
+  in
+  print_newline ();
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": \"%s\",\n"
+       (json_escape "pldi94-estimators-solver"));
+  add_env_block buf;
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun i (label, n, nnz, sparse_s, sweeps, residual, dense) ->
+      let opt_num = function
+        | Some v -> Printf.sprintf "%g" v
+        | None -> "null"
+      in
+      let dense_s, speedup, diff =
+        match dense with
+        | Some (d, diff) -> (Some d, Some (d /. sparse_s), Some diff)
+        | None -> (None, None, None)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"graph\": \"%s\", \"nodes\": %d, \"arcs\": %d, \
+            \"sparse_seconds\": %.6f, \"gs_sweeps\": %s, \"residual\": \
+            %s, \"dense_seconds\": %s, \"speedup\": %s, \"max_rel_diff\": \
+            %s }%s\n"
+           label n nnz sparse_s (opt_num sweeps) (opt_num residual)
+           (opt_num dense_s) (opt_num speedup) (opt_num diff)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [solver scaling written to %s]\n\n" json_path
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
@@ -481,6 +668,31 @@ let () =
     in
     find args
   in
+  let solver_only = List.mem "--solver-only" args in
+  let solver_json =
+    let rec find = function
+      | "--solver-json" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_solver.json"
+    in
+    find args
+  in
+  (match
+     let rec find = function
+       | "--solver" :: m :: _ -> Some m
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find args
+   with
+  | None -> ()
+  | Some m -> (
+    match Linalg.Linsolve.mode_of_string m with
+    | Some mode -> Linalg.Linsolve.solver_mode := mode
+    | None ->
+      Printf.eprintf
+        "bench: --solver expects dense, sparse or auto, got %S\n" m;
+      exit 2));
   if List.mem "--strict" args then Driver.Fault.set_strict true;
   (let rec find = function
      | "--chaos" :: s :: _ -> (
@@ -496,7 +708,8 @@ let () =
   Parallel.set_jobs jobs;
   warn_single_core ();
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
-      if corpus_only then run_corpus_sweep (max 2 jobs) corpus_json
+      if solver_only then run_solver_bench solver_json
+      else if corpus_only then run_corpus_sweep (max 2 jobs) corpus_json
       else if profile_only then run_profile_throughput (max 2 jobs) profile_json
       else begin
         if not bench_only then begin

@@ -114,6 +114,32 @@ let backend_arg =
                   The two produce bit-identical profiles; only speed \
                   differs."))
 
+(* Markov linear-system solver selection, applied as a setup term like
+   [backend_arg]. Dense is the default: its results are bit-identical
+   to the committed BASELINE.json; the sparse path agrees only to the
+   iterative convergence tolerance (gate with [diff --solver-band]). *)
+let solver_arg =
+  let set m = Linalg.Linsolve.solver_mode := m in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt
+            (enum
+               [ ("dense", Linalg.Linsolve.Dense);
+                 ("sparse", Linalg.Linsolve.Sparse);
+                 ("auto", Linalg.Linsolve.Auto) ])
+            Linalg.Linsolve.Dense
+        & info [ "solver" ] ~docv:"MODE"
+            ~doc:"Markov linear-system solver: $(b,dense) (Gaussian \
+                  elimination, bit-identical to the committed baseline; \
+                  default), $(b,sparse) (CSR Gauss-Seidel with power-\
+                  iteration and dense fallbacks), or $(b,auto) (sparse \
+                  for systems of 128+ nodes)."))
+
+let solver_mode_string () =
+  Linalg.Linsolve.mode_to_string !Linalg.Linsolve.solver_mode
+
 let mode_arg =
   Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
                            ("markov", Pipeline.Imarkov);
@@ -194,7 +220,7 @@ let cmd_cfg =
 (* ---- estimate ---- *)
 
 let cmd_estimate =
-  let run path fn_name mode =
+  let run () path fn_name mode =
     let c = load path in
     let intra = Pipeline.intra_provider c mode in
     List.iter
@@ -208,12 +234,12 @@ let cmd_estimate =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Intra-procedural block frequency estimates")
-    Term.(const run $ file_arg $ fn_arg $ mode_arg)
+    Term.(const run $ solver_arg $ file_arg $ fn_arg $ mode_arg)
 
 (* ---- inter ---- *)
 
 let cmd_inter =
-  let run path kind =
+  let run () path kind =
     let c = load path in
     let intra = Pipeline.intra_provider c Pipeline.Ismart in
     let est = Pipeline.inter_estimate c ~intra kind in
@@ -225,12 +251,12 @@ let cmd_inter =
       names
   in
   Cmd.v (Cmd.info "inter" ~doc:"Function invocation estimates")
-    Term.(const run $ file_arg $ inter_arg)
+    Term.(const run $ solver_arg $ file_arg $ inter_arg)
 
 (* ---- callsites ---- *)
 
 let cmd_callsites =
-  let run path kind =
+  let run () path kind =
     let c = load path in
     let intra = Pipeline.intra_provider c Pipeline.Ismart in
     let est = Pipeline.callsite_estimate c ~intra kind in
@@ -247,7 +273,7 @@ let cmd_callsites =
       ranked
   in
   Cmd.v (Cmd.info "callsites" ~doc:"Global call-site ranking")
-    Term.(const run $ file_arg $ inter_arg)
+    Term.(const run $ solver_arg $ file_arg $ inter_arg)
 
 (* ---- run ---- *)
 
@@ -393,7 +419,7 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run jobs () () trace metrics_out id =
+  let run jobs () () () trace metrics_out id =
     Driver.Parallel.set_jobs jobs;
     Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
         match id with
@@ -415,13 +441,13 @@ let cmd_experiment =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ trace_arg
-          $ metrics_arg $ id)
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg
+          $ trace_arg $ metrics_arg $ id)
 
 (* ---- record: run the suite, persist the typed score records ---- *)
 
 let cmd_record =
-  let run jobs () () out =
+  let run jobs () () () out =
     Driver.Parallel.set_jobs jobs;
     Driver.Score.reset ();
     Driver.Trace.enable ();
@@ -438,7 +464,8 @@ let cmd_record =
         ("backend",
          match !Pipeline.default_backend with
          | Pipeline.Tree -> "tree"
-         | Pipeline.Compiled -> "compiled") ]
+         | Pipeline.Compiled -> "compiled");
+        ("solver", solver_mode_string ()) ]
     in
     let record = Driver.Run_record.collect ~meta () in
     Driver.Run_record.write_file out record;
@@ -456,12 +483,12 @@ let cmd_record =
     (Cmd.info "record"
        ~doc:"Run the full experiment suite and write a typed run record \
              (scores, environment, faults, timings) as JSON")
-    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ out)
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg $ out)
 
 (* ---- corpus: seeded shaped-program generation + estimator sweep ---- *)
 
 let cmd_corpus =
-  let run jobs () () seed per_class size classes_opt out =
+  let run jobs () () () seed per_class size classes_opt out =
     Driver.Parallel.set_jobs jobs;
     Driver.Score.reset ();
     let classes =
@@ -497,7 +524,8 @@ let cmd_corpus =
         ("backend",
          match !Pipeline.default_backend with
          | Pipeline.Tree -> "tree"
-         | Pipeline.Compiled -> "compiled") ]
+         | Pipeline.Compiled -> "compiled");
+        ("solver", solver_mode_string ()) ]
     in
     let record =
       Driver.Run_record.collect
@@ -544,13 +572,13 @@ let cmd_corpus =
        ~doc:"Generate a seeded shaped-program corpus, run every estimator \
              over it, and write per-class score distributions \
              (mean/median/p10/p90) as a typed run record")
-    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ seed $ per_class
-          $ size $ classes $ out)
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg $ seed
+          $ per_class $ size $ classes $ out)
 
 (* ---- diff: gate a run record against the committed baseline ---- *)
 
 let cmd_diff =
-  let run record_path baseline_path timing_factor html_out =
+  let run record_path baseline_path timing_factor solver_band html_out =
     let load_record what path =
       match Driver.Run_record.read_file path with
       | Ok r -> r
@@ -561,7 +589,7 @@ let cmd_diff =
     let baseline = load_record "baseline" baseline_path in
     let current = load_record "run record" record_path in
     let report =
-      Driver.Drift.diff ~timing_factor ~baseline ~current ()
+      Driver.Drift.diff ~timing_factor ~solver_band ~baseline ~current ()
     in
     print_string (Driver.Drift.render report);
     (match html_out with
@@ -589,6 +617,17 @@ let cmd_diff =
                    multiplicative band around the baseline (scores are \
                    always compared exactly).")
   in
+  let solver_band =
+    Arg.(value & opt float 0.0
+         & info [ "solver-band" ] ~docv:"EPS"
+             ~doc:"Accept solver-derived scores (Markov estimators, the \
+                   fig6/7 worked example, fig8, fig10 speedups) within a \
+                   relative band of $(docv) instead of bit-for-bit — for \
+                   gating records produced with $(b,--solver sparse). 0 \
+                   (the default) compares everything exactly. A sensible \
+                   band is 1e-4 (it must absorb weight-matching tie \
+                   flips, not just convergence wobble).")
+  in
   let html_out =
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE"
            ~doc:"Also write a self-contained HTML drift report to $(docv).")
@@ -597,7 +636,8 @@ let cmd_diff =
     (Cmd.info "diff"
        ~doc:"Compare a run record against the committed baseline; exit 1 \
              on score drift")
-    Term.(const run $ record_path $ baseline_path $ timing_factor $ html_out)
+    Term.(const run $ record_path $ baseline_path $ timing_factor
+          $ solver_band $ html_out)
 
 (* ---- suite ---- *)
 
@@ -619,7 +659,7 @@ let cmd_suite =
    entry point), and [--chaos SEED] runs it under fault injection;
    bare invocation still shows the usage page. *)
 let default_term =
-  let run jobs () () trace metrics_out =
+  let run jobs () () () trace metrics_out =
     if trace || metrics_out <> None || Obs.Inject.chaos_seed () <> None
     then begin
       Driver.Parallel.set_jobs jobs;
@@ -630,8 +670,8 @@ let default_term =
     end
     else `Help (`Pager, None)
   in
-  Term.(ret (const run $ jobs_arg $ backend_arg $ fault_arg $ trace_arg
-             $ metrics_arg))
+  Term.(ret (const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg
+             $ trace_arg $ metrics_arg))
 
 let main =
   Cmd.group ~default:default_term

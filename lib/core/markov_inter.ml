@@ -42,6 +42,14 @@ type result = {
 let arc_list (arcs : arcs) : (int * int * float) list =
   Hashtbl.fold (fun (s, d) w acc -> (s, d, w) :: acc) arcs []
 
+(* Hand the table to the solver as a re-runnable iterator — no list
+   materialization per solve attempt (the SCC-repair and damping loops
+   used to rebuild the full arc list on every retry). (src, dst) keys
+   are unique, so each arc lands in its own matrix cell and table
+   traversal order cannot change the assembled system. *)
+let arc_iter (arcs : arcs) : Linalg.Csr.arcs_iter =
+ fun f -> Hashtbl.iter (fun (s, d) w -> f s d w) arcs
+
 (* Build the weighted call-graph arcs, including the pointer node (index
    [n]) when the program makes indirect calls. Returns (arcs, n_nodes,
    has_pointer_node). *)
@@ -84,7 +92,7 @@ let is_valid (x : float array) : bool =
 
 let solve ~n ~source (arcs : arcs) : float array option =
   match
-    Linsolve.markov_frequencies ~n ~source (arc_list arcs)
+    Linsolve.markov_frequencies_iter ~n ~source (arc_iter arcs)
   with
   | x -> if is_valid x then Some x else None
   | exception Linsolve.Singular _ -> None
@@ -93,7 +101,7 @@ let solve ~n ~source (arcs : arcs) : float array option =
    Figure 8). *)
 let solve_raw ~n ~source (arcs : arcs) : float array option =
   match
-    Linsolve.markov_frequencies ~n ~source (arc_list arcs)
+    Linsolve.markov_frequencies_iter ~n ~source (arc_iter arcs)
   with
   | x -> Some x
   | exception Linsolve.Singular _ -> None

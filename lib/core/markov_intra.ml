@@ -81,6 +81,10 @@ let arcs_of_fn ?branch_prob tc (usage : Usage.t) (fn : Cfg.fn) :
    ["solve.intra"] injection point (the pipeline passes the program). *)
 let solve_blocks ?(inject_key = "") ?fallback ~(n : int) ~(entry : int)
     (arcs : (int * int * float) list) : float array =
+  (* The solver assembles the system in per-domain scratch buffers
+     (Linalg.Scratch), so retries and the per-function solve loop reuse
+     one working set instead of allocating n*n afresh each attempt. *)
+  Obs.Probe.observe "markov_intra.solve_n" (float_of_int n);
   let rec attempt damping tries =
     let retry () =
       if tries > 0 then begin

@@ -7,7 +7,16 @@
    drift when outside a wide multiplicative tolerance band. A program
    that degraded in the current run is reported as degraded (with its
    stage), never as a score regression: its baseline scores are
-   missing, not wrong. *)
+   missing, not wrong.
+
+   One carve-out: when the run used the iterative (sparse) solver, the
+   scores that pass through the linear solver are only reproducible to
+   the solver's convergence tolerance, not to the bit. [diff] therefore
+   accepts an optional [solver_band]: *solver-derived* scores (see
+   [solver_derived]) within the relative band count as matches, every
+   other score still compares exactly. The default band is 0 — the
+   committed BASELINE.json stays authoritative, bit-for-bit, for the
+   dense path. *)
 
 type finding =
   | Changed of Score.t * float
@@ -24,7 +33,9 @@ type finding =
 
 type report = {
   findings : finding list;     (* deterministic order: kind within key *)
-  compared : int;              (* baseline scores with an exact match *)
+  compared : int;              (* baseline scores that matched *)
+  banded : int;                (* of [compared]: matched via the solver
+                                  epsilon band, not bit-for-bit *)
   degraded_programs : (string * string) list;  (* current run: program, stage *)
 }
 
@@ -40,10 +51,53 @@ let finding_key = function
   | Timing_out_of_band _ -> None
 
 (* Exact equality that treats nan as equal to itself (a degraded mean
-   must not drift against itself). *)
+   must not drift against itself). The *polymorphic* compare is the
+   point, not an oversight: unlike [(=)] it gives nan = nan, and unlike
+   [Float.compare]'s total order it keeps -0.0 = 0.0, which is the IEEE
+   notion of "same value" the bit-stable baseline was recorded under.
+   Do not "fix" this to [Float.compare]. *)
 let same_value (a : float) (b : float) : bool = compare a b = 0
 
-let diff ?(timing_factor = default_timing_factor)
+(* ------------------------------------------------------------------ *)
+(* The solver epsilon band *)
+
+(* Default relative band for solver-derived scores under an iterative
+   solver. The convergence tolerance is ~1e-12 per solve, but the
+   weight-matching metrics *quantize* solver noise: they compare sets of
+   blocks ranked by frequency, and where the dense solver produces exact
+   ties the iterative one lands an ulp off, flipping a block across the
+   cutoff and moving the score by a discrete ~1/(total weight) step —
+   observed up to 4e-5 on the 16-program suite (tree_mini). 1e-4 absorbs
+   those tie flips; any real estimator regression moves scores by orders
+   of magnitude more. *)
+let default_solver_band = 1e-4
+
+let contains_sub (hay : string) (needle : string) : bool =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Does this score's value pass through [Linsolve.markov_frequencies]?
+   Everything whose estimator column is a Markov variant (fig4/fig5
+   columns, the Wu-Larus "markov_wl", ablation cells, corpus stats), the
+   fig6/7 worked example (solved block frequencies), fig8 (recursion
+   repair: naive/repaired frequencies and the repair diagnostics), and
+   fig10's modelled speedups, which rank functions by Markov inter
+   frequencies. Purely syntactic estimators (loop, AST walks, call-site
+   counts) and static inventories stay exact under any solver. *)
+let solver_derived (s : Score.t) : bool =
+  contains_sub s.Score.s_estimator "markov"
+  || s.Score.s_experiment = "fig6_7"
+  || s.Score.s_experiment = "fig8"
+  || (s.Score.s_experiment = "fig10" && s.Score.s_estimator = "estimate")
+
+(* |a - b| <= band * max(1, |a|, |b|) — relative with an absolute floor
+   so near-zero frequencies don't demand absurd relative precision. *)
+let within_band ~(band : float) (a : float) (b : float) : bool =
+  Float.abs (a -. b)
+  <= band *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let diff ?(timing_factor = default_timing_factor) ?(solver_band = 0.0)
     ~(baseline : Run_record.t) ~(current : Run_record.t) () : report =
   let index (r : Run_record.t) : (Score.key, Score.t) Hashtbl.t =
     let tbl = Hashtbl.create 256 in
@@ -58,6 +112,7 @@ let diff ?(timing_factor = default_timing_factor)
     List.assoc_opt program current.Run_record.r_degraded
   in
   let compared = ref 0 in
+  let banded = ref 0 in
   let score_findings =
     List.filter_map
       (fun (b : Score.t) ->
@@ -65,6 +120,15 @@ let diff ?(timing_factor = default_timing_factor)
         | Some c ->
           if same_value b.Score.s_value c.Score.s_value then begin
             incr compared;
+            None
+          end
+          else if
+            solver_band > 0.0 && solver_derived b
+            && within_band ~band:solver_band b.Score.s_value
+                 c.Score.s_value
+          then begin
+            incr compared;
+            incr banded;
             None
           end
           else Some (Changed (b, c.Score.s_value))
@@ -115,6 +179,7 @@ let diff ?(timing_factor = default_timing_factor)
         (fun a b -> compare (sort_key a) (sort_key b))
         (score_findings @ timing_findings);
     compared = !compared;
+    banded = !banded;
     degraded_programs = current.Run_record.r_degraded }
 
 let has_drift (r : report) : bool = r.findings <> []
@@ -147,7 +212,12 @@ let finding_row = function
 
 let render (r : report) : string =
   let header =
-    Printf.sprintf "%d baseline scores matched exactly" r.compared
+    if r.banded = 0 then
+      Printf.sprintf "%d baseline scores matched exactly" r.compared
+    else
+      Printf.sprintf
+        "%d baseline scores matched (%d exactly, %d within the solver band)"
+        r.compared (r.compared - r.banded) r.banded
   in
   if r.findings = [] then
     header ^ "; no drift.\n"

@@ -36,7 +36,19 @@ let quantile_opt (q : float) (xs : float list) : float option =
   | _ when List.exists (fun x -> Float.is_nan x) xs -> Some Float.nan
   | _ ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    (* Not the polymorphic sort: both it and [Float.compare] follow IEEE
+       equality, under which -0.0 = 0.0 — so the sorted order of a
+       signed-zero pair depended on *input* order, and a quantile landing
+       on it could flip sign bit between runs, visible to the bit-exact
+       drift gate. Breaking the tie on the sign bit (-0.0 before 0.0)
+       makes the sort a pure function of the multiset. NaNs never reach
+       the sort (short-circuited above). *)
+    let cmp x y =
+      let c = Float.compare x y in
+      if c <> 0 then c
+      else Bool.compare (Float.sign_bit y) (Float.sign_bit x)
+    in
+    Array.sort cmp a;
     let n = Array.length a in
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let pos = q *. float_of_int (n - 1) in
@@ -50,5 +62,9 @@ let quantile ?(subject = "quantile") (q : float) (xs : float list) : float =
   match quantile_opt q xs with
   | Some v -> v
   | None ->
+    (* Report the clamped quantile actually computed: [quantile 1.5 []]
+       is a p100 request, not a "p150" — the fault message must match
+       what [quantile_opt] would have evaluated. *)
+    let q = Float.max 0.0 (Float.min 1.0 q) in
     empty_series_fault ~what:(Printf.sprintf "p%g quantile" (q *. 100.0)) ~subject;
     Float.nan

@@ -1,0 +1,129 @@
+(* Per-domain scratch buffers for the solver paths — the allocate-once,
+   grow-on-demand discipline from the AMSS-NCKU optimization series.
+
+   Every Markov solve used to allocate its whole working set afresh: an
+   n*n dense matrix per solve, and (with the sparse path) the CSR arrays
+   and iteration vectors. Over a corpus run or a damping-retry chain
+   that is thousands of short-lived multi-kilobyte (or, at bench sizes,
+   multi-hundred-megabyte) allocations whose only purpose is to be
+   thrown away. Instead each domain owns one [t] of growable buffers,
+   reused across every solve on that domain; a buffer only grows (never
+   shrinks), doubling so repeated near-equal sizes settle immediately.
+
+   Safety: buffers hand out *oversized* arrays — callers must index
+   strictly by their own [n]/[nnz] bounds and must not assume fresh
+   zeroing beyond what they wrote. Solves never nest (a solver fallback
+   re-enters through the same entry point sequentially, and the
+   degradation fallbacks are AST estimators, not solves), so one set of
+   named slots per domain is enough. Domain-local storage means no
+   locking and no cross-domain sharing: the parallel suite pipeline
+   keeps its jobs-invariance.
+
+   The returned solution vector is always freshly allocated by the
+   caller (it escapes); only the transient working set lives here. *)
+
+type t = {
+  mutable dense : float array;     (* n*n dense system *)
+  mutable diag : float array;      (* CSR diagonal, length >= n *)
+  mutable vals : float array;      (* CSR off-diagonal values, >= nnz *)
+  mutable aux : float array;       (* iteration vector, length >= n *)
+  mutable rhs : float array;       (* right-hand side, length >= n *)
+  mutable cols : int array;        (* CSR column indices, >= nnz *)
+  mutable row_start : int array;   (* CSR row offsets, >= n+1 *)
+  mutable index : int array;       (* Tarjan discovery index, >= n *)
+  mutable lowlink : int array;     (* Tarjan lowlink, >= n *)
+  mutable stack : int array;       (* Tarjan DFS node stack, >= n *)
+  mutable cursor : int array;      (* per-node DFS edge cursor, >= n *)
+  mutable queue : int array;       (* Tarjan SCC stack, >= n *)
+  mutable order : int array;       (* SCC-completion node order, >= n *)
+  mutable bounds : int array;      (* SCC boundary offsets, >= n+1 *)
+  mutable fill : int array;        (* build cursors / on-stack flags, >= n *)
+}
+
+let create () =
+  { dense = [||]; diag = [||]; vals = [||]; aux = [||]; rhs = [||];
+    cols = [||]; row_start = [||]; index = [||]; lowlink = [||];
+    stack = [||]; cursor = [||]; queue = [||]; order = [||]; bounds = [||];
+    fill = [||] }
+
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+
+let get () : t = Domain.DLS.get key
+
+(* Growth helpers: return a buffer of length >= [len], reusing the old
+   one when large enough. Contents of a grown buffer are unspecified;
+   callers initialize the prefix they use. *)
+
+let grow_floats (a : float array) (len : int) : float array =
+  if Array.length a >= len then a
+  else begin
+    Obs.Probe.count "scratch.grow";
+    Array.make (max len (2 * Array.length a)) 0.0
+  end
+
+let grow_ints (a : int array) (len : int) : int array =
+  if Array.length a >= len then a
+  else begin
+    Obs.Probe.count "scratch.grow";
+    Array.make (max len (2 * Array.length a)) 0
+  end
+
+let dense (s : t) (len : int) : float array =
+  s.dense <- grow_floats s.dense len;
+  s.dense
+
+let diag (s : t) (len : int) : float array =
+  s.diag <- grow_floats s.diag len;
+  s.diag
+
+let vals (s : t) (len : int) : float array =
+  s.vals <- grow_floats s.vals len;
+  s.vals
+
+let aux (s : t) (len : int) : float array =
+  s.aux <- grow_floats s.aux len;
+  s.aux
+
+let rhs (s : t) (len : int) : float array =
+  s.rhs <- grow_floats s.rhs len;
+  s.rhs
+
+let cols (s : t) (len : int) : int array =
+  s.cols <- grow_ints s.cols len;
+  s.cols
+
+let row_start (s : t) (len : int) : int array =
+  s.row_start <- grow_ints s.row_start len;
+  s.row_start
+
+let index (s : t) (len : int) : int array =
+  s.index <- grow_ints s.index len;
+  s.index
+
+let lowlink (s : t) (len : int) : int array =
+  s.lowlink <- grow_ints s.lowlink len;
+  s.lowlink
+
+let stack (s : t) (len : int) : int array =
+  s.stack <- grow_ints s.stack len;
+  s.stack
+
+let cursor (s : t) (len : int) : int array =
+  s.cursor <- grow_ints s.cursor len;
+  s.cursor
+
+let queue (s : t) (len : int) : int array =
+  s.queue <- grow_ints s.queue len;
+  s.queue
+
+let order (s : t) (len : int) : int array =
+  s.order <- grow_ints s.order len;
+  s.order
+
+let bounds (s : t) (len : int) : int array =
+  s.bounds <- grow_ints s.bounds len;
+  s.bounds
+
+let fill (s : t) (len : int) : int array =
+  s.fill <- grow_ints s.fill len;
+  s.fill

@@ -94,6 +94,50 @@ let test_quantile_bounds () =
   exact "q below 0 clamps" 1.0 (Stats.quantile (-0.5) xs);
   exact "q above 1 clamps" 10.0 (Stats.quantile 1.5 xs)
 
+(* Regression: an out-of-range q on an *empty* series used to format the
+   fault from the unclamped value — "p150 quantile of empty series" for
+   a request that quantile_opt would have evaluated as p100. The message
+   must name the clamped quantile actually computed. *)
+let test_quantile_empty_clamped_message () =
+  let v = Stats.quantile 1.5 [] in
+  Alcotest.(check bool) "still NaN" true (Float.is_nan v);
+  (match Fault.sorted () with
+  | [ f ] ->
+    Alcotest.(check string) "clamped fault message"
+      "p100 quantile of empty series" f.Fault.f_detail
+  | fs -> Alcotest.failf "expected exactly one fault, got %d" (List.length fs));
+  Fault.reset ();
+  ignore (Stats.quantile (-3.0) []);
+  match Fault.sorted () with
+  | [ f ] ->
+    Alcotest.(check string) "negative q clamps to p0"
+      "p0 quantile of empty series" f.Fault.f_detail
+  | fs -> Alcotest.failf "expected exactly one fault, got %d" (List.length fs)
+
+(* Regression: the sort inside quantile_opt used polymorphic compare,
+   under which -0.0 = 0.0 — so the sorted order of a signed-zero pair
+   depended on *input* order, and a quantile landing on it could flip
+   sign bit between runs. Float.compare's total order (-0.0 < 0.0)
+   makes the result a pure function of the multiset. *)
+let test_quantile_signed_zero_order_independent () =
+  let a = Stats.quantile 0.0 [ -0.0; 0.0 ] in
+  let b = Stats.quantile 0.0 [ 0.0; -0.0 ] in
+  Alcotest.(check bool) "p0 identical (sign bit included) across orders"
+    true (Float.sign_bit a = Float.sign_bit b);
+  Alcotest.(check bool) "p0 of a signed-zero pair is -0.0" true
+    (a = 0.0 && Float.sign_bit a);
+  let hi = Stats.quantile 1.0 [ 0.0; -0.0 ] in
+  Alcotest.(check bool) "p100 of a signed-zero pair is +0.0" true
+    (hi = 0.0 && not (Float.sign_bit hi));
+  (* subnormals sort by magnitude like any other float *)
+  let tiny = Float.min_float *. epsilon_float in
+  let xs = [ 0.0; tiny; -.tiny; -0.0 ] in
+  Alcotest.(check bool) "p0 is the negative subnormal" true
+    (compare (Stats.quantile 0.0 xs) (-.tiny) = 0);
+  Alcotest.(check bool) "p100 is the positive subnormal" true
+    (compare (Stats.quantile 1.0 xs) tiny = 0);
+  Alcotest.(check int) "no faults" 0 (Fault.count ())
+
 (* --- generation determinism ------------------------------------------- *)
 
 let test_generation_deterministic () =
@@ -230,6 +274,10 @@ let suite =
       (shielded test_quantile_p50);
     Alcotest.test_case "quantile: bounds and interpolation" `Quick
       (shielded test_quantile_bounds);
+    Alcotest.test_case "quantile: empty-series fault names the clamped q"
+      `Quick (shielded test_quantile_empty_clamped_message);
+    Alcotest.test_case "quantile: signed zeros and subnormals sort totally"
+      `Quick (shielded test_quantile_signed_zero_order_independent);
     Alcotest.test_case "generation is a pure function of its parameters"
       `Quick test_generation_deterministic;
     Alcotest.test_case "every class compiles and terminates under fuel"

@@ -205,8 +205,135 @@ let test_markov_scale_matches_prescaled () =
         true (via_scale = via_map))
     [ 1.0; 0.95; 0.95 *. 0.95; 0.5 ]
 
+(* --- CSR and the iterative solvers ------------------------------------ *)
+
+module Csr = Linalg.Csr
+module Iterative = Linalg.Iterative
+
+let iter_of_list arcs f = List.iter (fun (s, d, p) -> f s d p) arcs
+
+(* Layout contract: self-arcs (and duplicates of them) fold into the
+   separately-stored diagonal; off-diagonal duplicates stay as separate
+   entries and sum under mul_vec exactly like a merged entry would. *)
+let test_csr_layout () =
+  let arcs =
+    [ (0, 1, 0.5); (1, 1, 0.25); (1, 1, 0.25); (2, 0, 1.0); (2, 1, 0.1);
+      (2, 1, 0.1) ]
+  in
+  let a = Csr.of_markov_arcs ~n:3 (iter_of_list arcs) in
+  Alcotest.(check int) "n" 3 a.Csr.n;
+  Alcotest.(check int) "off-diagonal entries" 4 a.Csr.nnz;
+  Alcotest.(check (float 0.0)) "self-arcs folded into diag" 0.5
+    a.Csr.diag.(1);
+  Alcotest.(check (float 0.0)) "untouched diag rows stay 1" 1.0
+    a.Csr.diag.(0);
+  (* A x against the dense build of the same system *)
+  let x = [| 1.0; 2.0; 3.0 |] in
+  let y = Array.make 3 0.0 in
+  Csr.mul_vec a x y;
+  (* row 0: x0 - 1.0*x2 ; row 1: 0.5*x1 - 0.5*x0 - 0.2*x2 ; row 2: x2 *)
+  check_vec "mul_vec matches dense semantics"
+    [ 1.0 -. 3.0; (0.5 *. 2.0) -. (0.5 *. 1.0) -. (0.2 *. 3.0); 3.0 ]
+    y
+
+let check_invalid name expected_msg f =
+  match f () with
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) name expected_msg msg
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+(* Malformed graphs surface as typed Invalid_argument at the boundary,
+   not an index error inside a sweep (regression: arc endpoints used to
+   flow unvalidated into Matrix.set). *)
+let test_arc_validation () =
+  check_invalid "csr build rejects bad dst"
+    "Csr.of_markov_arcs: arc (0 -> 5) outside [0, 3)" (fun () ->
+      Csr.of_markov_arcs ~n:3 (iter_of_list [ (0, 5, 1.0) ]));
+  check_invalid "dense markov path rejects bad dst"
+    "Linsolve.markov_frequencies: arc (0 -> 5) outside [0, 3)" (fun () ->
+      Linsolve.markov_frequencies ~n:3 ~source:0 [ (0, 5, 1.0) ]);
+  check_invalid "markov path rejects negative src"
+    "Linsolve.markov_frequencies: arc (-1 -> 0) outside [0, 2)" (fun () ->
+      Linsolve.markov_frequencies ~n:2 ~source:0 [ (-1, 0, 1.0) ])
+
+(* Regression: an out-of-range source used to become b.(source) <- 1.0
+   and die as an untyped Index_out_of_bounds (or worse, silently write
+   into oversized scratch). *)
+let test_source_validation () =
+  check_invalid "source past n"
+    "Linsolve.markov_frequencies: source 3 outside [0, 3)" (fun () ->
+      Linsolve.markov_frequencies ~n:3 ~source:3 [ (0, 1, 1.0) ]);
+  check_invalid "negative source"
+    "Linsolve.markov_frequencies: source -1 outside [0, 3)" (fun () ->
+      Linsolve.markov_frequencies ~n:3 ~source:(-1) [ (0, 1, 1.0) ])
+
+(* A probability-0.9 self-loop chain: x0 = 1 + 0.9 x1, x1 = x0, so
+   x = (10, 10). Both iterative solvers must hit it to solver epsilon. *)
+let loop_system () =
+  let a = Csr.of_markov_arcs ~n:2 (iter_of_list [ (0, 1, 1.0); (1, 0, 0.9) ]) in
+  let b = [| 1.0; 0.0 |] in
+  (a, b)
+
+let test_gauss_seidel_converges () =
+  let a, b = loop_system () in
+  let x = Array.make 2 0.0 in
+  (match Iterative.gauss_seidel ~epsilon:1e-12 a b x with
+  | Iterative.Converged _ -> ()
+  | Iterative.Diverged -> Alcotest.fail "gauss_seidel diverged");
+  check_vec "loop frequencies" [ 10.0; 10.0 ] x;
+  Alcotest.(check bool) "residual at solver epsilon" true
+    (Iterative.residual a b x < 1e-9)
+
+let test_power_converges () =
+  let a, b = loop_system () in
+  let x = Array.make 2 0.0 in
+  (match Iterative.power ~epsilon:1e-12 a b x with
+  | Iterative.Converged _ -> ()
+  | Iterative.Diverged -> Alcotest.fail "power iteration diverged");
+  check_vec "loop frequencies" [ 10.0; 10.0 ] x
+
+(* Scratch buffers only grow: after a large solve, the small system must
+   neither read stale big-system state nor lose determinism. *)
+let test_scratch_reuse_across_sizes () =
+  let saved = !Linsolve.solver_mode in
+  Linsolve.solver_mode := Linsolve.Sparse;
+  Fun.protect
+    ~finally:(fun () -> Linsolve.solver_mode := saved)
+    (fun () ->
+      let big =
+        List.init 299 (fun i -> (i, i + 1, 0.9))
+        @ [ (299, 0, 0.5) ]
+      in
+      let small = [ (0, 1, 0.8); (0, 2, 0.2); (1, 0, 1.0); (2, 1, 0.45) ] in
+      let small_solve () =
+        Linsolve.markov_frequencies ~n:3 ~source:0 small
+      in
+      let fresh = small_solve () in
+      ignore (Linsolve.markov_frequencies ~n:300 ~source:0 big);
+      let reused = small_solve () in
+      Alcotest.(check bool)
+        "small solve bit-identical before/after a big solve" true
+        (fresh = reused);
+      Linsolve.solver_mode := Linsolve.Dense;
+      let dense = small_solve () in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "sparse tracks dense at %d" i)
+            v reused.(i))
+        dense)
+
 let suite =
   [ Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "csr layout" `Quick test_csr_layout;
+    Alcotest.test_case "arc validation" `Quick test_arc_validation;
+    Alcotest.test_case "source validation" `Quick test_source_validation;
+    Alcotest.test_case "gauss-seidel on a loop" `Quick
+      test_gauss_seidel_converges;
+    Alcotest.test_case "power iteration on a loop" `Quick
+      test_power_converges;
+    Alcotest.test_case "scratch reuse across sizes" `Quick
+      test_scratch_reuse_across_sizes;
     Alcotest.test_case "solve preserves inputs" `Quick
       test_solve_preserves_inputs;
     Alcotest.test_case "markov scale = prescaled arcs" `Quick

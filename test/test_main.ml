@@ -11,6 +11,7 @@ let () =
       ("interp", Test_interp.suite);
       ("compile", Test_compile.suite);
       ("linalg", Test_linalg.suite);
+      ("solver", Test_solver.suite);
       ("weight-matching", Test_weight_matching.suite);
       ("branch-predictor", Test_branch_predictor.suite);
       ("intra-estimators", Test_estimators.suite);

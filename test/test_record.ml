@@ -239,6 +239,56 @@ let test_drift_mutated_value () =
   Alcotest.(check bool) "render names the score" true
     (contains (Drift.render report) "fig4/q/smart/wm_intra@0.05")
 
+(* The solver epsilon band: solver-derived scores within the band are
+   matches (counted separately), non-solver scores never get the band,
+   and the default band of 0.0 keeps the gate bit-exact. *)
+let test_drift_solver_band () =
+  (* fig6_7 scores pass through the Markov solver; fig4/"smart" with a
+     non-markov estimator does not *)
+  let solver_score v = mk_score ~experiment:"fig6_7" ~estimator:"solved" v in
+  let plain_score v = mk_score v in
+  Alcotest.(check bool) "predicate: fig6_7 is solver-derived" true
+    (Drift.solver_derived (solver_score 1.0));
+  Alcotest.(check bool) "predicate: markov estimator is solver-derived" true
+    (Drift.solver_derived (mk_score ~estimator:"markov_wl" 1.0));
+  Alcotest.(check bool) "predicate: smart/fig4 is not" false
+    (Drift.solver_derived (plain_score 1.0));
+  Alcotest.(check bool) "within_band has an absolute floor at 1" true
+    (Drift.within_band ~band:1e-4 1e-9 2e-9);
+  Alcotest.(check bool) "within_band is relative above 1" true
+    (Drift.within_band ~band:1e-4 20000.0 20001.0);
+  Alcotest.(check bool) "outside the band" false
+    (Drift.within_band ~band:1e-4 1.0 1.001);
+  let baseline =
+    mk_record ~scores:[ solver_score 0.5; plain_score 0.5 ] ()
+  in
+  let nudged =
+    mk_record ~scores:[ solver_score 0.50002; plain_score 0.5 ] ()
+  in
+  (* default: exact compare — the nudge is drift *)
+  let exact_report = Drift.diff ~baseline ~current:nudged () in
+  Alcotest.(check bool) "band 0 keeps the gate bit-exact" true
+    (Drift.has_drift exact_report);
+  (* with the band: a match, counted as banded, and rendered as such *)
+  let banded_report =
+    Drift.diff ~solver_band:Drift.default_solver_band ~baseline
+      ~current:nudged ()
+  in
+  Alcotest.(check bool) "banded nudge is not drift" false
+    (Drift.has_drift banded_report);
+  Alcotest.(check int) "banded count" 1 banded_report.Drift.banded;
+  Alcotest.(check int) "both scores compared" 2 banded_report.Drift.compared;
+  Alcotest.(check bool) "render reports the split" true
+    (contains (Drift.render banded_report) "1 within the solver band");
+  (* the same nudge on a non-solver score stays drift even with a band *)
+  let plain_nudged =
+    mk_record ~scores:[ solver_score 0.5; plain_score 0.50002 ] ()
+  in
+  Alcotest.(check bool) "band never applies to non-solver scores" true
+    (Drift.has_drift
+       (Drift.diff ~solver_band:Drift.default_solver_band ~baseline
+          ~current:plain_nudged ()))
+
 let test_drift_degraded_not_regression () =
   let baseline =
     mk_record ~scores:[ mk_score 0.5; mk_score ~program:"q" 0.7 ] ()
@@ -341,6 +391,8 @@ let suite =
       test_drift_clean;
     Alcotest.test_case "drift: mutated record is flagged" `Quick
       test_drift_mutated_value;
+    Alcotest.test_case "drift: solver epsilon band" `Quick
+      test_drift_solver_band;
     Alcotest.test_case "drift: degraded program is not a regression" `Quick
       test_drift_degraded_not_regression;
     Alcotest.test_case "drift: missing and added scores" `Quick

@@ -1,0 +1,166 @@
+(* Sparse-vs-dense solver differential tests.
+
+   The sparse iterative path is allowed to differ from the dense
+   elimination by solver noise, bounded by the drift gate's epsilon band
+   ([Drift.default_solver_band]); everything the solver does not touch
+   must stay bit-identical. These tests pin that contract at three
+   levels: the full 16-program experiment matrix, a 100-program corpus
+   sample, and the raw solver chain on a divergent system (which must
+   fall back to the dense answer, negative entries and all). *)
+
+module Linsolve = Linalg.Linsolve
+module Drift = Driver.Drift
+module Score = Driver.Score
+module Pipeline = Core.Pipeline
+module Cfg = Cfg_ir.Cfg
+module MI = Core.Markov_intra
+module Genprog = Corpus.Genprog
+module Shape = Corpus.Shape
+
+(* Every test restores the process-wide solver mode: the rest of the
+   test binary assumes the default (dense). *)
+let with_mode (mode : Linsolve.mode) (f : unit -> 'a) : 'a =
+  let saved = !Linsolve.solver_mode in
+  Linsolve.solver_mode := mode;
+  Fun.protect ~finally:(fun () -> Linsolve.solver_mode := saved) f
+
+let rel_within band a b =
+  let d = Float.abs (a -. b) in
+  d <= band *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(* --- full experiment matrix ------------------------------------------- *)
+
+(* Run every experiment under both modes and hold each score pair to the
+   drift gate's own rule: solver-derived scores within the band,
+   everything else bit-identical. This is the same comparison `bin diff
+   --solver-band` applies to a sparse run record. *)
+let test_experiments_within_band () =
+  let scores_under mode =
+    with_mode mode (fun () ->
+        Score.reset ();
+        ignore (Driver.Experiments.run_all ());
+        let scores = Score.all () in
+        Score.reset ();
+        scores)
+  in
+  let dense = scores_under Linsolve.Dense in
+  let sparse = scores_under Linsolve.Sparse in
+  Alcotest.(check bool) "matrix is non-trivial" true (List.length dense > 100);
+  Alcotest.(check int) "same score set" (List.length dense)
+    (List.length sparse);
+  let solver_touched = ref 0 in
+  List.iter2
+    (fun (d : Score.t) (s : Score.t) ->
+      Alcotest.(check string) "same key order"
+        (Score.key_to_string (Score.key d))
+        (Score.key_to_string (Score.key s));
+      let label = Score.key_to_string (Score.key d) in
+      if Drift.solver_derived d then begin
+        if s.Score.s_value <> d.Score.s_value then incr solver_touched;
+        Alcotest.(check bool)
+          (label ^ " within solver band")
+          true
+          (Drift.within_band ~band:Drift.default_solver_band
+             d.Score.s_value s.Score.s_value)
+      end
+      else
+        Alcotest.(check bool)
+          (label ^ " bit-identical (solver-independent)")
+          true
+          (compare d.Score.s_value s.Score.s_value = 0))
+    dense sparse;
+  (* If no solver-derived score moved at all, the sparse path almost
+     certainly never ran and this test is vacuous. *)
+  Alcotest.(check bool) "sparse solver actually exercised" true
+    (!solver_touched > 0)
+
+(* --- corpus sample ---------------------------------------------------- *)
+
+(* 100 generated programs (4 classes x 25 seeds, small shapes): per
+   function, the sparse block frequencies must track the dense ones
+   within the band. Exercises loop nests, branchy CFGs, pointer tables
+   and recursion — shapes the 16-program suite undersamples. *)
+let test_corpus_sample_within_band () =
+  let checked = ref 0 in
+  List.iter
+    (fun cls ->
+      for index = 0 to 24 do
+        let name = Genprog.name cls index in
+        let src =
+          Genprog.generate ~seed:11 ~cls ~size:Shape.small ~index
+        in
+        let c = Pipeline.compile ~name src in
+        List.iter
+          (fun (fn : Cfg.fn) ->
+            let freqs_under mode =
+              with_mode mode (fun () -> MI.block_freqs c.Pipeline.tc fn)
+            in
+            let d = freqs_under Linsolve.Dense in
+            let s = freqs_under Linsolve.Sparse in
+            Alcotest.(check int)
+              (name ^ ": same block count")
+              (Array.length d) (Array.length s);
+            Array.iteri
+              (fun i dv ->
+                incr checked;
+                if not (rel_within Drift.default_solver_band dv s.(i)) then
+                  Alcotest.failf "%s block %d: dense %.17g vs sparse %.17g"
+                    name i dv s.(i))
+              d)
+          c.Pipeline.prog.Cfg.prog_fns
+      done)
+    Shape.all_classes;
+  Alcotest.(check bool) "compared a real population" true (!checked > 500)
+
+(* --- divergent system: the dense fallback ----------------------------- *)
+
+(* Arc probabilities > 1 make rho(I - A) > 1: both iterative solvers
+   blow up, and the sparse chain must hand back exactly the dense
+   elimination's answer — including its negative entries, which the
+   estimator-level validity checks key off. *)
+let divergent_arcs = [ (0, 1, 2.0); (1, 0, 2.0) ]
+
+let test_divergent_falls_back_to_dense () =
+  let solve mode =
+    with_mode mode (fun () ->
+        Linsolve.markov_frequencies ~n:2 ~source:0 divergent_arcs)
+  in
+  let d = solve Linsolve.Dense in
+  let s = solve Linsolve.Sparse in
+  Alcotest.(check bool) "sparse = dense bitwise (fallback ran)" true (d = s);
+  (* the genuine solution of (I-A)x=b here: x0 = -1/3, x1 = -2/3 *)
+  Alcotest.(check bool) "solution is the real (negative) one" true
+    (s.(0) < 0.0 && s.(1) < 0.0)
+
+(* Past [dense_fallback_limit] the n*n fallback would be an OOM, so a
+   divergent sparse solve must surface as [Singular] for the damping
+   chain instead of attempting the dense build. *)
+let test_divergent_over_limit_is_singular () =
+  let n = Linsolve.dense_fallback_limit + 1 in
+  with_mode Linsolve.Sparse (fun () ->
+      match Linsolve.markov_frequencies ~n ~source:0 divergent_arcs with
+      | exception Linsolve.Singular _ -> ()
+      | _ -> Alcotest.fail "expected Singular past the dense fallback limit")
+
+(* The estimator-level solve must stay *total* on the same system: the
+   damping retries shrink rho below 1, so a huge divergent system still
+   produces finite frequencies without ever building a dense matrix. *)
+let test_over_limit_damping_chain_recovers () =
+  let n = Linsolve.dense_fallback_limit + 1 in
+  with_mode Linsolve.Sparse (fun () ->
+      let x = MI.solve_blocks ~n ~entry:0 divergent_arcs in
+      Alcotest.(check int) "full solution" n (Array.length x);
+      Alcotest.(check bool) "finite frequencies" true
+        (Array.for_all Float.is_finite x))
+
+let suite =
+  [ Alcotest.test_case "experiment matrix sparse vs dense" `Slow
+      test_experiments_within_band;
+    Alcotest.test_case "corpus sample sparse vs dense" `Slow
+      test_corpus_sample_within_band;
+    Alcotest.test_case "divergent system falls back to dense" `Quick
+      test_divergent_falls_back_to_dense;
+    Alcotest.test_case "divergent past limit raises Singular" `Quick
+      test_divergent_over_limit_is_singular;
+    Alcotest.test_case "damping chain recovers past limit" `Quick
+      test_over_limit_damping_chain_recovers ]
