@@ -609,6 +609,146 @@ let run_solver_bench (json_path : string) =
   close_out oc;
   Printf.printf "  [solver scaling written to %s]\n\n" json_path
 
+(* ------------------------------------------------------------------ *)
+(* Incremental analysis: cold vs warm vs single-function-edit over the
+   suite plus a 200-program generated corpus, through the Driver.Incr
+   content-addressed store. The headline number is the cost of
+   re-analyzing *everything* after a one-function edit: every unchanged
+   function hits the store, so the warm edit pass should be orders of
+   magnitude cheaper than the cold pass. Scores are asserted
+   bit-identical between the cold, warm and reverted passes — the store
+   may only change timings. *)
+
+let run_incremental_bench (json_path : string) =
+  let corpus_per_class = 50 in
+  let corpus =
+    List.concat_map
+      (fun cls ->
+        List.init corpus_per_class (fun index ->
+            ( Printf.sprintf "%s_%03d" (Corpus.Shape.class_to_string cls)
+                index,
+              Corpus.Genprog.generate ~seed:1 ~cls ~size:Corpus.Shape.small
+                ~index )))
+      Corpus.Shape.all_classes
+  in
+  let suite =
+    List.map
+      (fun (p : Suite.Bench_prog.t) ->
+        (p.Suite.Bench_prog.name, p.Suite.Bench_prog.source))
+      Suite.Registry.all
+  in
+  let sources = suite @ corpus in
+  let n = List.length sources in
+  let analyze_all srcs =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Parallel.map
+        (fun (name, source) ->
+          let a = Driver.Incr.analyze ~name source in
+          ( name, a.Driver.Incr.an_scores, a.Driver.Incr.an_fn_hits,
+            a.Driver.Incr.an_fn_misses ))
+        srcs
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let hits = List.fold_left (fun acc (_, _, h, _) -> acc + h) 0 results in
+    let misses =
+      List.fold_left (fun acc (_, _, _, m) -> acc + m) 0 results
+    in
+    (dt, hits, misses, List.map (fun (nm, s, _, _) -> (nm, s)) results)
+  in
+  Printf.printf
+    "=== Incremental analysis (%d suite + %d corpus programs, all intra \
+     kinds + markov inter) ===\n\n"
+    (List.length suite) (List.length corpus);
+  Driver.Incr.clear ();
+  Driver.Incr.reset_stats ();
+  let t_cold, h_cold, m_cold, scores_cold = analyze_all sources in
+  let t_warm, h_warm, m_warm, scores_warm = analyze_all sources in
+  (* Edit exactly one function-worth of content in one program: append
+     a fresh probe function. Every pre-existing function's content hash
+     is unchanged, so only the probe misses. *)
+  let edited_name =
+    match corpus with (nm, _) :: _ -> nm | [] -> assert false
+  in
+  let probe = "\nint __incr_probe(int x) { return x + 1; }\n" in
+  let sources_edited =
+    List.map
+      (fun (nm, src) ->
+        if nm = edited_name then (nm, src ^ probe) else (nm, src))
+      sources
+  in
+  let t_edit, h_edit, m_edit, _ = analyze_all sources_edited in
+  let t_revert, h_revert, m_revert, scores_revert = analyze_all sources in
+  let warm_identical = compare scores_cold scores_warm = 0 in
+  let revert_identical = compare scores_cold scores_revert = 0 in
+  let st = Driver.Incr.stats () in
+  let row label t h m =
+    Printf.printf "  %-26s %8.3f s   fn hits %6d   fn misses %6d\n" label t
+      h m
+  in
+  row "cold (empty store)" t_cold h_cold m_cold;
+  row "warm (no edit)" t_warm h_warm m_warm;
+  row (Printf.sprintf "one fn edited (%s)" edited_name) t_edit h_edit m_edit;
+  row "reverted" t_revert h_revert m_revert;
+  Printf.printf "\n  cold/warm speedup            %8.1fx\n" (t_cold /. t_warm);
+  Printf.printf "  cold/single-edit speedup     %8.1fx\n" (t_cold /. t_edit);
+  Printf.printf "  scores: warm %s cold, reverted %s cold\n\n"
+    (if warm_identical then "==" else "!=")
+    (if revert_identical then "==" else "!=");
+  if not (warm_identical && revert_identical) then begin
+    prerr_endline
+      "bench: ERROR: incremental scores diverged from the cold pass";
+    exit 1
+  end;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": \"%s\",\n"
+       (json_escape "pldi94-estimators-incremental"));
+  add_env_block buf;
+  Buffer.add_string buf
+    (Printf.sprintf "  \"programs\": %d,\n  \"suite_programs\": %d,\n"
+       n (List.length suite));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"corpus_programs\": %d,\n  \"jobs\": %d,\n"
+       (List.length corpus) (Parallel.jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"edited_program\": \"%s\",\n"
+       (json_escape edited_name));
+  let phase label t h m last =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    { \"phase\": \"%s\", \"seconds\": %.6f, \"fn_hits\": %d, \
+          \"fn_misses\": %d }%s\n"
+         label t h m
+         (if last then "" else ","))
+  in
+  Buffer.add_string buf "  \"phases\": [\n";
+  phase "cold" t_cold h_cold m_cold false;
+  phase "warm" t_warm h_warm m_warm false;
+  phase "single_fn_edit" t_edit h_edit m_edit false;
+  phase "revert" t_revert h_revert m_revert true;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_cold_vs_warm\": %.2f,\n" (t_cold /. t_warm));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_cold_vs_single_edit\": %.2f,\n"
+       (t_cold /. t_edit));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scores_bit_identical\": %b,\n  \"store\": { \"entries\": %d, \
+        \"bytes\": %d, \"hits\": %d, \"misses\": %d, \"evictions\": %d }\n"
+       (warm_identical && revert_identical)
+       st.Driver.Incr.st_entries st.Driver.Incr.st_bytes
+       st.Driver.Incr.st_hits st.Driver.Incr.st_misses
+       st.Driver.Incr.st_evictions);
+  Buffer.add_string buf "}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Driver.Incr.clear ();
+  Printf.printf "  [incremental analysis written to %s]\n\n" json_path
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
@@ -668,6 +808,15 @@ let () =
     in
     find args
   in
+  let incremental_only = List.mem "--incremental" args in
+  let incremental_json =
+    let rec find = function
+      | "--incremental-json" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_incremental.json"
+    in
+    find args
+  in
   let solver_only = List.mem "--solver-only" args in
   let solver_json =
     let rec find = function
@@ -708,7 +857,8 @@ let () =
   Parallel.set_jobs jobs;
   warn_single_core ();
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
-      if solver_only then run_solver_bench solver_json
+      if incremental_only then run_incremental_bench incremental_json
+      else if solver_only then run_solver_bench solver_json
       else if corpus_only then run_corpus_sweep (max 2 jobs) corpus_json
       else if profile_only then run_profile_throughput (max 2 jobs) profile_json
       else begin

@@ -13,6 +13,7 @@
      record       run the full suite and write a typed run record (JSON)
      corpus       generate a seeded shaped corpus and score every estimator
      diff         compare a run record against the committed baseline
+     serve        warm estimator daemon (newline-delimited JSON protocol)
      suite        list the benchmark suite *)
 
 module Pipeline = Core.Pipeline
@@ -139,6 +140,23 @@ let solver_arg =
 
 let solver_mode_string () =
   Linalg.Linsolve.mode_to_string !Linalg.Linsolve.solver_mode
+
+(* Route every intra estimate through the content-addressed incremental
+   store (Driver.Incr). Scores are bit-identical with the flag on or
+   off — the store keys by function content, solver mode and config
+   fingerprint — which CI proves by diffing a --incr-cache record
+   against the committed baseline. *)
+let incr_arg =
+  let set enabled = if enabled then Driver.Incr.install () in
+  Term.(
+    const set
+    $ Arg.(
+        value & flag
+        & info [ "incr-cache" ]
+            ~doc:"Serve per-function intra estimates from the \
+                  content-addressed incremental store (the cache behind \
+                  $(b,serve)). Results are bit-identical either way; \
+                  repeated sweeps get cheaper."))
 
 let mode_arg =
   Arg.(value & opt (enum [ ("loop", Pipeline.Iloop); ("smart", Pipeline.Ismart);
@@ -419,7 +437,7 @@ let cmd_annotate =
 (* ---- experiment ---- *)
 
 let cmd_experiment =
-  let run jobs () () () trace metrics_out id =
+  let run jobs () () () () trace metrics_out id =
     Driver.Parallel.set_jobs jobs;
     Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
         match id with
@@ -442,12 +460,12 @@ let cmd_experiment =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures")
     Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg
-          $ trace_arg $ metrics_arg $ id)
+          $ incr_arg $ trace_arg $ metrics_arg $ id)
 
 (* ---- record: run the suite, persist the typed score records ---- *)
 
 let cmd_record =
-  let run jobs () () () out =
+  let run jobs () () () () out =
     Driver.Parallel.set_jobs jobs;
     Driver.Score.reset ();
     Driver.Trace.enable ();
@@ -483,7 +501,8 @@ let cmd_record =
     (Cmd.info "record"
        ~doc:"Run the full experiment suite and write a typed run record \
              (scores, environment, faults, timings) as JSON")
-    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg $ out)
+    Term.(const run $ jobs_arg $ backend_arg $ fault_arg $ solver_arg
+          $ incr_arg $ out)
 
 (* ---- corpus: seeded shaped-program generation + estimator sweep ---- *)
 
@@ -639,6 +658,32 @@ let cmd_diff =
     Term.(const run $ record_path $ baseline_path $ timing_factor
           $ solver_band $ html_out)
 
+(* ---- serve: the warm estimator daemon ---- *)
+
+let cmd_serve =
+  let run jobs () () budget_mb =
+    Driver.Parallel.set_jobs jobs;
+    Driver.Incr.set_budget (budget_mb * 1024 * 1024);
+    Driver.Serve.serve stdin stdout
+  in
+  let budget_mb =
+    Arg.(value & opt int 256 & info [ "budget-mb" ] ~docv:"MB"
+           ~doc:"Byte budget of the incremental store; least-recently-\
+                 used entries are evicted past it (evictions change \
+                 timings, never results).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the warm estimator server: newline-delimited JSON \
+             requests on stdin (analyze, scores, invalidate, stats, \
+             resize, shutdown; a blank line flushes a batch), one JSON \
+             response per line on stdout. Analyses are served \
+             incrementally from the per-function content-addressed \
+             store; adjacent analyze requests in a batch run in \
+             parallel; a failing request degrades its own response, \
+             never the daemon.")
+    Term.(const run $ jobs_arg $ backend_arg $ solver_arg $ budget_mb)
+
 (* ---- suite ---- *)
 
 let cmd_suite =
@@ -679,6 +724,6 @@ let main =
        ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
     [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;
       cmd_score; cmd_annotate; cmd_experiment; cmd_record; cmd_corpus;
-      cmd_diff; cmd_suite ]
+      cmd_diff; cmd_serve; cmd_suite ]
 
 let () = exit (Cmd.eval main)

@@ -61,3 +61,16 @@ let reset () =
 let with_settings (set : t -> unit) (f : unit -> 'a) : 'a =
   set current;
   Fun.protect ~finally:reset f
+
+(* A compact canonical rendering of [current], for use inside cache
+   keys (Driver.Incr): two runs with different live configurations must
+   never share a cached estimate. Field order is fixed; booleans print
+   as 0/1; floats with full round-trip precision. *)
+let fingerprint () : string =
+  let b v = if v then "1" else "0" in
+  Printf.sprintf "li=%h,bp=%h,sw=%s,hp=%s,he=%s,ho=%s,ha=%s,hs=%s,hr=%s"
+    current.loop_iterations current.branch_probability
+    (b current.switch_by_labels) (b current.heuristic_pointer)
+    (b current.heuristic_error_call) (b current.heuristic_opcode)
+    (b current.heuristic_multi_and) (b current.heuristic_store)
+    (b current.heuristic_return)

@@ -33,3 +33,7 @@ val reset : unit -> unit
 (** [with_settings set f] applies [set] to {!current}, runs [f], and
     restores the defaults afterwards — even if [f] raises. *)
 val with_settings : (t -> unit) -> (unit -> 'a) -> 'a
+
+(** A compact canonical rendering of {!current}, suitable for cache
+    keys: distinct configurations produce distinct fingerprints. *)
+val fingerprint : unit -> string

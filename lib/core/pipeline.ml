@@ -58,6 +58,11 @@ type compiled = {
   usage_lock : Mutex.t;
   usage_tbl : (string, Usage.t) Hashtbl.t;
       (* per-function [Usage.of_fun] memo shared by estimator sweeps *)
+  hash_lock : Mutex.t;
+  mutable unit_sig : string option;
+      (* memoized [Fnhash.unit_signature]; guarded by [hash_lock] *)
+  hash_tbl : (string, string) Hashtbl.t;
+      (* per-function [Fnhash.fn_hash] memo; guarded by [hash_lock] *)
 }
 
 let compile ?(defines = []) ~(name : string) (source : string) : compiled =
@@ -70,7 +75,9 @@ let compile ?(defines = []) ~(name : string) (source : string) : compiled =
       let prog = Obs.Probe.with_span "cfg" (fun () -> Build.build tc) in
       { name; source; tc; prog; graph = Callgraph.build prog;
         exe_lock = Mutex.create (); exe = None;
-        usage_lock = Mutex.create (); usage_tbl = Hashtbl.create 16 })
+        usage_lock = Mutex.create (); usage_tbl = Hashtbl.create 16;
+        hash_lock = Mutex.create (); unit_sig = None;
+        hash_tbl = Hashtbl.create 16 })
 
 (* The closure-compiled executable for [c], built on first use. *)
 let closure_exe (c : compiled) : Compile.prog =
@@ -101,6 +108,30 @@ let usage_of (c : compiled) (fn : Cfg.fn) : Usage.t =
         let u = Usage.of_fun c.tc fn.Cfg.fn_def in
         Hashtbl.replace c.usage_tbl fn.Cfg.fn_name u;
         u)
+
+(* Memoized per-function content hash (Cfront.Fnhash): the incremental
+   store (Driver.Incr) keys intra solutions by it. The [Usage] summary
+   is computed outside [hash_lock] so the two memo locks never nest. *)
+let fn_hash (c : compiled) (fn : Cfg.fn) : string =
+  let usage = usage_of c fn in
+  Mutex.lock c.hash_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.hash_lock)
+    (fun () ->
+      match Hashtbl.find_opt c.hash_tbl fn.Cfg.fn_name with
+      | Some h -> h
+      | None ->
+        let unit_sig =
+          match c.unit_sig with
+          | Some s -> s
+          | None ->
+            let s = Cfront.Fnhash.unit_signature c.tc in
+            c.unit_sig <- Some s;
+            s
+        in
+        let h = Cfront.Fnhash.fn_hash c.tc ~unit_sig usage fn.Cfg.fn_def in
+        Hashtbl.replace c.hash_tbl fn.Cfg.fn_name h;
+        h)
 
 (* One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
@@ -137,6 +168,52 @@ let intra_kind_to_string = function
   | Istructural -> "structural"
   | Icombined -> "markov-wl"
 
+let intra_kind_of_string = function
+  | "loop" -> Some Iloop
+  | "smart" -> Some Ismart
+  | "markov" -> Some Imarkov
+  | "structural" -> Some Istructural
+  | "markov-wl" -> Some Icombined
+  | _ -> None
+
+let all_intra_kinds = [ Iloop; Ismart; Imarkov; Istructural; Icombined ]
+
+(* The block-frequency estimate of one function — the unit of work the
+   incremental store caches. *)
+let intra_freqs_fn (c : compiled) (kind : intra_kind) (fn : Cfg.fn) :
+    float array =
+  (* The Markov kinds degrade to the loop estimate of the same
+     function when their solve chain exhausts — the weakest
+     estimator the paper still found useful, and one that cannot
+     fail. *)
+  let loop_fallback =
+    ("loop estimate",
+     fun () -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop)
+  in
+  match kind with
+  | Iloop -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop
+  | Ismart -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Smart
+  | Imarkov ->
+    Markov_intra.block_freqs ~usage:(usage_of c fn)
+      ~inject_key:c.name ~fallback:loop_fallback c.tc fn
+  | Istructural -> Structural_estimator.block_freqs_refined fn
+  | Icombined ->
+    Markov_intra.block_freqs_combined ~usage:(usage_of c fn)
+      ~inject_key:c.name ~fallback:loop_fallback c.tc fn
+
+(* Per-function caching hook. [Driver.Incr.install] replaces the
+   pass-through so every intra sweep in the process — suite runs,
+   experiments, the serve daemon — is served from the content-addressed
+   store. Core cannot depend on Driver, hence the injection point. The
+   hook must either return [compute ()] or a bit-identical previous
+   return of an equivalent computation; [Incr] keys entries by function
+   content hash, solver mode and the [Config] fingerprint to guarantee
+   that. *)
+let intra_cache_hook :
+    (compiled -> intra_kind -> Cfg.fn -> (unit -> float array) -> float array)
+    ref =
+  ref (fun _ _ _ compute -> compute ())
+
 let intra_table (c : compiled) (kind : intra_kind) :
     (string, float array) Hashtbl.t =
   Obs.Probe.with_span ("intra." ^ intra_kind_to_string kind) (fun () ->
@@ -144,25 +221,8 @@ let intra_table (c : compiled) (kind : intra_kind) :
   let table = Hashtbl.create 32 in
   List.iter
     (fun fn ->
-      (* The Markov kinds degrade to the loop estimate of the same
-         function when their solve chain exhausts — the weakest
-         estimator the paper still found useful, and one that cannot
-         fail. *)
-      let loop_fallback =
-        ("loop estimate",
-         fun () -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop)
-      in
       let freqs =
-        match kind with
-        | Iloop -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Loop
-        | Ismart -> Ast_estimator.block_freqs c.tc fn Ast_estimator.Smart
-        | Imarkov ->
-          Markov_intra.block_freqs ~usage:(usage_of c fn)
-            ~inject_key:c.name ~fallback:loop_fallback c.tc fn
-        | Istructural -> Structural_estimator.block_freqs_refined fn
-        | Icombined ->
-          Markov_intra.block_freqs_combined ~usage:(usage_of c fn)
-            ~inject_key:c.name ~fallback:loop_fallback c.tc fn
+        !intra_cache_hook c kind fn (fun () -> intra_freqs_fn c kind fn)
       in
       Hashtbl.replace table fn.Cfg.fn_name freqs)
     c.prog.Cfg.prog_fns;

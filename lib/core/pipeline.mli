@@ -51,6 +51,9 @@ type compiled = private {
   mutable exe : Compile.prog option;
   usage_lock : Mutex.t;
   usage_tbl : (string, Usage.t) Hashtbl.t;
+  hash_lock : Mutex.t;
+  mutable unit_sig : string option;
+  hash_tbl : (string, string) Hashtbl.t;
 }
 
 (** [compile ?defines ~name source] runs preprocess → parse → typecheck →
@@ -66,6 +69,14 @@ val closure_exe : compiled -> Compile.prog
 
 (** Memoized [Usage.of_fun] for estimator sweeps (thread-safe). *)
 val usage_of : compiled -> Cfg.fn -> Usage.t
+
+(** Memoized per-function content hash ({!Cfront.Fnhash}), thread-safe.
+    Covers the function's signature and body (whitespace/comment
+    invariant), the globals it mentions, its callees' prototypes and
+    the translation unit's struct/enum signature — everything an intra
+    estimate can depend on besides {!Config.current} and the solver
+    mode, which cache keys must add separately. *)
+val fn_hash : compiled -> Cfg.fn -> string
 
 (** One profiling run: command-line arguments and stdin contents. *)
 type run = { argv : string list; input : string }
@@ -102,6 +113,25 @@ type intra_kind =
   | Icombined    (** Markov chain with Wu-Larus probabilities *)
 
 val intra_kind_to_string : intra_kind -> string
+val intra_kind_of_string : string -> intra_kind option
+
+(** Every intra kind, in the fixed presentation order. *)
+val all_intra_kinds : intra_kind list
+
+(** The block-frequency estimate of a single function — the unit of
+    work the incremental store caches. {!intra_table} is one call per
+    defined function, routed through {!intra_cache_hook}. *)
+val intra_freqs_fn : compiled -> intra_kind -> Cfg.fn -> float array
+
+(** Per-function caching hook, a pass-through by default.
+    [Driver.Incr.install] replaces it so every intra sweep in the
+    process is served from the content-addressed store (Core cannot
+    depend on Driver, hence the injection point). A replacement must
+    return either [compute ()] or a bit-identical earlier return of an
+    equivalent computation. *)
+val intra_cache_hook :
+  (compiled -> intra_kind -> Cfg.fn -> (unit -> float array) -> float array)
+  ref
 
 (** Per-function block-frequency arrays for every defined function. *)
 val intra_table : compiled -> intra_kind -> (string, float array) Hashtbl.t

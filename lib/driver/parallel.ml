@@ -128,6 +128,16 @@ let set_jobs (n : int) : unit =
     shutdown ()
   end
 
+(* Size of the live pool, [None] when no pool has been spun up (or the
+   last one was retired). Purely observational — [serve stats] reports
+   it so a client can see whether a [resize] has taken effect yet
+   (pools are created lazily on the next fan-out). *)
+let pool_size () : int option =
+  Mutex.lock pool_lock;
+  let s = Option.map (fun p -> p.size) !current_pool in
+  Mutex.unlock pool_lock;
+  s
+
 let get_pool () : pool =
   Mutex.lock pool_lock;
   let p =

@@ -45,9 +45,17 @@ val jobs : unit -> int
 val set_jobs : int -> unit
 (** Set the parallelism level (clamped to >= 1). If a pool of a
     different size is running it is retired (its workers join) and the
-    next {!map} spawns a fresh one. Raises [Invalid_argument] when
-    called from inside a {!map} task: retiring the pool would join the
-    very domain making the call, deadlocking it. *)
+    next {!map} spawns a fresh one — so the level may be resized
+    between fan-outs at any point in a process's life (the serve
+    daemon does, between request batches). Raises [Invalid_argument]
+    when called from inside a {!map} task: retiring the pool would
+    join the very domain making the call, deadlocking it. *)
+
+val pool_size : unit -> int option
+(** Size of the live worker pool, or [None] when none is running
+    (before the first fan-out, or after {!shutdown}/a pending resize —
+    pools are created lazily by the next {!map}). Observational only;
+    [serve stats] reports it. *)
 
 val map_results :
   ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list

@@ -1,0 +1,333 @@
+(* The estimator server: a long-running daemon speaking newline-
+   delimited JSON over a channel pair (bin serve wires it to
+   stdin/stdout), answering from the warm incremental store.
+
+   Framing. One request per line; a *blank line* (or EOF) closes a
+   batch. All [analyze] requests that are adjacent within a batch fan
+   out together through [Parallel.map]; the control operations
+   ([scores], [invalidate], [stats], [resize], [shutdown]) are
+   sequential barriers between fan-outs. Responses are written one per
+   line, in request order, after the whole batch has been processed,
+   then flushed — so a client that writes N lines and a blank line
+   reads exactly N lines back.
+
+   Requests:   {"id": .., "op": "analyze", "name": s, "source": s,
+                "kinds": [s..]?, "runs": [{"argv": [s..], "input": s}..]?}
+               {"id": .., "op": "scores", "name": s}
+               {"id": .., "op": "invalidate", "name": s?}
+               {"id": .., "op": "stats"}
+               {"id": .., "op": "resize", "jobs": n}
+               {"id": .., "op": "shutdown"}
+   Responses:  {"id": .., "ok": true, ...}    (per-op payload below)
+             | {"id": .., "ok": false, "error": {"stage": s,
+                "subject": s, "detail": s, "exn": s, "recovery": s}}
+
+   The [id] is echoed verbatim (any JSON value; [null] when the
+   request had none or did not parse).
+
+   Fault isolation. Each request body runs under [Fault.capture] with
+   the PR-4 taxonomy: a bad source degrades exactly one response —
+   carrying the fault's stage/exn detail — and never the daemon. The
+   fault log is reset after every batch so a long-running daemon's
+   memory stays bounded; clients that care read [stats.faults] (the
+   count for the current batch's log) before it resets. A [shutdown]
+   answers [ok] and stops after its batch; requests queued *behind* it
+   in the same batch get an error response rather than silence. *)
+
+module Json = Obs.Json
+
+type request = { rq_id : Json.t; rq_op : string; rq_body : Json.t }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+let member_str (name : string) (j : Json.t) : string option =
+  Option.bind (Json.member name j) Json.to_str
+
+let parse_request (line : string) : (request, Json.t * string) result =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, "request is not valid JSON: " ^ msg)
+  | Ok j ->
+    let id = Option.value ~default:Json.Null (Json.member "id" j) in
+    (match member_str "op" j with
+    | None -> Error (id, "request has no \"op\" field")
+    | Some op -> Ok { rq_id = id; rq_op = op; rq_body = j })
+
+let parse_kinds (j : Json.t) :
+    (Core.Pipeline.intra_kind list option, string) result =
+  match Json.member "kinds" j with
+  | None -> Ok None
+  | Some ks ->
+    (match Json.to_list ks with
+    | None -> Error "\"kinds\" is not an array"
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | item :: rest ->
+          (match Option.bind (Json.to_str item) Core.Pipeline.intra_kind_of_string with
+          | Some k -> go (k :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf "unknown intra kind %s"
+                 (Json.to_compact_string item)))
+      in
+      go [] items)
+
+let parse_runs (j : Json.t) :
+    (Core.Pipeline.run list, string) result =
+  match Json.member "runs" j with
+  | None -> Ok []
+  | Some rs ->
+    (match Json.to_list rs with
+    | None -> Error "\"runs\" is not an array"
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+          let argv =
+            match Option.bind (Json.member "argv" item) Json.to_list with
+            | None -> Some []
+            | Some l ->
+              let strs = List.filter_map Json.to_str l in
+              if List.length strs = List.length l then Some strs else None
+          in
+          let input =
+            match Json.member "input" item with
+            | None -> Some ""
+            | Some v -> Json.to_str v
+          in
+          (match (argv, input) with
+          | Some argv, Some input ->
+            go ({ Core.Pipeline.argv; input } :: acc) rest
+          | _ -> Error "each run is {\"argv\": [str..], \"input\": str}")
+      in
+      go [] items)
+
+(* ------------------------------------------------------------------ *)
+(* Responses. *)
+
+let ok_response (id : Json.t) (fields : (string * Json.t) list) : Json.t =
+  Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields)
+
+let fault_error (id : Json.t) (f : Fault.t) : Json.t =
+  Json.Obj
+    [ ("id", id); ("ok", Json.Bool false);
+      ("error",
+       Json.Obj
+         [ ("stage", Json.Str (Fault.stage_to_string f.Fault.f_stage));
+           ("subject", Json.Str f.Fault.f_subject);
+           ("detail", Json.Str f.Fault.f_detail);
+           ("exn", Json.Str f.Fault.f_exn);
+           ("recovery", Json.Str f.Fault.f_recovery) ])
+    ]
+
+let plain_error (id : Json.t) (detail : string) : Json.t =
+  fault_error id
+    { Fault.f_stage = Fault.Experiment; f_subject = "serve";
+      f_detail = detail; f_exn = ""; f_backtrace = "";
+      f_recovery = "request rejected; daemon keeps serving" }
+
+(* ------------------------------------------------------------------ *)
+(* Per-request handlers. *)
+
+(* Last successful analysis per program name, so [scores] can answer
+   without re-running anything. Written only from the sequential merge
+   path of [handle_batch]; bounded by the number of distinct names. *)
+let last_scores : (string, Score.t list) Hashtbl.t = Hashtbl.create 64
+
+let scores_json (scores : Score.t list) : Json.t =
+  Json.Arr (List.map Run_record.score_to_json scores)
+
+let analysis_response (id : Json.t) (a : Incr.analysis) : Json.t =
+  ok_response id
+    [ ("name", Json.Str a.Incr.an_name);
+      ("program_hit", Json.Bool a.Incr.an_program_hit);
+      ("profile_hit",
+       match a.Incr.an_profile_hit with
+       | None -> Json.Null
+       | Some h -> Json.Bool h);
+      ("fn_hits", Json.Num (float_of_int a.Incr.an_fn_hits));
+      ("fn_misses", Json.Num (float_of_int a.Incr.an_fn_misses));
+      ("fn_hashes",
+       Json.Obj
+         (List.map (fun (fn, h) -> (fn, Json.Str h)) a.Incr.an_fn_hashes));
+      ("scores", scores_json a.Incr.an_scores) ]
+
+(* The parallel part of [analyze]: everything except the response-cache
+   write, which the merge path does sequentially. *)
+let run_analyze (rq : request) : (Incr.analysis, Json.t) result =
+  match member_str "name" rq.rq_body with
+  | None -> Error (plain_error rq.rq_id "analyze needs a \"name\" field")
+  | Some name ->
+    (match member_str "source" rq.rq_body with
+    | None -> Error (plain_error rq.rq_id "analyze needs a \"source\" field")
+    | Some source ->
+      (match parse_kinds rq.rq_body with
+      | Error msg -> Error (plain_error rq.rq_id msg)
+      | Ok kinds ->
+        (match parse_runs rq.rq_body with
+        | Error msg -> Error (plain_error rq.rq_id msg)
+        | Ok runs ->
+          (match
+             Fault.capture ~stage:Fault.Experiment ~subject:name
+               ~detail:"serve analyze"
+               ~recovery:"request answered with an error response"
+               (fun () -> Incr.analyze ?kinds ~runs ~name source)
+           with
+          | Ok a -> Ok a
+          | Error f -> Error (fault_error rq.rq_id f)))))
+
+let handle_control (stop : bool ref) (rq : request) : Json.t =
+  match rq.rq_op with
+  | "scores" ->
+    (match member_str "name" rq.rq_body with
+    | None -> plain_error rq.rq_id "scores needs a \"name\" field"
+    | Some name ->
+      (match Hashtbl.find_opt last_scores name with
+      | None ->
+        plain_error rq.rq_id
+          (Printf.sprintf "no analysis on record for %S" name)
+      | Some scores ->
+        ok_response rq.rq_id
+          [ ("name", Json.Str name); ("scores", scores_json scores) ]))
+  | "invalidate" ->
+    (match member_str "name" rq.rq_body with
+    | Some name ->
+      let dropped = Incr.invalidate ~name in
+      Hashtbl.remove last_scores name;
+      ok_response rq.rq_id
+        [ ("name", Json.Str name);
+          ("dropped", Json.Num (float_of_int dropped)) ]
+    | None ->
+      Incr.clear ();
+      Hashtbl.reset last_scores;
+      ok_response rq.rq_id [ ("cleared", Json.Bool true) ])
+  | "stats" ->
+    let st = Incr.stats () in
+    let num i = Json.Num (float_of_int i) in
+    ok_response rq.rq_id
+      [ ("entries", num st.Incr.st_entries);
+        ("bytes", num st.Incr.st_bytes);
+        ("budget", num st.Incr.st_budget);
+        ("hits", num st.Incr.st_hits);
+        ("misses", num st.Incr.st_misses);
+        ("evictions", num st.Incr.st_evictions);
+        ("bypasses", num st.Incr.st_bypasses);
+        ("jobs", num (Parallel.jobs ()));
+        ("pool_size",
+         match Parallel.pool_size () with
+         | None -> Json.Null
+         | Some s -> num s);
+        ("faults", num (Fault.count ()));
+        (* Re-read per request — a long-running daemon must report the
+           repository's rev as it is *now*, not at startup. *)
+        ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ]
+  | "resize" ->
+    (match Option.bind (Json.member "jobs" rq.rq_body) Json.to_num with
+    | None -> plain_error rq.rq_id "resize needs a numeric \"jobs\" field"
+    | Some n ->
+      Parallel.set_jobs (int_of_float n);
+      ok_response rq.rq_id [ ("jobs", Json.Num (float_of_int (Parallel.jobs ()))) ])
+  | "shutdown" ->
+    stop := true;
+    ok_response rq.rq_id [ ("stopping", Json.Bool true) ]
+  | op -> plain_error rq.rq_id (Printf.sprintf "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution. *)
+
+(* Split a batch into maximal runs of adjacent analyzes (parallel) and
+   single control requests (barriers), preserving order. *)
+type group =
+  | Analyzes of (int * request) list  (* original indices *)
+  | Control of int * request
+  | Malformed of int * Json.t  (* ready-made error response *)
+
+let group_requests (lines : string list) : group list =
+  let parsed =
+    List.mapi (fun i line -> (i, parse_request line)) lines
+  in
+  let flush_run acc run =
+    match run with [] -> acc | run -> Analyzes (List.rev run) :: acc
+  in
+  let rec go acc run = function
+    | [] -> List.rev (flush_run acc run)
+    | (i, Error (id, msg)) :: rest ->
+      go (Malformed (i, plain_error id msg) :: flush_run acc run) [] rest
+    | (i, Ok rq) :: rest when rq.rq_op = "analyze" ->
+      go acc ((i, rq) :: run) rest
+    | (i, Ok rq) :: rest ->
+      go (Control (i, rq) :: flush_run acc run) [] rest
+  in
+  go [] [] parsed
+
+let handle_batch (stop : bool ref) (lines : string list) : Json.t list =
+  let n = List.length lines in
+  let responses = Array.make n Json.Null in
+  List.iter
+    (fun group ->
+      match group with
+      | Malformed (i, resp) -> responses.(i) <- resp
+      | _ when !stop ->
+        let reject i (rq : request) =
+          responses.(i) <-
+            plain_error rq.rq_id "server is shutting down"
+        in
+        (match group with
+        | Analyzes rqs -> List.iter (fun (i, rq) -> reject i rq) rqs
+        | Control (i, rq) -> reject i rq
+        | Malformed _ -> ())
+      | Control (i, rq) -> responses.(i) <- handle_control stop rq
+      | Analyzes rqs ->
+        let outcomes =
+          Parallel.map (fun (_, rq) -> run_analyze rq) rqs
+        in
+        List.iter2
+          (fun (i, rq) outcome ->
+            match outcome with
+            | Ok a ->
+              ignore rq;
+              Hashtbl.replace last_scores a.Incr.an_name a.Incr.an_scores;
+              responses.(i) <- analysis_response rq.rq_id a
+            | Error resp -> responses.(i) <- resp)
+          rqs outcomes)
+    (group_requests lines);
+  Array.to_list responses
+
+(* ------------------------------------------------------------------ *)
+(* The daemon loop. *)
+
+let serve (ic : in_channel) (oc : out_channel) : unit =
+  Incr.install ();
+  Fun.protect
+    ~finally:(fun () -> Incr.uninstall ())
+    (fun () ->
+      let stop = ref false in
+      let read_batch () =
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file ->
+            if acc = [] then None else Some (List.rev acc)
+          | "" -> if acc = [] then go [] else Some (List.rev acc)
+          | line -> go (line :: acc)
+        in
+        go []
+      in
+      let rec loop () =
+        if not !stop then
+          match read_batch () with
+          | None -> ()
+          | Some lines ->
+            let responses = handle_batch stop lines in
+            List.iter
+              (fun r ->
+                output_string oc (Json.to_compact_string r);
+                output_char oc '\n')
+              responses;
+            flush oc;
+            (* Bound the daemon's memory: the fault log only ever holds
+               the current batch's faults. *)
+            Fault.reset ();
+            loop ()
+      in
+      loop ())

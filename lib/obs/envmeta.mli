@@ -6,7 +6,14 @@
 val git_rev : unit -> string
 (** The HEAD commit hash, read directly from the nearest enclosing
     [.git] (loose refs, packed-refs and worktree pointer files are all
-    handled; no subprocess). ["unknown"] outside a repository. *)
+    handled; no subprocess). ["unknown"] outside a repository.
+
+    Freshness contract: the files are re-read on {e every} call — there
+    is deliberately no per-process memo, so a long-running consumer
+    (the serve daemon's [stats], each [Driver.Run_record.collect])
+    reports the rev as of the call, not of process start. A rebase or
+    commit under a live daemon shows up on the next request.
+    Regression-tested in test/test_record.ml. *)
 
 val ocaml_version : string
 

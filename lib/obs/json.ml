@@ -91,6 +91,45 @@ let to_string (v : t) : string =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Single-line printer for newline-delimited protocols ([Driver.Serve]):
+   no indentation, no interior newlines, no trailing newline — the
+   framing layer owns the newline. *)
+let rec print_compact (buf : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v ->
+    if Float.is_finite v then Buffer.add_string buf (float_repr v)
+    else Buffer.add_string buf (Printf.sprintf "\"%s\"" (string_of_float v))
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        print_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        print_compact buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_compact_string (v : t) : string =
+  let buf = Buffer.create 1024 in
+  print_compact buf v;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parsing. *)
 

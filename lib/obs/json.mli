@@ -31,6 +31,12 @@ val to_string : t -> string
     Finite numbers round-trip bit-exactly through {!parse}; non-finite
     numbers are emitted as strings (nan, inf, -inf) — see {!to_num}. *)
 
+val to_compact_string : t -> string
+(** Single-line print: no indentation, no interior or trailing newline.
+    The encoding used by newline-delimited protocols ([Driver.Serve]),
+    where the framing layer owns the newline. Numbers print exactly as
+    in {!to_string}. *)
+
 val escape : string -> string
 (** The string-body escaper, shared with the hand-rolled writers. *)
 

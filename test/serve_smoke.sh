@@ -1,0 +1,69 @@
+#!/bin/sh
+# End-to-end smoke test for the serve daemon, runnable locally and in
+# CI: a scripted newline-delimited session (analyze -> warm re-analyze
+# -> one-function edit -> revert -> stats -> shutdown) piped through
+# `bin serve`, asserting the incremental store's contract from the
+# outside: the warm pass is a program cache hit that recomputes
+# nothing, the edit pass recomputes only the new function, and the
+# reverted pass returns scores bit-identical to the cold pass.
+set -eu
+
+BIN="${1:-./_build/default/bin/main.exe}"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+cat > "$dir/session" <<'EOF'
+{"id":1,"op":"analyze","name":"smoke","source":"int f(int x) { return x + 1; }\nint main() { return f(3); }\n"}
+
+{"id":2,"op":"analyze","name":"smoke","source":"int f(int x) { return x + 1; }\nint main() { return f(3); }\n"}
+
+{"id":3,"op":"analyze","name":"smoke","source":"int f(int x) { return x + 1; }\nint main() { return f(3); }\nint __probe(int x) { return x * 7; }\n"}
+
+{"id":4,"op":"analyze","name":"smoke","source":"int f(int x) { return x + 1; }\nint main() { return f(3); }\n"}
+
+{"id":5,"op":"stats"}
+
+{"id":6,"op":"shutdown"}
+EOF
+
+"$BIN" serve --jobs 2 < "$dir/session" > "$dir/out"
+
+line () { sed -n "${1}p" "$dir/out"; }
+field () { line "$1" | sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p"; }
+scores () { line "$1" | sed 's/.*"scores"://'; }
+
+fail () { echo "serve_smoke: FAIL: $1" >&2; exit 1; }
+
+[ "$(wc -l < "$dir/out")" -eq 6 ] || fail "expected 6 response lines"
+
+# 1: cold analyze — a real computation, no program hit.
+line 1 | grep -q '"ok":true'            || fail "cold analyze not ok"
+line 1 | grep -q '"program_hit":false'  || fail "cold analyze claims a hit"
+cold_misses="$(field 1 fn_misses)"
+[ "$cold_misses" -gt 0 ]                || fail "cold analyze recomputed nothing"
+
+# 2: warm re-analyze — program hit, zero recomputation, identical scores.
+line 2 | grep -q '"program_hit":true'   || fail "warm analyze missed the program cache"
+[ "$(field 2 fn_misses)" -eq 0 ]        || fail "warm analyze recomputed functions"
+[ "$(scores 1)" = "$(scores 2)" ]       || fail "warm scores differ from cold"
+
+# 3: one appended function — reparse, but only the new function solves.
+line 3 | grep -q '"program_hit":false'  || fail "edited source hit the program cache"
+edit_misses="$(field 3 fn_misses)"
+[ "$edit_misses" -gt 0 ]                || fail "edit pass recomputed nothing"
+[ "$edit_misses" -lt "$cold_misses" ]   || fail "edit pass recomputed more than the edit"
+[ "$(field 3 fn_hits)" -eq "$cold_misses" ] || fail "unchanged functions were not all served warm"
+
+# 4: revert — bit-identical to the cold pass, nothing recomputed.
+[ "$(field 4 fn_misses)" -eq 0 ]        || fail "reverted source recomputed functions"
+[ "$(scores 1)" = "$(scores 4)" ]       || fail "reverted scores differ from cold"
+
+# 5: stats — the store saw the hits, and the daemon stayed healthy.
+line 5 | grep -q '"ok":true'            || fail "stats not ok"
+[ "$(field 5 hits)" -gt 0 ]             || fail "stats reports no cache hits"
+[ "$(field 5 faults)" -eq 0 ]           || fail "stats reports faults"
+
+# 6: clean shutdown.
+line 6 | grep -q '"stopping":true'      || fail "shutdown not acknowledged"
+
+echo "serve_smoke: OK (cold misses=$cold_misses, edit misses=$edit_misses)"

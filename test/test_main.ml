@@ -25,6 +25,8 @@ let () =
       ("trace", Test_trace.suite);
       ("record", Test_record.suite);
       ("corpus", Test_corpus.suite);
+      ("incr", Test_incr.suite);
+      ("serve", Test_serve.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);
       ("suite-programs", Test_suite_programs.suite) ]

@@ -271,6 +271,35 @@ let test_resize_churn () =
         Alcotest.(check int) "all tasks completed" 32 n
       done)
 
+(* Regression (PR 8): jobs is not an all-or-nothing startup choice —
+   the pool can be resized at any point in a process's life (the serve
+   daemon does, between request batches), results stay identical, and
+   [pool_size] observes the live pool through the resize cycle:
+   retirement is eager (the old domains are joined inside [set_jobs]),
+   re-creation is lazy (on the next fan-out). *)
+let test_resize_between_batches () =
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs 1)
+    (fun () ->
+      let expect = List.init 64 (fun i -> i * i) in
+      Parallel.set_jobs 1;
+      Parallel.set_jobs 3;
+      Alcotest.(check (option int)) "resize retires the old pool eagerly"
+        None (Parallel.pool_size ());
+      Alcotest.(check (list int)) "first batch at 3 domains" expect
+        (Parallel.map (fun i -> i * i) (List.init 64 Fun.id));
+      Alcotest.(check (option int)) "the pool spun up lazily at 3"
+        (Some 3) (Parallel.pool_size ());
+      Parallel.set_jobs 2;
+      Alcotest.(check (list int)) "mid-life downsize, identical results"
+        expect
+        (Parallel.map (fun i -> i * i) (List.init 64 Fun.id));
+      Alcotest.(check (option int)) "the pool followed the resize"
+        (Some 2) (Parallel.pool_size ());
+      Parallel.set_jobs 2;
+      Alcotest.(check (option int)) "a same-size set_jobs keeps the pool"
+        (Some 2) (Parallel.pool_size ()))
+
 let suite =
   [ Alcotest.test_case "map preserves order" `Quick test_map_order;
     Alcotest.test_case "map re-raises a lone error" `Quick
@@ -281,6 +310,8 @@ let suite =
     Alcotest.test_case "nested maps" `Quick test_nested_map;
     Alcotest.test_case "run thunks" `Quick test_run_thunks;
     Alcotest.test_case "pool resize churn" `Quick test_resize_churn;
+    Alcotest.test_case "mid-life resize is observable and exact" `Quick
+      test_resize_between_batches;
     Alcotest.test_case "reentrant reconfiguration rejected" `Quick
       test_reentrant_reconfiguration_rejected;
     Alcotest.test_case "stress: 50 pool rounds on a small program" `Slow

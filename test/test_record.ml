@@ -374,6 +374,61 @@ let test_chaos_drift_jobs_invariant () =
 
 (* ---------------------------------------------------------------------- *)
 
+(* Regression (PR 8): [Obs.Envmeta.git_rev] has a freshness contract —
+   the ref files are re-read on every call, never memoized per process.
+   A long-running consumer (the serve daemon's [stats], every
+   [Run_record.collect]) must see a commit made under it on the next
+   call. Pinned with a synthetic repo: a detached HEAD swap and a
+   branch-ref swap both show up immediately. *)
+let test_git_rev_fresh_per_call () =
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let root = Filename.temp_file "gitrev" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  let git = Filename.concat root ".git" in
+  Sys.mkdir git 0o755;
+  let head = Filename.concat git "HEAD" in
+  let cwd = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir cwd;
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat git f) with _ -> ())
+        (try Sys.readdir git with _ -> [||]);
+      (try Sys.rmdir git with _ -> ());
+      try Sys.rmdir root with _ -> ())
+    (fun () ->
+      Sys.chdir root;
+      (* Detached HEAD: the file is the hash. *)
+      write head "1111111111111111111111111111111111111111\n";
+      Alcotest.(check string) "first read"
+        "1111111111111111111111111111111111111111"
+        (Obs.Envmeta.git_rev ());
+      write head "2222222222222222222222222222222222222222\n";
+      Alcotest.(check string) "a HEAD swap is visible on the next call"
+        "2222222222222222222222222222222222222222"
+        (Obs.Envmeta.git_rev ());
+      (* Symbolic HEAD: the loose ref file is what must be re-read. *)
+      write head "ref: refs/heads/main\n";
+      Sys.mkdir (Filename.concat git "refs") 0o755;
+      Sys.mkdir (Filename.concat git "refs/heads") 0o755;
+      let branch = Filename.concat git "refs/heads/main" in
+      write branch "3333333333333333333333333333333333333333\n";
+      Alcotest.(check string) "symbolic HEAD resolves through the ref"
+        "3333333333333333333333333333333333333333"
+        (Obs.Envmeta.git_rev ());
+      write branch "4444444444444444444444444444444444444444\n";
+      Alcotest.(check string) "a commit under a live process is visible"
+        "4444444444444444444444444444444444444444"
+        (Obs.Envmeta.git_rev ());
+      Sys.remove branch;
+      Sys.rmdir (Filename.concat git "refs/heads");
+      Sys.rmdir (Filename.concat git "refs"))
+
 let suite =
   [ QCheck_alcotest.to_alcotest
       ~rand:(Random.State.make [| 0x5c07e |])
@@ -399,5 +454,7 @@ let suite =
       test_drift_missing_and_added;
     Alcotest.test_case "drift: timing tolerance band" `Quick
       test_drift_timing_band;
+    Alcotest.test_case "git_rev is re-read on every call" `Quick
+      test_git_rev_fresh_per_call;
     Alcotest.test_case "drift report is jobs-invariant under chaos" `Slow
       (shielded test_chaos_drift_jobs_invariant) ]

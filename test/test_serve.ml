@@ -1,0 +1,280 @@
+(* Protocol-level tests for the serve daemon, driven end-to-end: a
+   scripted newline-delimited session goes in through a real channel
+   pair, [Driver.Serve.serve] runs it to EOF, and the response lines
+   are parsed back with the same [Obs.Json] reader the daemon uses.
+   What is pinned down:
+
+   - framing: one response line per request line, in request order,
+     across multiple blank-line-separated batches;
+   - the warm path: a repeated analyze reports a program cache hit,
+     zero function misses, and bit-identical scores;
+   - fault isolation: a program that fails to parse produces one error
+     response carrying the fault taxonomy, and its batch neighbours
+     are answered normally;
+   - malformed request lines are answered ([id] null) without killing
+     the session;
+   - the control verbs: scores, invalidate, stats, resize, shutdown —
+     including the rule that requests behind a shutdown in the same
+     batch are rejected. *)
+
+module Serve = Driver.Serve
+module Incr = Driver.Incr
+module Parallel = Driver.Parallel
+module Json = Obs.Json
+
+(* Run a scripted session: the request lines (already framed — include
+   "" elements for batch separators) go through a temp file pair. The
+   daemon always starts from an empty store and jobs = 1 so tests are
+   order-independent. *)
+let run_session (lines : string list) : Json.t list =
+  Incr.clear ();
+  Incr.reset_stats ();
+  Parallel.set_jobs 1;
+  let in_path = Filename.temp_file "serve_in" ".ndjson" in
+  let out_path = Filename.temp_file "serve_out" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_path;
+      Sys.remove out_path;
+      Incr.clear ())
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      let ic = open_in in_path in
+      let out = open_out out_path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          close_out_noerr out)
+        (fun () -> Serve.serve ic out);
+      let ic = open_in out_path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (Json.parse_exn line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      read [])
+
+let req fields = Json.to_compact_string (Json.Obj fields)
+
+let analyze ?(id = 0) name source =
+  req
+    [ ("id", Json.Num (float_of_int id)); ("op", Json.Str "analyze");
+      ("name", Json.Str name); ("source", Json.Str source) ]
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "response missing string field %S" name
+
+let num_field name j =
+  match Option.bind (Json.member name j) Json.to_num with
+  | Some n -> n
+  | None -> Alcotest.failf "response missing numeric field %S" name
+
+let bool_field name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "response missing bool field %S" name
+
+let ok_of j = bool_field "ok" j
+
+let id_of j = Option.value ~default:Json.Null (Json.member "id" j)
+
+let good_source = "int f(int x) { return x + 1; }\nint main() { return f(3); }\n"
+
+(* --- framing + the warm path ----------------------------------------- *)
+
+let test_warm_analyze () =
+  let responses =
+    run_session
+      [ analyze ~id:1 "p" good_source; "";
+        analyze ~id:2 "p" good_source; "";
+        req [ ("id", Json.Num 3.); ("op", Json.Str "shutdown") ] ]
+  in
+  match responses with
+  | [ cold; warm; bye ] ->
+    Alcotest.(check bool) "cold ok" true (ok_of cold);
+    Alcotest.(check bool) "warm ok" true (ok_of warm);
+    Alcotest.(check bool) "ids echoed in order" true
+      (id_of cold = Json.Num 1. && id_of warm = Json.Num 2.
+      && id_of bye = Json.Num 3.);
+    Alcotest.(check bool) "cold pass is not a program hit" false
+      (bool_field "program_hit" cold);
+    Alcotest.(check bool) "warm pass is a program hit" true
+      (bool_field "program_hit" warm);
+    Alcotest.(check bool) "cold pass computed something" true
+      (num_field "fn_misses" cold > 0.);
+    Alcotest.(check (float 0.)) "warm pass recomputed nothing" 0.
+      (num_field "fn_misses" warm);
+    Alcotest.(check bool) "warm scores bit-identical to cold" true
+      (Json.member "scores" cold = Json.member "scores" warm);
+    Alcotest.(check bool) "shutdown acknowledged" true
+      (bool_field "stopping" bye)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+(* --- fault isolation -------------------------------------------------- *)
+
+let test_error_isolation () =
+  let responses =
+    run_session
+      [ analyze ~id:1 "good" good_source;
+        analyze ~id:2 "bad" "int broken( { return 0; }";
+        analyze ~id:3 "also_good" good_source ]
+  in
+  match responses with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "healthy neighbour before" true (ok_of a);
+    Alcotest.(check bool) "broken program answered with an error" false
+      (ok_of b);
+    Alcotest.(check bool) "healthy neighbour after" true (ok_of c);
+    let err =
+      match Json.member "error" b with
+      | Some e -> e
+      | None -> Alcotest.fail "error response carries an error object"
+    in
+    Alcotest.(check string) "fault stage is the request boundary"
+      "experiment" (str_field "stage" err);
+    Alcotest.(check string) "fault subject is the program name" "bad"
+      (str_field "subject" err);
+    Alcotest.(check bool) "the parser's own exception is preserved" true
+      (let exn = str_field "exn" err in
+       String.length exn > 0)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+let test_malformed_lines () =
+  let responses =
+    run_session
+      [ "this is not json";
+        req [ ("op", Json.Str "frobnicate") ];
+        req [ ("id", Json.Num 9.); ("name", Json.Str "no_op_field") ];
+        analyze ~id:4 "p" good_source ]
+  in
+  match responses with
+  | [ a; b; c; d ] ->
+    Alcotest.(check bool) "unparseable line answered, id null" true
+      ((not (ok_of a)) && id_of a = Json.Null);
+    Alcotest.(check bool) "unknown op answered, id null" true
+      ((not (ok_of b)) && id_of b = Json.Null);
+    Alcotest.(check bool) "missing op answered with its id" true
+      ((not (ok_of c)) && id_of c = Json.Num 9.);
+    Alcotest.(check bool) "the session survives all three" true (ok_of d)
+  | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs)
+
+(* --- control verbs ---------------------------------------------------- *)
+
+let test_scores_invalidate_stats () =
+  let responses =
+    run_session
+      [ analyze ~id:1 "p" good_source; "";
+        req
+          [ ("id", Json.Num 2.); ("op", Json.Str "scores");
+            ("name", Json.Str "p") ];
+        req
+          [ ("id", Json.Num 3.); ("op", Json.Str "invalidate");
+            ("name", Json.Str "p") ];
+        req
+          [ ("id", Json.Num 4.); ("op", Json.Str "scores");
+            ("name", Json.Str "p") ];
+        req [ ("id", Json.Num 5.); ("op", Json.Str "stats") ]; "";
+        analyze ~id:6 "p" good_source ]
+  in
+  match responses with
+  | [ a; sc; inv; sc2; st; again ] ->
+    Alcotest.(check bool) "scores replays the analysis scores" true
+      (ok_of sc && Json.member "scores" sc = Json.member "scores" a);
+    Alcotest.(check bool) "invalidate reports dropped entries" true
+      (ok_of inv && num_field "dropped" inv > 0.);
+    Alcotest.(check bool) "scores after invalidate is an error" false
+      (ok_of sc2);
+    Alcotest.(check bool) "stats exposes the store counters" true
+      (ok_of st
+      && num_field "hits" st >= 0.
+      && num_field "misses" st > 0.
+      && num_field "budget" st > 0.
+      && num_field "jobs" st = 1.);
+    Alcotest.(check bool) "stats re-reads the git rev per call" true
+      (String.length (str_field "git_rev" st) > 0);
+    (* Invalidation is name-scoped: the compiled program is dropped but
+       the content-addressed fn entries survive, so the re-analysis
+       recomputes nothing. *)
+    Alcotest.(check bool) "re-analysis after invalidate reparses" false
+      (bool_field "program_hit" again);
+    Alcotest.(check (float 0.)) "but re-solves nothing" 0.
+      (num_field "fn_misses" again)
+  | rs -> Alcotest.failf "expected 6 responses, got %d" (List.length rs)
+
+let test_resize_and_parallel_batch () =
+  let responses =
+    run_session
+      [ req
+          [ ("id", Json.Num 1.); ("op", Json.Str "resize");
+            ("jobs", Json.Num 3.) ]; "";
+        (* Adjacent analyzes in one batch fan out through the pool. *)
+        analyze ~id:2 "a" good_source;
+        analyze ~id:3 "b" "int main() { return 42; }\n";
+        analyze ~id:4 "c" good_source; "";
+        req [ ("id", Json.Num 5.); ("op", Json.Str "stats") ]; "";
+        req
+          [ ("id", Json.Num 6.); ("op", Json.Str "resize");
+            ("jobs", Json.Num 1.) ] ]
+  in
+  match responses with
+  | [ r1; a; b; c; st; r2 ] ->
+    Alcotest.(check (float 0.)) "resize echoes the new size" 3.
+      (num_field "jobs" r1);
+    Alcotest.(check bool) "all three analyzes answered in order" true
+      (ok_of a && ok_of b && ok_of c
+      && id_of a = Json.Num 2.
+      && id_of b = Json.Num 3.
+      && id_of c = Json.Num 4.);
+    (* "a" and "c" have identical source under different names: the
+       second one to run gets every function from the store. *)
+    Alcotest.(check bool) "content sharing across names" true
+      (num_field "fn_misses" a = 0. || num_field "fn_misses" c = 0.);
+    Alcotest.(check (float 0.)) "stats sees the resized pool" 3.
+      (num_field "jobs" st);
+    Alcotest.(check (float 0.)) "resized back down" 1.
+      (num_field "jobs" r2)
+  | rs -> Alcotest.failf "expected 6 responses, got %d" (List.length rs)
+
+let test_shutdown_rejects_rest_of_batch () =
+  let responses =
+    run_session
+      [ analyze ~id:1 "p" good_source;
+        req [ ("id", Json.Num 2.); ("op", Json.Str "shutdown") ];
+        analyze ~id:3 "q" good_source; "";
+        (* A whole further batch behind the shutdown: never read. *)
+        analyze ~id:4 "r" good_source ]
+  in
+  match responses with
+  | [ a; bye; rejected ] ->
+    Alcotest.(check bool) "request ahead of shutdown served" true (ok_of a);
+    Alcotest.(check bool) "shutdown acknowledged" true
+      (bool_field "stopping" bye);
+    Alcotest.(check bool) "request behind shutdown rejected" false
+      (ok_of rejected);
+    Alcotest.(check bool) "rejected with its own id" true
+      (id_of rejected = Json.Num 3.)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+let suite =
+  [ Alcotest.test_case "warm analyze: program hit, identical scores"
+      `Quick test_warm_analyze;
+    Alcotest.test_case "a broken program only fails its own request"
+      `Quick test_error_isolation;
+    Alcotest.test_case "malformed request lines don't kill the session"
+      `Quick test_malformed_lines;
+    Alcotest.test_case "scores / invalidate / stats round-trip" `Quick
+      test_scores_invalidate_stats;
+    Alcotest.test_case "resize between batches + parallel fan-out" `Quick
+      test_resize_and_parallel_batch;
+    Alcotest.test_case "shutdown rejects the rest of the batch" `Quick
+      test_shutdown_rejects_rest_of_batch ]
