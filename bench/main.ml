@@ -682,6 +682,34 @@ let run_incremental_bench (json_path : string) =
   let warm_identical = compare scores_cold scores_warm = 0 in
   let revert_identical = compare scores_cold scores_revert = 0 in
   let st = Driver.Incr.stats () in
+  (* Restart-warm: populate a durable store from a cold pass, simulate
+     kill -9 (drop all in-memory state and the unflushed journal fd),
+     reopen the directory and re-analyze. Every intra solve should be
+     served from the restored entries; scores must stay bit-identical. *)
+  let store_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_incr_store_%d" (Unix.getpid ()))
+  in
+  Driver.Incr.clear ();
+  Driver.Incr.reset_stats ();
+  ignore (Driver.Incr.open_store store_dir);
+  let t_pcold, h_pcold, m_pcold, _ = analyze_all sources in
+  Driver.Incr.crash_store ();
+  let restore = Driver.Incr.open_store store_dir in
+  let t_restart, h_restart, m_restart, scores_restart =
+    analyze_all sources
+  in
+  Driver.Incr.close_store ();
+  let restart_identical = compare scores_cold scores_restart = 0 in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf store_dir with Sys_error _ | Unix.Unix_error _ -> ());
   let row label t h m =
     Printf.printf "  %-26s %8.3f s   fn hits %6d   fn misses %6d\n" label t
       h m
@@ -690,12 +718,19 @@ let run_incremental_bench (json_path : string) =
   row "warm (no edit)" t_warm h_warm m_warm;
   row (Printf.sprintf "one fn edited (%s)" edited_name) t_edit h_edit m_edit;
   row "reverted" t_revert h_revert m_revert;
+  row "cold + journal" t_pcold h_pcold m_pcold;
+  row
+    (Printf.sprintf "restart warm (%d restored)" restore.Driver.Incr.rs_restored)
+    t_restart h_restart m_restart;
   Printf.printf "\n  cold/warm speedup            %8.1fx\n" (t_cold /. t_warm);
   Printf.printf "  cold/single-edit speedup     %8.1fx\n" (t_cold /. t_edit);
-  Printf.printf "  scores: warm %s cold, reverted %s cold\n\n"
+  Printf.printf "  cold/restart-warm speedup    %8.1fx\n"
+    (t_cold /. t_restart);
+  Printf.printf "  scores: warm %s cold, reverted %s cold, restarted %s cold\n\n"
     (if warm_identical then "==" else "!=")
-    (if revert_identical then "==" else "!=");
-  if not (warm_identical && revert_identical) then begin
+    (if revert_identical then "==" else "!=")
+    (if restart_identical then "==" else "!=");
+  if not (warm_identical && revert_identical && restart_identical) then begin
     prerr_endline
       "bench: ERROR: incremental scores diverged from the cold pass";
     exit 1
@@ -727,7 +762,9 @@ let run_incremental_bench (json_path : string) =
   phase "cold" t_cold h_cold m_cold false;
   phase "warm" t_warm h_warm m_warm false;
   phase "single_fn_edit" t_edit h_edit m_edit false;
-  phase "revert" t_revert h_revert m_revert true;
+  phase "revert" t_revert h_revert m_revert false;
+  phase "cold_journaled" t_pcold h_pcold m_pcold false;
+  phase "restart_warm" t_restart h_restart m_restart true;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"speedup_cold_vs_warm\": %.2f,\n" (t_cold /. t_warm));
@@ -735,10 +772,16 @@ let run_incremental_bench (json_path : string) =
     (Printf.sprintf "  \"speedup_cold_vs_single_edit\": %.2f,\n"
        (t_cold /. t_edit));
   Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_cold_vs_restart_warm\": %.2f,\n"
+       (t_cold /. t_restart));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"restored_entries\": %d,\n"
+       restore.Driver.Incr.rs_restored);
+  Buffer.add_string buf
     (Printf.sprintf
        "  \"scores_bit_identical\": %b,\n  \"store\": { \"entries\": %d, \
         \"bytes\": %d, \"hits\": %d, \"misses\": %d, \"evictions\": %d }\n"
-       (warm_identical && revert_identical)
+       (warm_identical && revert_identical && restart_identical)
        st.Driver.Incr.st_entries st.Driver.Incr.st_bytes
        st.Driver.Incr.st_hits st.Driver.Incr.st_misses
        st.Driver.Incr.st_evictions);

@@ -661,10 +661,20 @@ let cmd_diff =
 (* ---- serve: the warm estimator daemon ---- *)
 
 let cmd_serve =
-  let run jobs () () budget_mb =
-    Driver.Parallel.set_jobs jobs;
-    Driver.Incr.set_budget (budget_mb * 1024 * 1024);
-    Driver.Serve.serve stdin stdout
+  let run jobs () () () budget_mb store socket workers deadline_ms
+      queue_limit connect =
+    match connect with
+    | Some path -> Driver.Serve.client ~socket:path
+    | None ->
+      Driver.Serve.run
+        { Driver.Serve.c_socket = socket;
+          c_store = store;
+          c_workers = workers;
+          c_deadline_s =
+            Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
+          c_queue_limit = queue_limit;
+          c_budget_bytes = budget_mb * 1024 * 1024;
+          c_jobs = jobs }
   in
   let budget_mb =
     Arg.(value & opt int 256 & info [ "budget-mb" ] ~docv:"MB"
@@ -672,17 +682,66 @@ let cmd_serve =
                  used entries are evicted past it (evictions change \
                  timings, never results).")
   in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Durable store directory: intra solutions are journaled \
+                 to disk as they are computed and snapshotted \
+                 atomically, so a restarted daemon (graceful or \
+                 $(b,kill -9)) starts warm. A torn or corrupt tail is \
+                 truncated on load, never fatal. With $(b,--workers), \
+                 each worker owns $(docv)/shard-N.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
+                 stdin/stdout; multiple clients multiplex over one warm \
+                 store. SIGTERM/SIGINT drain gracefully: finish the \
+                 in-flight batch, flush the journal, exit (3 if any \
+                 batch degraded).")
+  in
+  let workers =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Fork $(docv) supervised worker processes and shard \
+                 requests across them by program name. A dead worker is \
+                 restarted with exponential backoff and its in-flight \
+                 request replayed once; a second death answers a typed \
+                 worker-lost error. 0 (default) analyzes in-process.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request wall-clock deadline. An overrunning \
+                 analyze answers a typed deadline fault; with \
+                 $(b,--workers) a silent worker is additionally killed \
+                 and restarted past the deadline plus a one-second \
+                 grace.")
+  in
+  let queue_limit =
+    Arg.(value & opt int 256 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Admission bound on pending requests: a batch that \
+                 would push the queue past $(docv) is shed whole, every \
+                 request answered with an $(b,overloaded) error instead \
+                 of waiting.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Client mode: forward stdin's request batches to the \
+                 daemon listening on $(docv), print one response line \
+                 per request, exit. Replaces netcat in scripts.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the warm estimator server: newline-delimited JSON \
-             requests on stdin (analyze, scores, invalidate, stats, \
-             resize, shutdown; a blank line flushes a batch), one JSON \
-             response per line on stdout. Analyses are served \
+             requests on stdin or a Unix socket (analyze, scores, \
+             invalidate, stats, resize, shutdown; a blank line flushes \
+             a batch), one JSON response per line. Analyses are served \
              incrementally from the per-function content-addressed \
-             store; adjacent analyze requests in a batch run in \
-             parallel; a failing request degrades its own response, \
-             never the daemon.")
-    Term.(const run $ jobs_arg $ backend_arg $ solver_arg $ budget_mb)
+             store — durably under $(b,--store) — and adjacent analyze \
+             requests in a batch run in parallel, in-process or across \
+             a supervised $(b,--workers) pool; a failing request \
+             degrades its own response, never the daemon.")
+    Term.(const run $ jobs_arg $ backend_arg $ solver_arg $ fault_arg
+          $ budget_mb $ store $ socket $ workers $ deadline_ms
+          $ queue_limit $ connect)
 
 (* ---- suite ---- *)
 

@@ -19,6 +19,7 @@ type stage =
   | Estimate     (* building an estimator table *)
   | Experiment   (* rendering one table/figure *)
   | Worker       (* a Parallel pool task died outside any inner capture *)
+  | Persist      (* the durable store: journal append, snapshot, restore *)
 
 let stage_to_string = function
   | Compile -> "compile"
@@ -27,6 +28,7 @@ let stage_to_string = function
   | Estimate -> "estimate"
   | Experiment -> "experiment"
   | Worker -> "worker"
+  | Persist -> "persist"
 
 let stage_of_string = function
   | "compile" -> Some Compile
@@ -35,6 +37,7 @@ let stage_of_string = function
   | "estimate" -> Some Estimate
   | "experiment" -> Some Experiment
   | "worker" -> Some Worker
+  | "persist" -> Some Persist
   | _ -> None
 
 type t = {
@@ -75,7 +78,11 @@ let injection_points =
     "solve.intra";   (* Markov_intra: every linear solve reports singular *)
     "solve.inter";   (* Markov_inter: every global/damped solve fails *)
     "estimate";      (* Pipeline: building an estimator table *)
-    "worker" ]       (* Parallel: a pool task dies at its boundary *)
+    "worker";        (* Parallel: a pool task dies at its boundary *)
+    "persist.append";   (* Persist: one journal append fails *)
+    "persist.snapshot"; (* Persist: a snapshot write fails mid-flight *)
+    "serve.worker-kill" (* Supervise: a serve worker process dies (SIGKILL) *)
+  ]
 
 let register_points () = List.iter Obs.Inject.register injection_points
 let () = register_points ()

@@ -24,6 +24,7 @@ type stage =
   | Estimate     (** building an estimator table *)
   | Experiment   (** rendering one table/figure *)
   | Worker       (** a Parallel pool task died outside any inner capture *)
+  | Persist      (** the durable store: journal append, snapshot, restore *)
 
 val stage_to_string : stage -> string
 val stage_of_string : string -> stage option
@@ -53,7 +54,8 @@ val strict : unit -> bool
 val injection_points : string list
 (** Every named injection point, in pipeline order: ["compile"],
     ["profile"], ["profile.fuel"], ["solve.intra"], ["solve.inter"],
-    ["estimate"], ["worker"]. *)
+    ["estimate"], ["worker"], ["persist.append"], ["persist.snapshot"],
+    ["serve.worker-kill"]. *)
 
 val register_points : unit -> unit
 (** Idempotently register {!injection_points} with {!Obs.Inject}. *)

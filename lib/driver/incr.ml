@@ -56,6 +56,10 @@ type stats = {
   st_misses : int;
   st_evictions : int;
   st_bypasses : int;
+  st_restored : int;        (* entries loaded from disk at last open *)
+  st_journal_entries : int; (* entries appended since the last snapshot *)
+  st_snapshots : int;       (* snapshots taken by this process *)
+  st_persisted : bool;      (* a store directory is attached *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -72,10 +76,24 @@ let hits = ref 0
 let misses = ref 0
 let evictions = ref 0
 let bypasses = ref 0
+let restored = ref 0
+
+(* The attached durable store, when [open_store] was called. All access
+   happens under [lock]. *)
+let persist : Persist.t option ref = ref None
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* The ["incr.bytes"] gauge tracks [total_bytes] through *every*
+   mutation — insert, evict, invalidate, clear, budget resize and
+   restore-from-disk — so a probe reader always sees the store's
+   current footprint, not just its insert-path history. Call with
+   [lock] held, after [total_bytes] settles. *)
+let publish_bytes () =
+  Obs.Probe.set_gauge "incr.bytes" (float_of_int !total_bytes);
+  Obs.Probe.observe "incr.bytes" (float_of_int !total_bytes)
 
 (* Approximate heap footprint of a payload, in bytes. Intra arrays are
    exact up to headers; compiled programs and profiles are estimated
@@ -97,14 +115,6 @@ let payload_bytes = function
         + 512)
       256 ps
 
-let set_budget (n : int) : unit =
-  locked (fun () -> budget := max 0 n)
-
-let clear () : unit =
-  locked (fun () ->
-      Hashtbl.reset table;
-      total_bytes := 0)
-
 let reset_stats () : unit =
   locked (fun () ->
       hits := 0;
@@ -120,7 +130,15 @@ let stats () : stats =
         st_hits = !hits;
         st_misses = !misses;
         st_evictions = !evictions;
-        st_bypasses = !bypasses })
+        st_bypasses = !bypasses;
+        st_restored = !restored;
+        st_journal_entries =
+          (match !persist with
+          | Some p -> Persist.journal_entries p
+          | None -> 0);
+        st_snapshots =
+          (match !persist with Some p -> Persist.snapshots p | None -> 0);
+        st_persisted = !persist <> None })
 
 (* ------------------------------------------------------------------ *)
 (* Lookup / insert (callers hold no lock). *)
@@ -142,7 +160,7 @@ let find (key : string) : payload option =
 (* Evict least-recently-used entries (never [keep]) until the total is
    within budget. Linear scans per eviction: the store holds at most a
    few thousand entries and eviction is the rare path. *)
-let evict_to_budget ~(keep : string) : unit =
+let evict_to_budget ?(keep = "") () : unit =
   let rec go () =
     if !total_bytes > !budget && Hashtbl.length table > 1 then begin
       let victim = ref None in
@@ -165,6 +183,56 @@ let evict_to_budget ~(keep : string) : unit =
   in
   go ()
 
+let set_budget (n : int) : unit =
+  locked (fun () ->
+      budget := max 0 n;
+      (* A shrink takes effect immediately, not at the next insert. *)
+      evict_to_budget ();
+      publish_bytes ())
+
+let clear () : unit =
+  locked (fun () ->
+      Hashtbl.reset table;
+      total_bytes := 0;
+      publish_bytes ())
+
+(* Journal an [Intra] insert to the attached store and snapshot when
+   the journal has grown past its threshold. A persistence failure
+   (chaos injection, disk trouble) is absorbed as a [Persist]-stage
+   fault: the entry stays served from memory, it just is not durable —
+   the daemon never dies for the disk. Called with [lock] held. *)
+let persist_insert (key : string) (payload : payload) : unit =
+  match (!persist, payload) with
+  | Some p, Intra values ->
+    (match
+       Fault.capture ~stage:Fault.Persist ~subject:key
+         ~detail:"journal append"
+         ~recovery:"entry kept in memory only; recomputed after restart"
+         (fun () -> Persist.append p ~key values)
+     with
+    | Ok () -> ()
+    | Error _ -> ());
+    if Persist.needs_snapshot p then begin
+      let entries =
+        Hashtbl.fold
+          (fun k (e : entry) acc ->
+            match e.payload with
+            | Intra a -> (k, a) :: acc
+            | Prog _ | Profiles _ -> acc)
+          table []
+      in
+      match
+        Fault.capture ~stage:Fault.Persist ~subject:"snapshot"
+          ~detail:
+            (Printf.sprintf "%d entries" (List.length entries))
+          ~recovery:"journal kept; snapshot retried past the next threshold"
+          (fun () -> Persist.snapshot p entries)
+      with
+      | Ok () -> Obs.Probe.count "incr.snapshot"
+      | Error _ -> ()
+    end
+  | _ -> ()
+
 let add (key : string) (payload : payload) : unit =
   locked (fun () ->
       (match Hashtbl.find_opt table key with
@@ -174,8 +242,9 @@ let add (key : string) (payload : payload) : unit =
       incr clock;
       Hashtbl.replace table key { payload; bytes; tick = !clock };
       total_bytes := !total_bytes + bytes;
-      Obs.Probe.observe "incr.bytes" (float_of_int !total_bytes);
-      evict_to_budget ~keep:key)
+      persist_insert key payload;
+      evict_to_budget ~keep:key ();
+      publish_bytes ())
 
 (* ------------------------------------------------------------------ *)
 (* Keys. *)
@@ -247,6 +316,83 @@ let uninstall () : unit =
   Pipeline.intra_cache_hook := fun _ _ _ compute -> compute ()
 
 (* ------------------------------------------------------------------ *)
+(* Durable store attachment. [open_store dir] restores every valid
+   entry from the directory's snapshot + journal into the table (a
+   corrupt or torn tail is truncated, never fatal — the daemon starts
+   with whatever prefix survived) and journals every [Intra] insert
+   from then on. Restored entries are *not* re-journaled: they are
+   already on disk. *)
+
+type restore = {
+  rs_restored : int;   (* entries loaded into the table *)
+  rs_truncated : bool; (* a corrupt/torn tail was cut off on load *)
+}
+
+let open_store ?snapshot_threshold (dir : string) : restore =
+  let p, entries, truncated =
+    Persist.open_store ?snapshot_threshold dir
+  in
+  locked (fun () ->
+      (match !persist with Some old -> Persist.close old | None -> ());
+      persist := Some p;
+      List.iter
+        (fun (key, values) ->
+          let payload = Intra values in
+          (match Hashtbl.find_opt table key with
+          | Some old -> total_bytes := !total_bytes - old.bytes
+          | None -> ());
+          let bytes = payload_bytes payload in
+          incr clock;
+          Hashtbl.replace table key { payload; bytes; tick = !clock };
+          total_bytes := !total_bytes + bytes)
+        entries;
+      restored := List.length entries;
+      evict_to_budget ();
+      publish_bytes ();
+      Obs.Probe.observe "incr.restored" (float_of_int !restored);
+      { rs_restored = !restored; rs_truncated = truncated })
+
+(* Flush the durable state (final snapshot compacts the journal) and
+   detach. The graceful-drain path runs this; after it, a restart
+   loads everything from the snapshot alone. *)
+let close_store () : unit =
+  locked (fun () ->
+      match !persist with
+      | None -> ()
+      | Some p ->
+        let entries =
+          Hashtbl.fold
+            (fun k (e : entry) acc ->
+              match e.payload with
+              | Intra a -> (k, a) :: acc
+              | Prog _ | Profiles _ -> acc)
+            table []
+        in
+        (match
+           Fault.capture ~stage:Fault.Persist ~subject:"snapshot"
+             ~detail:"final snapshot on close"
+             ~recovery:"journal remains authoritative for the next open"
+             (fun () -> Persist.snapshot p entries)
+         with
+        | Ok () -> ()
+        | Error _ -> ());
+        Persist.close p;
+        persist := None)
+
+(* Simulated [kill -9]: drop every in-memory structure and the journal
+   fd without flushing or snapshotting — exactly the state a new
+   process starts from after a crash. The bench's restart-warm phase
+   and the crash-recovery tests reopen the directory afterwards. *)
+let crash_store () : unit =
+  locked (fun () ->
+      (match !persist with Some p -> Persist.close p | None -> ());
+      persist := None;
+      Hashtbl.reset table;
+      total_bytes := 0;
+      restored := 0;
+      publish_bytes ())
+
+(* ------------------------------------------------------------------ *)
 (* Name index: program-granularity keys inserted under each program
    name, so [invalidate] can drop them. Function-granularity entries
    are content-shared across programs and self-invalidating (an edit
@@ -268,15 +414,19 @@ let invalidate ~(name : string) : int =
   Hashtbl.remove names name;
   Mutex.unlock names_lock;
   locked (fun () ->
-      List.fold_left
-        (fun dropped k ->
-          match Hashtbl.find_opt table k with
-          | Some e ->
-            Hashtbl.remove table k;
-            total_bytes := !total_bytes - e.bytes;
-            dropped + 1
-          | None -> dropped)
-        0 ks)
+      let dropped =
+        List.fold_left
+          (fun dropped k ->
+            match Hashtbl.find_opt table k with
+            | Some e ->
+              Hashtbl.remove table k;
+              total_bytes := !total_bytes - e.bytes;
+              dropped + 1
+            | None -> dropped)
+          0 ks
+      in
+      publish_bytes ();
+      dropped)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental analysis of one source. *)
@@ -296,6 +446,20 @@ type analysis = {
 
 let profile_deadline_s = 300.0
 
+(* Cooperative wall-clock deadline for one [analyze] call: checked
+   between per-function solves and threaded into the interpreter's
+   budget machinery for the profiling leg (the only open-ended stage).
+   The serve layer maps the raise to a typed fault response; in
+   supervised mode the parent additionally enforces a hard deadline by
+   killing the worker process. *)
+exception Deadline_exceeded of float
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded s ->
+      Some (Printf.sprintf "Driver.Incr.Deadline_exceeded(%gs)" s)
+    | _ -> None)
+
 (* Modelled per-invocation cost of [fn] under intra estimate [freqs]. *)
 let invocation_cost (fn : Cfg.fn) (freqs : float array) : float =
   let costs = Pipeline.block_costs fn in
@@ -314,8 +478,22 @@ let score ~name ~estimator ~metric ~value : Score.t =
    on invalid source (callers isolate; the serve daemon maps the raise
    to an error response). *)
 let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
-    ?(runs : Pipeline.run list = []) ~(name : string) (source : string) :
-    analysis =
+    ?(runs : Pipeline.run list = []) ?(deadline_s : float option)
+    ~(name : string) (source : string) : analysis =
+  let started = Unix.gettimeofday () in
+  let check_deadline () =
+    match deadline_s with
+    | Some d when Unix.gettimeofday () -. started > d ->
+      raise (Deadline_exceeded d)
+    | _ -> ()
+  in
+  let remaining_profile_deadline () =
+    match deadline_s with
+    | None -> profile_deadline_s
+    | Some d ->
+      Float.min profile_deadline_s
+        (Float.max 0.001 (d -. (Unix.gettimeofday () -. started)))
+  in
   let pkey = prog_key ~name source in
   let c, program_hit =
     match find pkey with
@@ -336,6 +514,7 @@ let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
   let intra_of kind =
     List.map
       (fun fn ->
+        check_deadline ();
         let freqs, hit =
           cached_intra (intra_key c kind fn) (fun () ->
               Pipeline.intra_freqs_fn c kind fn)
@@ -347,6 +526,7 @@ let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
   let tables = List.map (fun k -> (k, intra_of k)) kinds_to_run in
   let an_intra = List.filter (fun (k, _) -> List.mem k kinds) tables in
   let smart = List.assoc Pipeline.Ismart tables in
+  check_deadline ();
   let inter =
     (Core.Markov_inter.estimate ~inject_key:name c.Pipeline.graph
        ~intra:(fun fname -> List.assoc fname smart))
@@ -356,12 +536,14 @@ let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
     match runs with
     | [] -> (None, None)
     | runs ->
+      check_deadline ();
       let key = profile_key ~name source runs in
       (match find key with
       | Some (Profiles ps) -> (Some ps, Some true)
       | Some _ | None ->
         let ps =
-          Pipeline.profile_runs ~deadline_s:profile_deadline_s c runs
+          Pipeline.profile_runs ~deadline_s:(remaining_profile_deadline ())
+            c runs
         in
         add key (Profiles ps);
         index_key ~name key;

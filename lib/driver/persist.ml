@@ -1,0 +1,314 @@
+(* Crash-safe persistence for the incremental store: an append-only
+   journal plus periodic atomic snapshots, both in one store directory.
+
+   The contract is the one a long-lived estimator daemon needs: a
+   process killed at *any* instruction — mid-append, mid-snapshot,
+   mid-rename — must restart into a store that is a prefix of what it
+   had, never a corrupt one. Three mechanisms carry that:
+
+   - every entry is length-prefixed and carries an MD5 of its body;
+     loading stops at the first entry whose length or digest does not
+     check out and truncates the file there, so a torn tail write
+     costs exactly the torn entries, nothing before them;
+   - snapshots are written to a temp file in the same directory,
+     fsynced, then renamed over the live snapshot — readers only ever
+     see the old complete snapshot or the new complete one;
+   - both files open with a magic + format-version header, so a format
+     bump self-invalidates old stores (the loader starts cold instead
+     of misreading bytes).
+
+   What is persisted: only [Intra] payloads — plain float arrays keyed
+   by content hashes that already fold in the config fingerprint and
+   solver mode (Driver.Incr), so a restored entry can never be stale
+   relative to the knobs of the process reading it. Compiled programs
+   and profiles hold closures and interpreter state; they are cheap to
+   rebuild relative to the Markov solves and are deliberately not
+   written to disk.
+
+   Concurrency: callers (Driver.Incr) serialize all calls under their
+   own store mutex; this module keeps no lock of its own. Each journal
+   append is a single [Unix.write] of a fully built buffer, which
+   minimizes the torn-write window without needing fsync per entry
+   (fsync guards against OS crashes; the threat model here is process
+   death, where OS-buffered writes survive).
+
+   Fault injection: the ["persist.append"] and ["persist.snapshot"]
+   points fire here so chaos runs exercise persistence failures;
+   callers absorb them as [Persist]-stage faults — a failed append
+   loses one entry's durability, never the daemon. *)
+
+let magic = "ESTSTORE"
+let version = 1
+
+let journal_name = "journal.bin"
+let snapshot_name = "snapshot.bin"
+
+let default_snapshot_threshold = 4 * 1024 * 1024
+
+type t = {
+  dir : string;
+  snapshot_threshold : int;
+  mutable jfd : Unix.file_descr option;
+  mutable journal_bytes : int;   (* payload bytes past the header *)
+  mutable journal_entries : int;
+  mutable snapshots : int;       (* snapshots taken by this handle *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Little-endian primitive writers into a Buffer. *)
+
+let add_u32 buf (n : int) =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let add_f64 buf (v : float) =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let get_u32 (s : string) (off : int) : int =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let get_f64 (s : string) (off : int) : float =
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[off + i]))
+  done;
+  Int64.float_of_bits !bits
+
+(* ------------------------------------------------------------------ *)
+(* Entry encoding: [u32 body_len][body][16-byte MD5(body)], where
+   body = [u32 key_len][key]['I'][u32 n][n × f64]. The tag byte leaves
+   room for future payload kinds without a version bump. *)
+
+let digest_len = 16
+
+let encode_entry ~(key : string) (values : float array) : string =
+  let body = Buffer.create (String.length key + (8 * Array.length values) + 16) in
+  add_u32 body (String.length key);
+  Buffer.add_string body key;
+  Buffer.add_char body 'I';
+  add_u32 body (Array.length values);
+  Array.iter (fun v -> add_f64 body v) values;
+  let body = Buffer.contents body in
+  let out = Buffer.create (String.length body + 4 + digest_len) in
+  add_u32 out (String.length body);
+  Buffer.add_string out body;
+  Buffer.add_string out (Digest.string body);
+  Buffer.contents out
+
+(* Decode the entry starting at [off]; [None] on any inconsistency
+   (short length, digest mismatch, bad tag, truncated body). *)
+let decode_entry (s : string) (off : int) :
+    ((string * float array) * int) option =
+  let len = String.length s in
+  if off + 4 > len then None
+  else
+    let body_len = get_u32 s off in
+    if body_len < 9 || off + 4 + body_len + digest_len > len then None
+    else
+      let body = String.sub s (off + 4) body_len in
+      let digest = String.sub s (off + 4 + body_len) digest_len in
+      if Digest.string body <> digest then None
+      else
+        let key_len = get_u32 body 0 in
+        if key_len < 0 || 4 + key_len + 5 > body_len then None
+        else
+          let key = String.sub body 4 key_len in
+          if body.[4 + key_len] <> 'I' then None
+          else
+            let n = get_u32 body (5 + key_len) in
+            if 9 + key_len + (8 * n) <> body_len then None
+            else
+              let values =
+                Array.init n (fun i -> get_f64 body (9 + key_len + (8 * i)))
+              in
+              Some ((key, values), off + 4 + body_len + digest_len)
+
+let header : string =
+  let buf = Buffer.create 12 in
+  Buffer.add_string buf magic;
+  add_u32 buf version;
+  Buffer.contents buf
+
+let header_len = String.length header
+
+(* ------------------------------------------------------------------ *)
+(* Reading a store file: entries up to the first corrupt/torn one. The
+   file is truncated at the corruption point so the next writer appends
+   after valid bytes only. Returns [] (and truncates to nothing) on a
+   bad or missing header — a format bump reads as corruption at byte 0
+   and self-invalidates the whole file. *)
+
+type load = {
+  l_entries : (string * float array) list;
+  l_valid_bytes : int;      (* file size after truncation *)
+  l_truncated : bool;       (* a torn/corrupt tail was cut off *)
+}
+
+let read_whole_file (path : string) : string option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let truncate_file (path : string) (size : int) : unit =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd size)
+
+let load_file (path : string) : load =
+  match read_whole_file path with
+  | None -> { l_entries = []; l_valid_bytes = 0; l_truncated = false }
+  | Some s ->
+    let len = String.length s in
+    if len < header_len || String.sub s 0 header_len <> header then begin
+      (* unknown format or torn header: the whole file is invalid *)
+      if len > 0 then truncate_file path 0;
+      { l_entries = []; l_valid_bytes = 0; l_truncated = len > 0 }
+    end
+    else begin
+      let rec go acc off =
+        if off >= len then (List.rev acc, off)
+        else
+          match decode_entry s off with
+          | Some (entry, next) -> go (entry :: acc) next
+          | None -> (List.rev acc, off)
+      in
+      let entries, valid = go [] header_len in
+      if valid < len then truncate_file path valid;
+      { l_entries = entries; l_valid_bytes = valid; l_truncated = valid < len }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The store handle. *)
+
+let journal_path t = Filename.concat t.dir journal_name
+let snapshot_path t = Filename.concat t.dir snapshot_name
+
+let dir t = t.dir
+let journal_bytes t = t.journal_bytes
+let journal_entries t = t.journal_entries
+let snapshots t = t.snapshots
+
+let needs_snapshot t = t.journal_bytes >= t.snapshot_threshold
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* Open (creating if absent) the journal for appending; writes the
+   header on an empty file. *)
+let open_journal t =
+  let fd =
+    Unix.openfile (journal_path t)
+      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+      0o644
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size = 0 then write_all fd header;
+  t.jfd <- Some fd
+
+(* Best-effort directory fsync so a rename survives an OS crash too;
+   ignored where directories cannot be opened for reading. *)
+let fsync_dir (dir : string) : unit =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+(* [open_store dir] loads snapshot then journal (journal wins on a
+   shared key — same content anyway for content-addressed keys), each
+   truncated at its first invalid entry, and leaves the journal open
+   for appends. *)
+let open_store ?(snapshot_threshold = default_snapshot_threshold)
+    (dir : string) : t * (string * float array) list * bool =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let t =
+    { dir; snapshot_threshold; jfd = None; journal_bytes = 0;
+      journal_entries = 0; snapshots = 0 }
+  in
+  (* A crash between writing snapshot.tmp and renaming it leaves the
+     tmp file behind; it is unreferenced garbage — remove it. *)
+  let tmp = snapshot_path t ^ ".tmp" in
+  if Sys.file_exists tmp then (try Sys.remove tmp with Sys_error _ -> ());
+  let snap = load_file (snapshot_path t) in
+  let jour = load_file (journal_path t) in
+  let merged : (string, float array) Hashtbl.t = Hashtbl.create 256 in
+  let order : string list ref = ref [] in
+  List.iter
+    (fun (k, v) ->
+      if not (Hashtbl.mem merged k) then order := k :: !order;
+      Hashtbl.replace merged k v)
+    (snap.l_entries @ jour.l_entries);
+  let entries =
+    List.rev_map (fun k -> (k, Hashtbl.find merged k)) !order
+  in
+  t.journal_bytes <- max 0 (jour.l_valid_bytes - header_len);
+  t.journal_entries <- List.length jour.l_entries;
+  open_journal t;
+  (t, entries, snap.l_truncated || jour.l_truncated)
+
+(* Append one entry to the journal: one [write] of the whole framed
+   entry. Raises on injection or I/O failure; callers absorb. *)
+let append t ~(key : string) (values : float array) : unit =
+  Obs.Inject.fire "persist.append" ~key;
+  match t.jfd with
+  | None -> ()
+  | Some fd ->
+    let entry = encode_entry ~key values in
+    write_all fd entry;
+    t.journal_bytes <- t.journal_bytes + String.length entry;
+    t.journal_entries <- t.journal_entries + 1
+
+(* Atomically replace the snapshot with [entries] and reset the
+   journal. Crash windows: before the rename, the old snapshot + full
+   journal still load; between rename and journal truncation, entries
+   appear in both files — the load path dedups. *)
+let snapshot t (entries : (string * float array) list) : unit =
+  Obs.Inject.fire "persist.snapshot" ~key:"snapshot";
+  let tmp = snapshot_path t ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let buf = Buffer.create (64 * 1024) in
+      Buffer.add_string buf header;
+      List.iter
+        (fun (key, values) ->
+          Buffer.add_string buf (encode_entry ~key values))
+        entries;
+      write_all fd (Buffer.contents buf);
+      Unix.fsync fd);
+  Unix.rename tmp (snapshot_path t);
+  fsync_dir t.dir;
+  (* Reset the journal: close, truncate to a fresh header, reopen. *)
+  (match t.jfd with Some fd -> Unix.close fd | None -> ());
+  t.jfd <- None;
+  truncate_file (journal_path t) 0;
+  t.journal_bytes <- 0;
+  t.journal_entries <- 0;
+  t.snapshots <- t.snapshots + 1;
+  open_journal t
+
+let close t : unit =
+  (match t.jfd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  t.jfd <- None

@@ -1,15 +1,18 @@
 (* The estimator server: a long-running daemon speaking newline-
-   delimited JSON over a channel pair (bin serve wires it to
-   stdin/stdout), answering from the warm incremental store.
+   delimited JSON, answering from the warm incremental store.
 
    Framing. One request per line; a *blank line* (or EOF) closes a
    batch. All [analyze] requests that are adjacent within a batch fan
-   out together through [Parallel.map]; the control operations
+   out together — through [Parallel.map] in-process, or across the
+   supervised worker pool under [--workers]; the control operations
    ([scores], [invalidate], [stats], [resize], [shutdown]) are
    sequential barriers between fan-outs. Responses are written one per
    line, in request order, after the whole batch has been processed,
    then flushed — so a client that writes N lines and a blank line
-   reads exactly N lines back.
+   reads exactly N lines back. The framing itself lives in
+   [Driver.Transport]; this module is carrier-agnostic and serves the
+   same protocol over stdin/stdout ([serve], the default of [bin
+   serve]) or a Unix-domain socket ([--socket PATH]).
 
    Requests:   {"id": .., "op": "analyze", "name": s, "source": s,
                 "kinds": [s..]?, "runs": [{"argv": [s..], "input": s}..]?}
@@ -22,6 +25,13 @@
              | {"id": .., "ok": false, "error": {"stage": s,
                 "subject": s, "detail": s, "exn": s, "recovery": s}}
 
+   Three error responses carry an extra marker field so clients can
+   react without parsing detail strings: ["overloaded": true] (the
+   request was shed at admission because the pending-request queue was
+   full), ["worker_lost": true] (a [--workers] shard died twice on this
+   request — once plus one replay — and was restarted), and
+   ["deadline_exceeded": true] (the request overran [--deadline-ms]).
+
    The [id] is echoed verbatim (any JSON value; [null] when the
    request had none or did not parse).
 
@@ -32,7 +42,15 @@
    memory stays bounded; clients that care read [stats.faults] (the
    count for the current batch's log) before it resets. A [shutdown]
    answers [ok] and stops after its batch; requests queued *behind* it
-   in the same batch get an error response rather than silence. *)
+   in the same batch get an error response rather than silence.
+
+   Durability and drain. Under [--store DIR] every intra solution is
+   journaled through [Incr]/[Persist] as it is computed, so a restart
+   (graceful or [kill -9]) begins warm. SIGTERM/SIGINT drain
+   gracefully: stop accepting work, finish the in-flight batch, take a
+   final snapshot (flushing the journal), report recorded faults on
+   stderr and exit — code 3 if any batch of the daemon's life degraded,
+   0 otherwise. *)
 
 module Json = Obs.Json
 
@@ -52,6 +70,11 @@ let parse_request (line : string) : (request, Json.t * string) result =
     (match member_str "op" j with
     | None -> Error (id, "request has no \"op\" field")
     | Some op -> Ok { rq_id = id; rq_op = op; rq_body = j })
+
+(* The id of a raw line, for error responses built before (or instead
+   of) dispatch: shed, shutdown-drain, client bookkeeping. *)
+let line_id (line : string) : Json.t =
+  match parse_request line with Ok rq -> rq.rq_id | Error (id, _) -> id
 
 let parse_kinds (j : Json.t) :
     (Core.Pipeline.intra_kind list option, string) result =
@@ -127,12 +150,56 @@ let plain_error (id : Json.t) (detail : string) : Json.t =
       f_detail = detail; f_exn = ""; f_backtrace = "";
       f_recovery = "request rejected; daemon keeps serving" }
 
+(* Marker-carrying errors (see the protocol comment above). *)
+
+let with_marker (marker : string) (j : Json.t) : Json.t =
+  match j with
+  | Json.Obj fields -> Json.Obj (fields @ [ (marker, Json.Bool true) ])
+  | j -> j
+
+let overloaded_response (id : Json.t) ~(queue_limit : int) : Json.t =
+  with_marker "overloaded"
+    (fault_error id
+       { Fault.f_stage = Fault.Experiment; f_subject = "serve";
+         f_detail =
+           Printf.sprintf "pending-request queue limit %d exceeded"
+             queue_limit;
+         f_exn = ""; f_backtrace = "";
+         f_recovery =
+           "request shed before execution; retry after the daemon drains" })
+
+(* Worker-lost and supervised-deadline responses are *recorded* faults:
+   they count toward [stats.faults] and turn the daemon's eventual exit
+   code to 3, same as any other degradation. *)
+
+let worker_lost_response (id : Json.t) ~(name : string) (detail : string) :
+    Json.t =
+  let f =
+    { Fault.f_stage = Fault.Worker; f_subject = name; f_detail = detail;
+      f_exn = "worker process died"; f_backtrace = "";
+      f_recovery = "worker restarted; request replayed once, then failed" }
+  in
+  Fault.record f;
+  with_marker "worker_lost" (fault_error id f)
+
+let deadline_response (id : Json.t) ~(name : string) (seconds : float) :
+    Json.t =
+  let f =
+    { Fault.f_stage = Fault.Worker; f_subject = name;
+      f_detail = Printf.sprintf "request deadline %gs exceeded" seconds;
+      f_exn = "worker killed on deadline"; f_backtrace = "";
+      f_recovery = "worker restarted; request answered with a deadline fault" }
+  in
+  Fault.record f;
+  with_marker "deadline_exceeded" (fault_error id f)
+
 (* ------------------------------------------------------------------ *)
 (* Per-request handlers. *)
 
 (* Last successful analysis per program name, so [scores] can answer
    without re-running anything. Written only from the sequential merge
-   path of [handle_batch]; bounded by the number of distinct names. *)
+   path of [handle_batch] (or, sharded, inside the owning worker);
+   bounded by the number of distinct names. *)
 let last_scores : (string, Score.t list) Hashtbl.t = Hashtbl.create 64
 
 let scores_json (scores : Score.t list) : Json.t =
@@ -154,8 +221,12 @@ let analysis_response (id : Json.t) (a : Incr.analysis) : Json.t =
       ("scores", scores_json a.Incr.an_scores) ]
 
 (* The parallel part of [analyze]: everything except the response-cache
-   write, which the merge path does sequentially. *)
-let run_analyze (rq : request) : (Incr.analysis, Json.t) result =
+   write, which the merge path does sequentially. The cooperative
+   [deadline_s] rides into [Incr.analyze]; overrunning it raises
+   [Incr.Deadline_exceeded], which the capture below turns into a typed
+   fault response like any other per-request failure. *)
+let run_analyze ?(deadline_s : float option) (rq : request) :
+    (Incr.analysis, Json.t) result =
   match member_str "name" rq.rq_body with
   | None -> Error (plain_error rq.rq_id "analyze needs a \"name\" field")
   | Some name ->
@@ -172,10 +243,19 @@ let run_analyze (rq : request) : (Incr.analysis, Json.t) result =
              Fault.capture ~stage:Fault.Experiment ~subject:name
                ~detail:"serve analyze"
                ~recovery:"request answered with an error response"
-               (fun () -> Incr.analyze ?kinds ~runs ~name source)
+               (fun () -> Incr.analyze ?kinds ~runs ?deadline_s ~name source)
            with
           | Ok a -> Ok a
-          | Error f -> Error (fault_error rq.rq_id f)))))
+          | Error f ->
+            let resp = fault_error rq.rq_id f in
+            let resp =
+              if Fault.(f.f_exn) <> ""
+                 && String.length f.Fault.f_exn >= 17
+                 && String.sub f.Fault.f_exn 0 17 = "Driver.Incr.Deadl"
+              then with_marker "deadline_exceeded" resp
+              else resp
+            in
+            Error resp))))
 
 let handle_control (stop : bool ref) (rq : request) : Json.t =
   match rq.rq_op with
@@ -213,6 +293,10 @@ let handle_control (stop : bool ref) (rq : request) : Json.t =
         ("misses", num st.Incr.st_misses);
         ("evictions", num st.Incr.st_evictions);
         ("bypasses", num st.Incr.st_bypasses);
+        ("restored", num st.Incr.st_restored);
+        ("journal_entries", num st.Incr.st_journal_entries);
+        ("snapshots", num st.Incr.st_snapshots);
+        ("persisted", Json.Bool st.Incr.st_persisted);
         ("jobs", num (Parallel.jobs ()));
         ("pool_size",
          match Parallel.pool_size () with
@@ -232,6 +316,38 @@ let handle_control (stop : bool ref) (rq : request) : Json.t =
     stop := true;
     ok_response rq.rq_id [ ("stopping", Json.Bool true) ]
   | op -> plain_error rq.rq_id (Printf.sprintf "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* The worker side of [--workers]: handle exactly one request line and
+   return one response line. Runs inside a [Supervise] child, which
+   has its own store shard attached ([Incr.open_store DIR/shard-N]).
+   Chaos ([--chaos SEED] arming ["serve.worker-kill"]) kills the worker
+   *process* here, by request key — the parent's supervision, not this
+   handler, turns that into a typed response. *)
+
+let handle_one_line ?(deadline_s : float option) (line : string) : string =
+  let resp =
+    match parse_request line with
+    | Error (id, msg) -> plain_error id msg
+    | Ok rq when rq.rq_op = "analyze" ->
+      (match member_str "name" rq.rq_body with
+      | Some name when Obs.Inject.should_fire "serve.worker-kill" ~key:name
+        ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        plain_error rq.rq_id "unreachable"
+      | _ ->
+        (match run_analyze ?deadline_s rq with
+        | Ok a ->
+          Hashtbl.replace last_scores a.Incr.an_name a.Incr.an_scores;
+          analysis_response rq.rq_id a
+        | Error resp -> resp))
+    | Ok rq -> handle_control (ref false) rq
+  in
+  let s = Json.to_compact_string resp in
+  (* One request is this process's whole batch: reset the log after the
+     response (which already carries any fault detail) is built. *)
+  Fault.reset ();
+  s
 
 (* ------------------------------------------------------------------ *)
 (* Batch execution. *)
@@ -261,73 +377,455 @@ let group_requests (lines : string list) : group list =
   in
   go [] [] parsed
 
-let handle_batch (stop : bool ref) (lines : string list) : Json.t list =
+(* How a batch's requests get executed: in this process (fanning out
+   through the domain pool) or across the supervised worker pool. *)
+type dispatcher = Local | Sharded of Supervise.t
+
+(* Aggregate [stats] across every shard: per-store numeric fields sum;
+   [faults] additionally counts the parent's own supervision faults;
+   pool-shape fields come from the parent, which owns the pool. *)
+let sum_fields =
+  [ "entries"; "bytes"; "budget"; "hits"; "misses"; "evictions";
+    "bypasses"; "restored"; "journal_entries"; "snapshots"; "faults" ]
+
+let merge_stats (pool : Supervise.t) (id : Json.t)
+    (replies : (int * Supervise.outcome) list) : Json.t =
+  let sums = Hashtbl.create 16 in
+  let persisted = ref false in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Supervise.Reply line ->
+        (match Json.parse line with
+        | Error _ -> ()
+        | Ok j ->
+          List.iter
+            (fun f ->
+              match Option.bind (Json.member f j) Json.to_num with
+              | Some v ->
+                Hashtbl.replace sums f
+                  ((try Hashtbl.find sums f with Not_found -> 0.0) +. v)
+              | None -> ())
+            sum_fields;
+          (match Json.member "persisted" j with
+          | Some (Json.Bool true) -> persisted := true
+          | _ -> ()))
+      | Supervise.Deadline _ | Supervise.Lost _ -> ())
+    replies;
+  let get f = try Hashtbl.find sums f with Not_found -> 0.0 in
+  let num v = Json.Num v in
+  ok_response id
+    (List.map
+       (fun f ->
+         if f = "faults" then
+           (f, num (get f +. float_of_int (Fault.count ())))
+         else (f, num (get f)))
+       sum_fields
+    @ [ ("persisted", Json.Bool !persisted);
+        ("jobs", num (float_of_int (Supervise.size pool)));
+        ("pool_size", Json.Null);
+        ("workers", num (float_of_int (Supervise.size pool)));
+        ("workers_alive", num (float_of_int (Supervise.alive pool)));
+        ("worker_restarts", num (float_of_int (Supervise.restarts pool)));
+        ("worker_lost", num (float_of_int (Supervise.lost pool)));
+        ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ])
+
+let handle_batch ?(deadline_s : float option) ?(dispatcher = Local)
+    (stop : bool ref) (lines : string list) : string list =
   let n = List.length lines in
-  let responses = Array.make n Json.Null in
+  let responses = Array.make n "" in
+  let put i j = responses.(i) <- Json.to_compact_string j in
+  let forward (rq : request) : string = Json.to_compact_string rq.rq_body in
   List.iter
     (fun group ->
       match group with
-      | Malformed (i, resp) -> responses.(i) <- resp
+      | Malformed (i, resp) -> put i resp
       | _ when !stop ->
         let reject i (rq : request) =
-          responses.(i) <-
-            plain_error rq.rq_id "server is shutting down"
+          put i (plain_error rq.rq_id "server is shutting down")
         in
         (match group with
         | Analyzes rqs -> List.iter (fun (i, rq) -> reject i rq) rqs
         | Control (i, rq) -> reject i rq
         | Malformed _ -> ())
-      | Control (i, rq) -> responses.(i) <- handle_control stop rq
-      | Analyzes rqs ->
-        let outcomes =
-          Parallel.map (fun (_, rq) -> run_analyze rq) rqs
-        in
-        List.iter2
-          (fun (i, rq) outcome ->
-            match outcome with
-            | Ok a ->
-              ignore rq;
-              Hashtbl.replace last_scores a.Incr.an_name a.Incr.an_scores;
-              responses.(i) <- analysis_response rq.rq_id a
-            | Error resp -> responses.(i) <- resp)
-          rqs outcomes)
+      | Control (i, rq) -> (
+        match dispatcher with
+        | Local -> put i (handle_control stop rq)
+        | Sharded pool -> (
+          match rq.rq_op with
+          | "shutdown" ->
+            stop := true;
+            put i (ok_response rq.rq_id [ ("stopping", Json.Bool true) ])
+          | "resize" ->
+            put i
+              (plain_error rq.rq_id
+                 "resize is unavailable with --workers; restart the \
+                  daemon to change the worker count")
+          | "stats" ->
+            put i
+              (merge_stats pool rq.rq_id
+                 (Supervise.broadcast pool (forward rq)))
+          | "invalidate" when member_str "name" rq.rq_body = None ->
+            ignore (Supervise.broadcast pool (forward rq));
+            put i (ok_response rq.rq_id [ ("cleared", Json.Bool true) ])
+          | "scores" | "invalidate" -> (
+            match member_str "name" rq.rq_body with
+            | None ->
+              put i
+                (plain_error rq.rq_id (rq.rq_op ^ " needs a \"name\" field"))
+            | Some name -> (
+              match Supervise.request pool ~key:name (forward rq) with
+              | Supervise.Reply l -> responses.(i) <- l
+              | Supervise.Deadline s ->
+                put i (deadline_response rq.rq_id ~name s)
+              | Supervise.Lost d ->
+                put i (worker_lost_response rq.rq_id ~name d)))
+          | op -> put i (plain_error rq.rq_id (Printf.sprintf "unknown op %S" op))))
+      | Analyzes rqs -> (
+        match dispatcher with
+        | Local ->
+          let outcomes =
+            Parallel.map (fun (_, rq) -> run_analyze ?deadline_s rq) rqs
+          in
+          List.iter2
+            (fun (i, rq) outcome ->
+              match outcome with
+              | Ok a ->
+                ignore rq;
+                Hashtbl.replace last_scores a.Incr.an_name a.Incr.an_scores;
+                put i (analysis_response rq.rq_id a)
+              | Error resp -> put i resp)
+            rqs outcomes
+        | Sharded pool ->
+          let items =
+            List.filter_map
+              (fun (i, rq) ->
+                match member_str "name" rq.rq_body with
+                | None ->
+                  put i
+                    (plain_error rq.rq_id "analyze needs a \"name\" field");
+                  None
+                | Some name -> Some (i, name, forward rq, rq))
+              rqs
+          in
+          let by_slot = List.map (fun (i, _, _, rq) -> (i, rq)) items in
+          let outcomes =
+            Supervise.request_many pool
+              (List.map (fun (i, key, line, _) -> (i, key, line)) items)
+          in
+          List.iter
+            (fun (slot, outcome) ->
+              let rq = List.assoc slot by_slot in
+              let name =
+                Option.value ~default:"?" (member_str "name" rq.rq_body)
+              in
+              match outcome with
+              | Supervise.Reply l -> responses.(slot) <- l
+              | Supervise.Deadline s ->
+                put slot (deadline_response rq.rq_id ~name s)
+              | Supervise.Lost d ->
+                put slot (worker_lost_response rq.rq_id ~name d))
+            outcomes))
     (group_requests lines);
   Array.to_list responses
 
 (* ------------------------------------------------------------------ *)
-(* The daemon loop. *)
+(* The single-client daemon loop (tests; embedded use). No signal
+   handling and no process exit: returns on EOF or [shutdown]. *)
 
 let serve (ic : in_channel) (oc : out_channel) : unit =
   Incr.install ();
   Fun.protect
     ~finally:(fun () -> Incr.uninstall ())
     (fun () ->
+      let t = Transport.of_channels ic oc in
       let stop = ref false in
-      let read_batch () =
-        let rec go acc =
-          match input_line ic with
-          | exception End_of_file ->
-            if acc = [] then None else Some (List.rev acc)
-          | "" -> if acc = [] then go [] else Some (List.rev acc)
-          | line -> go (line :: acc)
-        in
-        go []
-      in
       let rec loop () =
         if not !stop then
-          match read_batch () with
+          match t.Transport.read_batch () with
           | None -> ()
           | Some lines ->
-            let responses = handle_batch stop lines in
-            List.iter
-              (fun r ->
-                output_string oc (Json.to_compact_string r);
-                output_char oc '\n')
-              responses;
-            flush oc;
+            t.Transport.write_lines (handle_batch stop lines);
             (* Bound the daemon's memory: the fault log only ever holds
                the current batch's faults. *)
             Fault.reset ();
             loop ()
       in
       loop ())
+
+(* ------------------------------------------------------------------ *)
+(* The full daemon: [bin serve]. *)
+
+type config = {
+  c_socket : string option;   (* Unix-domain socket path; None = stdio *)
+  c_store : string option;    (* durable store directory *)
+  c_workers : int;            (* 0 = in-process *)
+  c_deadline_s : float option;
+  c_queue_limit : int;        (* pending-request admission limit *)
+  c_budget_bytes : int;
+  c_jobs : int;
+}
+
+let default_config =
+  { c_socket = None; c_store = None; c_workers = 0; c_deadline_s = None;
+    c_queue_limit = 256; c_budget_bytes = Incr.default_budget;
+    c_jobs = Parallel.default_jobs () }
+
+(* Degradation is cumulative across the daemon's whole life even though
+   the fault log resets per batch: any degraded batch turns the
+   eventual exit code to 3. *)
+let faults_total = ref 0
+
+let note_batch_faults () : unit =
+  let c = Fault.count () in
+  if c > 0 then begin
+    faults_total := !faults_total + c;
+    (* The summary is per-batch (the log resets); stream it to stderr
+       as it happens so the drain report is complete. *)
+    prerr_string (Fault.summary ());
+    flush stderr
+  end;
+  Fault.reset ()
+
+let finalize_and_exit ~(dispatcher : dispatcher) () : 'a =
+  (* Stop accepting; workers see EOF, take their final snapshot and
+     exit — the blocking stop is the journal-flush barrier. *)
+  (match dispatcher with
+  | Sharded pool -> Supervise.stop pool
+  | Local -> ());
+  Incr.close_store ();
+  note_batch_faults ();
+  if !faults_total > 0 then
+    Printf.eprintf "serve: drained with %d recorded fault(s)\n%!"
+      !faults_total;
+  exit (if !faults_total > 0 then Fault.degraded_exit_code else 0)
+
+let shed_responses ~(queue_limit : int) (lines : string list) :
+    string list =
+  List.map
+    (fun line ->
+      Obs.Probe.count "serve.shed";
+      Json.to_compact_string
+        (overloaded_response (line_id line) ~queue_limit))
+    lines
+
+(* Channel carrier (stdin/stdout): one client, batches processed as
+   they arrive. A drain signal landing while idle (blocked in read)
+   finalizes directly from the handler; landing mid-batch it defers to
+   the post-batch check, honouring "finish the in-flight batch". *)
+let serve_channels ~(dispatcher : dispatcher) ?(deadline_s : float option)
+    ~(queue_limit : int) (ic : in_channel) (oc : out_channel) : 'a =
+  let t = Transport.of_channels ic oc in
+  let drain = ref false in
+  let processing = ref false in
+  let on_signal (_ : int) =
+    if !processing then drain := true
+    else finalize_and_exit ~dispatcher ()
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let stop = ref false in
+  let rec loop () =
+    if !stop || !drain then finalize_and_exit ~dispatcher ()
+    else
+      match t.Transport.read_batch () with
+      | None -> finalize_and_exit ~dispatcher ()
+      | Some lines ->
+        let n = List.length lines in
+        Obs.Probe.set_gauge "serve.queue_depth" (float_of_int n);
+        let responses =
+          if n > queue_limit then shed_responses ~queue_limit lines
+          else begin
+            processing := true;
+            let r = handle_batch ?deadline_s ~dispatcher stop lines in
+            processing := false;
+            r
+          end
+        in
+        t.Transport.write_lines responses;
+        Obs.Probe.set_gauge "serve.queue_depth" 0.0;
+        note_batch_faults ();
+        loop ()
+  in
+  loop ()
+
+(* Socket carrier: a select loop multiplexing the listener and every
+   client connection. Completed batches queue for execution (bounded by
+   [queue_limit] *requests*, not batches; past it a whole batch is shed
+   with per-request [overloaded] errors); one batch executes per loop
+   turn, so accept/read latency stays bounded by one batch. *)
+let serve_socket ~(dispatcher : dispatcher) ?(deadline_s : float option)
+    ~(queue_limit : int) (path : string) : 'a =
+  let listener = Transport.listen_unix path in
+  let drain = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> drain := true));
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let conns : (Unix.file_descr, Transport.Conn.conn) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let pending : (Transport.Conn.conn * string list) Queue.t =
+    Queue.create ()
+  in
+  let queued = ref 0 in
+  let stop = ref false in
+  let publish_depth () =
+    Obs.Probe.set_gauge "serve.queue_depth" (float_of_int !queued)
+  in
+  let admit conn lines =
+    let k = List.length lines in
+    if !queued + k > queue_limit then
+      Transport.Conn.write_lines conn (shed_responses ~queue_limit lines)
+    else begin
+      Queue.add (conn, lines) pending;
+      queued := !queued + k;
+      publish_depth ()
+    end
+  in
+  let drain_and_exit () =
+    (* Admitted-but-unstarted batches get typed errors, not silence. *)
+    Queue.iter
+      (fun (conn, lines) ->
+        Transport.Conn.write_lines conn
+          (List.map
+             (fun line ->
+               Json.to_compact_string
+                 (plain_error (line_id line) "server is shutting down"))
+             lines))
+      pending;
+    Hashtbl.iter (fun _ c -> Transport.Conn.close c) conns;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Sys.remove path with Sys_error _ -> ());
+    finalize_and_exit ~dispatcher ()
+  in
+  let rec loop () =
+    if !drain || !stop then drain_and_exit ();
+    let fds =
+      listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    let timeout = if Queue.is_empty pending then -1.0 else 0.0 in
+    (match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = listener then (
+            match Unix.accept listener with
+            | cfd, _ -> Hashtbl.replace conns cfd (Transport.Conn.create cfd)
+            | exception Unix.Unix_error _ -> ())
+          else
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some conn ->
+              List.iter (admit conn) (Transport.Conn.feed conn);
+              if Transport.Conn.closed conn then begin
+                Hashtbl.remove conns fd;
+                Transport.Conn.close conn
+              end)
+        readable);
+    if (not (Queue.is_empty pending)) && not !drain then begin
+      let conn, lines = Queue.pop pending in
+      queued := !queued - List.length lines;
+      publish_depth ();
+      let responses = handle_batch ?deadline_s ~dispatcher stop lines in
+      Transport.Conn.write_lines conn responses;
+      note_batch_faults ()
+    end;
+    loop ()
+  in
+  loop ()
+
+let run (config : config) : 'a =
+  Parallel.set_jobs config.c_jobs;
+  Incr.set_budget config.c_budget_bytes;
+  let dispatcher =
+    if config.c_workers > 0 then begin
+      (* Workers each attach one shard directory; the parent only
+         routes, so it opens no store and must not spawn domains before
+         the forks. The lazy [Parallel] pool guarantees this when [run]
+         is the process entry point: the sharded paths never call
+         [Parallel.map]. The constraint is unforgiving — OCaml 5 refuses
+         [fork] in a process that has EVER spawned a domain, even after
+         they are joined — so a hosting process that already fanned out
+         cannot start a sharded server; [Supervise.start] will raise,
+         loudly, rather than limp. *)
+      (match config.c_store with
+      | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+      | _ -> ());
+      let pool =
+        Supervise.start ~workers:config.c_workers
+          ?deadline_s:(Option.map (fun d -> d +. 1.0) config.c_deadline_s)
+          ~init:(fun ~shard ->
+            Incr.set_budget config.c_budget_bytes;
+            (match config.c_store with
+            | None -> ()
+            | Some dir ->
+              ignore
+                (Incr.open_store
+                   (Filename.concat dir (Printf.sprintf "shard-%d" shard))));
+            Incr.install ())
+          ~finalize:(fun ~shard:_ -> Incr.close_store ())
+          ~handler:(handle_one_line ?deadline_s:config.c_deadline_s)
+          ()
+      in
+      Sharded pool
+    end
+    else begin
+      (match config.c_store with
+      | None -> ()
+      | Some dir ->
+        let r = Incr.open_store dir in
+        if r.Incr.rs_truncated then
+          prerr_endline
+            "serve: store tail truncated on load (torn or corrupt entry)";
+        Printf.eprintf "serve: restored %d entr%s from %s\n%!"
+          r.Incr.rs_restored
+          (if r.Incr.rs_restored = 1 then "y" else "ies")
+          dir);
+      Incr.install ();
+      Local
+    end
+  in
+  match config.c_socket with
+  | Some path ->
+    serve_socket ~dispatcher ?deadline_s:config.c_deadline_s
+      ~queue_limit:config.c_queue_limit path
+  | None ->
+    serve_channels ~dispatcher ?deadline_s:config.c_deadline_s
+      ~queue_limit:config.c_queue_limit stdin stdout
+
+(* ------------------------------------------------------------------ *)
+(* A scripting client for the socket carrier: forward stdin's batches
+   to the daemon, print one response line per request, exit 0. Exists
+   so shell tests and CI need no netcat. Requests are counted as they
+   are forwarded; responses are read after stdin closes (fine for the
+   small scripted batches this is for — not a streaming proxy). *)
+
+let client ~(socket : string) : 'a =
+  let fd = Transport.connect_unix socket in
+  let sock_ic = Unix.in_channel_of_descr fd in
+  let sock_oc = Unix.out_channel_of_descr fd in
+  let expected = ref 0 in
+  (try
+     while true do
+       let line = input_line stdin in
+       output_string sock_oc line;
+       output_char sock_oc '\n';
+       if line <> "" then incr expected
+     done
+   with End_of_file -> ());
+  (* Close the final batch whether or not the input did. *)
+  output_char sock_oc '\n';
+  flush sock_oc;
+  let rec read_replies n =
+    if n > 0 then
+      match input_line sock_ic with
+      | exception End_of_file ->
+        prerr_endline "serve client: daemon closed the connection early";
+        exit 1
+      | line ->
+        print_endline line;
+        read_replies (n - 1)
+  in
+  read_replies !expected;
+  exit 0

@@ -107,6 +107,14 @@ let render_tree () : string =
                name c.Probe.hits c.Probe.total c.Probe.vmin c.Probe.vmax))
       counters
   end;
+  let gauges = Probe.gauges () in
+  if gauges <> [] then begin
+    Buffer.add_string buf "trace: gauges (last value)\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %10.6g\n" name v))
+      gauges
+  end;
   (* Degradations taken during the run; absent entirely when healthy,
      so healthy trace output is unchanged. *)
   let faults = Fault.summary () in
@@ -182,6 +190,16 @@ let metrics_json () : string =
            (json_float c.Probe.vmin) (json_float c.Probe.vmax)
            (if i < List.length counters - 1 then "," else "")))
     counters;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"gauges\": [\n";
+  let gauges = Probe.gauges () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"value\": %s}%s\n"
+           (json_escape name) (json_float v)
+           (if i < List.length gauges - 1 then "," else "")))
+    gauges;
   Buffer.add_string buf "  ],\n";
   (* Every degradation the run recorded, in the deterministic
      [Fault.sorted] order — the chaos CI job archives this document as

@@ -1,0 +1,181 @@
+(* Transports for the NDJSON serve protocol.
+
+   The daemon's framing is carrier-agnostic: requests are lines, a
+   blank line (or end of stream) closes a batch, and responses come
+   back one line per request after the batch. This module owns that
+   framing so [Driver.Serve] can run the same protocol loop over a
+   channel pair (the legacy stdin/stdout daemon), a Unix-domain-socket
+   connection, or a test harness, without re-implementing line
+   splitting anywhere.
+
+   Two shapes:
+
+   - [t] is the blocking pull interface ([read_batch] / [write_lines])
+     the single-client loop uses;
+   - [Conn] is the incremental push interface the multiplexed socket
+     listener uses: bytes arrive whenever [select] says the fd is
+     readable, [feed] turns them into zero or more completed batches,
+     and partial lines/batches wait in the connection's buffer. *)
+
+type t = {
+  read_batch : unit -> string list option;
+      (* next non-empty batch, [None] at end of stream; a final
+         unterminated batch before EOF is returned like a closed one *)
+  write_lines : string list -> unit;  (* one response per line + flush *)
+  close : unit -> unit;
+}
+
+let of_channels (ic : in_channel) (oc : out_channel) : t =
+  let read_batch () =
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+        if acc = [] then None else Some (List.rev acc)
+      | "" -> if acc = [] then go [] else Some (List.rev acc)
+      | line -> go (line :: acc)
+    in
+    go []
+  in
+  let write_lines lines =
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc
+  in
+  { read_batch; write_lines; close = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Multiplexed connections (the socket listener). *)
+
+module Conn = struct
+  type conn = {
+    fd : Unix.file_descr;
+    raw : Buffer.t;                (* bytes read but not yet split *)
+    mutable batch_acc : string list;  (* current batch, reversed *)
+    mutable closed : bool;
+  }
+
+  let create (fd : Unix.file_descr) : conn =
+    { fd; raw = Buffer.create 4096; batch_acc = []; closed = false }
+
+  let fd (c : conn) = c.fd
+
+  let closed (c : conn) = c.closed
+
+  (* Split every complete line out of [raw], keeping the partial tail. *)
+  let drain_lines (c : conn) : string list =
+    let s = Buffer.contents c.raw in
+    let lines = ref [] in
+    let start = ref 0 in
+    String.iteri
+      (fun i ch ->
+        if ch = '\n' then begin
+          lines := String.sub s !start (i - !start) :: !lines;
+          start := i + 1
+        end)
+      s;
+    Buffer.clear c.raw;
+    Buffer.add_substring c.raw s !start (String.length s - !start);
+    List.rev !lines
+
+  (* Consume readable bytes from the fd; returns the batches the new
+     bytes completed, in arrival order. A read of zero bytes is EOF:
+     the connection is marked closed and a pending unterminated batch
+     is flushed out, mirroring the channel transport. *)
+  let feed (c : conn) : string list list =
+    let chunk = Bytes.create 65536 in
+    let n =
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | n -> n
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    in
+    if n = 0 then begin
+      c.closed <- true;
+      let final =
+        match (drain_lines c, c.batch_acc) with
+        | [], [] -> []
+        | lines, acc ->
+          (* any complete lines still buffered, then the open batch *)
+          let batches = ref [] in
+          let acc = ref acc in
+          List.iter
+            (fun line ->
+              if line = "" then begin
+                if !acc <> [] then batches := List.rev !acc :: !batches;
+                acc := []
+              end
+              else acc := line :: !acc)
+            lines;
+          if !acc <> [] then batches := List.rev !acc :: !batches;
+          List.rev !batches
+      in
+      c.batch_acc <- [];
+      final
+    end
+    else begin
+      Buffer.add_subbytes c.raw chunk 0 n;
+      let batches = ref [] in
+      List.iter
+        (fun line ->
+          if line = "" then begin
+            if c.batch_acc <> [] then
+              batches := List.rev c.batch_acc :: !batches;
+            c.batch_acc <- []
+          end
+          else c.batch_acc <- line :: c.batch_acc)
+        (drain_lines c);
+      List.rev !batches
+    end
+
+  (* Blocking full write; a client that vanished mid-write is treated
+     as closed and the remaining responses are dropped (they have no
+     reader). *)
+  let write_lines (c : conn) (lines : string list) : unit =
+    if not c.closed then begin
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        lines;
+      let b = Buffer.to_bytes buf in
+      let len = Bytes.length b in
+      let rec go off =
+        if off < len then
+          match Unix.write c.fd b off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+            ->
+            c.closed <- true
+      in
+      go 0
+    end
+
+  let close (c : conn) : unit =
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain listeners. *)
+
+let listen_unix (path : string) : Unix.file_descr =
+  (* Bind under a temp name and rename into place only once [listen]
+     has run: clients poll for the path's existence, and a connect
+     landing between bind and listen would be refused. The rename makes
+     "the file exists" imply "the daemon accepts". *)
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX tmp);
+  Unix.listen fd 16;
+  Unix.rename tmp path;
+  fd
+
+let connect_unix (path : string) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd

@@ -128,11 +128,39 @@ let counters () : (string * counter) list =
   List.sort (fun (a, _) (b, _) -> compare a b) entries
 
 (* ------------------------------------------------------------------ *)
+(* Gauges: last-write-wins levels, same mutex discipline as counters. *)
+
+let gauge_lock = Mutex.create ()
+let gauge_table : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge name v =
+  if enabled () then begin
+    Mutex.lock gauge_lock;
+    Hashtbl.replace gauge_table name v;
+    Mutex.unlock gauge_lock
+  end
+
+let gauge name =
+  Mutex.lock gauge_lock;
+  let v = Hashtbl.find_opt gauge_table name in
+  Mutex.unlock gauge_lock;
+  v
+
+let gauges () : (string * float) list =
+  Mutex.lock gauge_lock;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_table [] in
+  Mutex.unlock gauge_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+(* ------------------------------------------------------------------ *)
 
 let reset () =
   Mutex.lock counter_lock;
   Hashtbl.reset counter_table;
   Mutex.unlock counter_lock;
+  Mutex.lock gauge_lock;
+  Hashtbl.reset gauge_table;
+  Mutex.unlock gauge_lock;
   Mutex.lock registry_lock;
   List.iter (fun buf -> buf := []) !registry;
   Mutex.unlock registry_lock;

@@ -78,3 +78,22 @@ type counter = {
 
 val counters : unit -> (string * counter) list
 (** All counters with at least one observation, sorted by name. *)
+
+(** {1 Gauges}
+
+    A gauge holds the {e last} value written — a level, not an event
+    tally (bytes resident in a cache, depth of a pending queue). Unlike
+    a counter it can go down, and reading it answers "what is the value
+    now", which min/max/total summaries of {!observe} cannot. Writers
+    typically pair {!set_gauge} with an {!observe} of the same name when
+    the update history matters too. *)
+
+val set_gauge : string -> float -> unit
+(** Record the current level of a named gauge (last write wins). *)
+
+val gauge : string -> float option
+(** Current value of a gauge, or [None] if it was never set (or probes
+    were disabled at every write). *)
+
+val gauges : unit -> (string * float) list
+(** All gauges with at least one write, sorted by name. *)

@@ -66,4 +66,63 @@ line 5 | grep -q '"ok":true'            || fail "stats not ok"
 # 6: clean shutdown.
 line 6 | grep -q '"stopping":true'      || fail "shutdown not acknowledged"
 
+# --- graceful drain on SIGTERM ---------------------------------------
+# A healthy idle daemon drains with exit 0; one that recorded a fault
+# drains with the degraded exit code 3. Driven through a fifo so the
+# daemon is genuinely idle (blocked reading) when the signal lands.
+
+wait_lines () { # file count
+  _i=0
+  while [ "$(wc -l < "$1")" -lt "$2" ]; do
+    _i=$((_i + 1))
+    [ "$_i" -lt 100 ] || fail "timed out waiting for $2 line(s) in $1"
+    sleep 0.1
+  done
+}
+
+mkfifo "$dir/clean.fifo"
+"$BIN" serve < "$dir/clean.fifo" > "$dir/clean.out" &
+srv=$!
+exec 9> "$dir/clean.fifo"
+printf '{"id":1,"op":"analyze","name":"drain","source":"int main() { return 0; }\\n"}\n\n' >&9
+wait_lines "$dir/clean.out" 1
+kill -TERM "$srv"
+rc=0; wait "$srv" || rc=$?
+exec 9>&-
+[ "$rc" -eq 0 ] || fail "clean drain exited $rc (want 0)"
+
+mkfifo "$dir/degraded.fifo"
+"$BIN" serve < "$dir/degraded.fifo" > "$dir/degraded.out" 2>/dev/null &
+srv=$!
+exec 9> "$dir/degraded.fifo"
+printf '{"id":1,"op":"analyze","name":"broken","source":"int main( {"}\n\n' >&9
+wait_lines "$dir/degraded.out" 1
+line () { sed -n "${1}p" "$dir/degraded.out"; }
+line 1 | grep -q '"ok":false'           || fail "broken program did not fault"
+kill -TERM "$srv"
+rc=0; wait "$srv" || rc=$?
+exec 9>&-
+[ "$rc" -eq 3 ] || fail "degraded drain exited $rc (want 3)"
+
+# --- backpressure: a batch past --queue-limit is shed -----------------
+cat > "$dir/shed.session" <<'EOF'
+{"id":1,"op":"analyze","name":"s1","source":"int main() { return 1; }\n"}
+{"id":2,"op":"analyze","name":"s2","source":"int main() { return 2; }\n"}
+{"id":3,"op":"analyze","name":"s3","source":"int main() { return 3; }\n"}
+
+{"id":4,"op":"analyze","name":"s4","source":"int main() { return 4; }\n"}
+
+{"id":5,"op":"shutdown"}
+EOF
+
+"$BIN" serve --queue-limit 2 < "$dir/shed.session" > "$dir/shed.out"
+line () { sed -n "${1}p" "$dir/shed.out"; }
+[ "$(wc -l < "$dir/shed.out")" -eq 5 ]  || fail "shed session: expected 5 responses"
+for i in 1 2 3; do
+  line "$i" | grep -q '"overloaded":true' || fail "request $i was not shed"
+  line "$i" | grep -q "\"id\":$i"         || fail "shed response $i lost its id"
+done
+line 4 | grep -q '"ok":true'            || fail "undersized batch was shed too"
+line 5 | grep -q '"stopping":true'      || fail "shed session: shutdown not acknowledged"
+
 echo "serve_smoke: OK (cold misses=$cold_misses, edit misses=$edit_misses)"

@@ -252,6 +252,67 @@ let differential_leg (mode : Linalg.Linsolve.mode) () =
             incremental.Incr.an_scores scratch.Incr.an_scores)
         (suite @ corpus))
 
+(* --- 5. the incr.bytes gauge tracks resident bytes ------------------- *)
+
+(* Every path that mutates the store's byte count — insert, invalidate,
+   budget shrink (eviction), clear, crash, disk restore — must leave the
+   [incr.bytes] gauge equal to [stats ()].st_bytes, or dashboards built
+   on the probe silently drift from reality. *)
+let check_gauge what =
+  let st = Incr.stats () in
+  match Obs.Probe.gauge "incr.bytes" with
+  | None -> Alcotest.failf "%s: incr.bytes gauge never published" what
+  | Some g ->
+    Alcotest.(check (float 0.0))
+      (what ^ ": incr.bytes gauge == stats bytes")
+      (float_of_int st.Incr.st_bytes)
+      g
+
+let test_bytes_gauge_pinned () =
+  let was_enabled = Obs.Probe.enabled () in
+  Obs.Probe.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Incr.close_store ();
+      Obs.Probe.set_enabled was_enabled;
+      Obs.Probe.reset ())
+    (fun () ->
+      fresh (fun () ->
+          let _ = Incr.analyze ~name:"gauge-a" three_fns in
+          check_gauge "after insert";
+          let _ = Incr.analyze ~name:"gauge-b" three_fns_edited in
+          check_gauge "after second insert";
+          ignore (Incr.invalidate ~name:"gauge-a");
+          check_gauge "after invalidate";
+          (* shrink the budget below residency: eviction must fire and
+             the gauge must follow the bytes down *)
+          let before = (Incr.stats ()).Incr.st_bytes in
+          Incr.set_budget (before / 4);
+          check_gauge "after budget shrink";
+          Alcotest.(check bool) "the shrink actually evicted" true
+            ((Incr.stats ()).Incr.st_bytes < before);
+          Incr.clear ();
+          check_gauge "after clear";
+          (* a disk restore publishes the restored residency *)
+          let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "test_incr_gauge_%d" (Unix.getpid ()))
+          in
+          ignore (Incr.open_store dir);
+          let _ = Incr.analyze ~name:"gauge-a" three_fns in
+          Incr.crash_store ();
+          check_gauge "after crash";
+          ignore (Incr.open_store dir);
+          check_gauge "after restore";
+          Alcotest.(check bool) "the restore repopulated bytes" true
+            ((Incr.stats ()).Incr.st_bytes > 0);
+          Incr.close_store ();
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+            (Sys.readdir dir);
+          (try Unix.rmdir dir with _ -> ())))
+
 let suite =
   [ Alcotest.test_case "fn hashes are pool-size independent" `Quick
       test_hash_deterministic_across_jobs;
@@ -263,6 +324,8 @@ let suite =
       `Quick test_invalidate_name_scope;
     Alcotest.test_case "eviction under starvation never changes scores"
       `Quick test_eviction_never_changes_scores;
+    Alcotest.test_case "incr.bytes gauge tracks every mutation" `Quick
+      test_bytes_gauge_pinned;
     Alcotest.test_case "incremental == scratch after random edit (dense)"
       `Slow
       (differential_leg Linalg.Linsolve.Dense);

@@ -26,6 +26,10 @@ let () =
       ("record", Test_record.suite);
       ("corpus", Test_corpus.suite);
       ("incr", Test_incr.suite);
+      ("persist", Test_persist.suite);
+      (* supervise lives in test/supervise/ as its own executable: it
+         forks, and this binary's Parallel fan-outs make fork illegal
+         for the rest of the process. *)
       ("serve", Test_serve.suite);
       ("misc", Test_misc.suite);
       ("dominance", Test_dominance.suite);

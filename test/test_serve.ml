@@ -265,6 +265,58 @@ let test_shutdown_rejects_rest_of_batch () =
       (id_of rejected = Json.Num 3.)
   | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
 
+(* --- typed error payloads: deadline + overload ------------------------ *)
+
+let test_deadline_marker () =
+  Incr.clear ();
+  Incr.reset_stats ();
+  Fun.protect
+    ~finally:(fun () ->
+      Driver.Fault.reset ();
+      Incr.clear ())
+    (fun () ->
+      (* an unmeetable per-request deadline: the analysis must come back
+         as a typed fault carrying the deadline marker, not hang or die *)
+      let responses =
+        Serve.handle_batch ~deadline_s:1e-9 (ref false)
+          [ analyze ~id:7 "slowpoke" good_source ]
+      in
+      match List.map Json.parse_exn responses with
+      | [ r ] ->
+        Alcotest.(check bool) "deadline response is an error" false
+          (ok_of r);
+        Alcotest.(check bool) "it keeps its request id" true
+          (id_of r = Json.Num 7.);
+        Alcotest.(check bool) "it carries the deadline marker" true
+          (bool_field "deadline_exceeded" r);
+        Alcotest.(check bool) "the fault exn names the timeout" true
+          (let e =
+             match Option.bind (Json.member "error" r) (Json.member "exn") with
+             | Some (Json.Str s) -> s
+             | _ -> Alcotest.fail "fault payload missing error.exn"
+           in
+           let has_sub s sub =
+             let n = String.length s and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+             m = 0 || go 0
+           in
+           has_sub e "Deadline")
+      | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs))
+
+let test_overload_shed_shape () =
+  let responses =
+    Serve.shed_responses ~queue_limit:4
+      [ analyze ~id:9 "shed-me" good_source ]
+  in
+  match List.map Json.parse_exn responses with
+  | [ r ] ->
+    Alcotest.(check bool) "shed response is an error" false (ok_of r);
+    Alcotest.(check bool) "it keeps its request id" true
+      (id_of r = Json.Num 9.);
+    Alcotest.(check bool) "it carries the overloaded marker" true
+      (bool_field "overloaded" r)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
 let suite =
   [ Alcotest.test_case "warm analyze: program hit, identical scores"
       `Quick test_warm_analyze;
@@ -277,4 +329,8 @@ let suite =
     Alcotest.test_case "resize between batches + parallel fan-out" `Quick
       test_resize_and_parallel_batch;
     Alcotest.test_case "shutdown rejects the rest of the batch" `Quick
-      test_shutdown_rejects_rest_of_batch ]
+      test_shutdown_rejects_rest_of_batch;
+    Alcotest.test_case "an unmeetable deadline is a typed fault" `Quick
+      test_deadline_marker;
+    Alcotest.test_case "a shed request is a typed overload error" `Quick
+      test_overload_shed_shape ]
