@@ -38,6 +38,12 @@
    override: --solver-json FILE); --solver MODE selects the solver used
    by the reproduction/throughput sections (dense, sparse or auto).
 
+   --probe-overhead times one cold analysis pass under probes off /
+   probes on / probes+histograms on, plus the per-call cost of the
+   recording primitives, and writes BENCH_overhead.json (path
+   override: --overhead-json FILE) — the numbers EXPERIMENTS.md quotes
+   for the telemetry plane's cost.
+
    On a single-core machine every BENCH_*.json env block is tagged
    "single_core": "true" and a warning is printed, because jobs > 1 then
    adds domain-scheduling overhead without speedup — the documented
@@ -251,7 +257,22 @@ let add_env_block (buf : Buffer.t) : unit =
            (json_escape v)
            (if i = List.length env - 1 then "" else ",")))
     env;
-  Buffer.add_string buf "  },\n"
+  Buffer.add_string buf "  },\n";
+  (* Any latency histograms recorded while this bench ran (probes on
+     during a diagnostic pass) ride next to env: count/sum/min/max and
+     p50/p90/p99/p999, nanoseconds. Empty when probes stayed off. *)
+  (match Obs.Hist.all () with
+  | [] -> ()
+  | hists ->
+    Buffer.add_string buf "  \"hists\": {\n";
+    List.iteri
+      (fun i (name, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+             (Obs.Json.to_compact_string (Obs.Hist.summary_json s))
+             (if i = List.length hists - 1 then "" else ",")))
+      hists;
+    Buffer.add_string buf "  },\n")
 
 let run_profile_throughput (jobs : int) (json_path : string) =
   (* Compile (and profile-warm) the suite via the shared cache, then
@@ -735,6 +756,14 @@ let run_incremental_bench (json_path : string) =
       "bench: ERROR: incremental scores diverged from the cold pass";
     exit 1
   end;
+  (* One probe-instrumented warm pass — untimed, outside every measured
+     phase — populates the latency histograms the JSON block below
+     publishes. The timed phases run with probes in the caller's state
+     (off by default), so instrumentation cannot skew the speedups. *)
+  let saved_probes = Obs.Probe.enabled () in
+  Obs.Probe.set_enabled true;
+  ignore (analyze_all sources);
+  Obs.Probe.set_enabled saved_probes;
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -791,6 +820,118 @@ let run_incremental_bench (json_path : string) =
   close_out oc;
   Driver.Incr.clear ();
   Printf.printf "  [incremental analysis written to %s]\n\n" json_path
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: one cold suite+corpus analysis pass timed under
+   three configurations — probes off (master switch gates every site),
+   probes on with histograms suppressed, and the full plane — plus the
+   per-call cost of the recording primitives in a tight loop. The
+   acceptance bar is full-plane overhead within ~2% of probes-off;
+   EXPERIMENTS.md records the measured numbers. *)
+
+let run_probe_overhead (json_path : string) =
+  let corpus =
+    List.concat_map
+      (fun cls ->
+        List.init 40 (fun index ->
+            ( Printf.sprintf "ovh_%s_%03d"
+                (Corpus.Shape.class_to_string cls) index,
+              Corpus.Genprog.generate ~seed:3 ~cls ~size:Corpus.Shape.small
+                ~index )))
+      Corpus.Shape.all_classes
+  in
+  let suite =
+    List.map
+      (fun (p : Suite.Bench_prog.t) ->
+        (p.Suite.Bench_prog.name, p.Suite.Bench_prog.source))
+      Suite.Registry.all
+  in
+  let sources = suite @ corpus in
+  let reps = 5 in
+  let cold_pass () =
+    Driver.Incr.clear ();
+    Driver.Incr.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Parallel.map
+         (fun (name, source) -> ignore (Driver.Incr.analyze ~name source))
+         sources);
+    Unix.gettimeofday () -. t0
+  in
+  let median xs =
+    let a = List.sort compare xs in
+    List.nth a (List.length a / 2)
+  in
+  let timed ~probes ~hists =
+    Obs.Probe.set_enabled probes;
+    Obs.Hist.set_enabled hists;
+    let t = cold_pass () in
+    Obs.Probe.set_enabled false;
+    Obs.Hist.set_enabled true;
+    t
+  in
+  Printf.printf
+    "=== Telemetry overhead (%d programs, cold pass, median of %d) ===\n\n"
+    (List.length sources) reps;
+  (* two untimed warm-ups, then the three configurations interleaved
+     per round so machine drift hits them equally *)
+  ignore (timed ~probes:false ~hists:true);
+  ignore (timed ~probes:true ~hists:true);
+  let off = ref [] and probes_on = ref [] and full = ref [] in
+  for _ = 1 to reps do
+    off := timed ~probes:false ~hists:true :: !off;
+    probes_on := timed ~probes:true ~hists:false :: !probes_on;
+    full := timed ~probes:true ~hists:true :: !full
+  done;
+  Obs.Probe.reset ();
+  Obs.Hist.reset ();
+  let t_off = median !off in
+  let t_probes = median !probes_on in
+  let t_full = median !full in
+  let pct t = 100.0 *. (t -. t_off) /. t_off in
+  Printf.printf "  probes off             %8.3f s\n" t_off;
+  Printf.printf "  probes on, no hists    %8.3f s   (%+.2f%%)\n" t_probes
+    (pct t_probes);
+  Printf.printf "  probes + histograms    %8.3f s   (%+.2f%%)\n\n" t_full
+    (pct t_full);
+  let ns_per_call f =
+    let n = 2_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      f i
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  Obs.Probe.set_enabled true;
+  let count_ns = ns_per_call (fun _ -> Obs.Probe.count "overhead.count") in
+  let observe_ns = ns_per_call (fun i -> Obs.Hist.observe "overhead.ns" i) in
+  Obs.Probe.set_enabled false;
+  let gated_ns = ns_per_call (fun i -> Obs.Hist.observe "overhead.ns" i) in
+  Obs.Probe.reset ();
+  Obs.Hist.reset ();
+  Printf.printf "  Probe.count   %6.1f ns/call   Hist.observe %6.1f \
+                 ns/call   disabled site %6.1f ns/call\n\n"
+    count_ns observe_ns gated_ns;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": \"%s\",\n"
+       (json_escape "pldi94-estimators-probe-overhead"));
+  add_env_block buf;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"programs\": %d,\n  \"reps\": %d,\n  \"probes_off_s\": %.6f,\n  \
+        \"probes_on_s\": %.6f,\n  \"probes_on_pct\": %.3f,\n  \
+        \"histograms_on_s\": %.6f,\n  \"histograms_on_pct\": %.3f,\n  \
+        \"count_ns_per_call\": %.1f,\n  \"observe_ns_per_call\": %.1f,\n  \
+        \"disabled_ns_per_call\": %.1f\n"
+       (List.length sources) reps t_off t_probes (pct t_probes) t_full
+       (pct t_full) count_ns observe_ns gated_ns);
+  Buffer.add_string buf "}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [probe overhead written to %s]\n\n" json_path
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -860,6 +1001,15 @@ let () =
     in
     find args
   in
+  let overhead_only = List.mem "--probe-overhead" args in
+  let overhead_json =
+    let rec find = function
+      | "--overhead-json" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_overhead.json"
+    in
+    find args
+  in
   let solver_only = List.mem "--solver-only" args in
   let solver_json =
     let rec find = function
@@ -901,6 +1051,7 @@ let () =
   warn_single_core ();
   Driver.Trace.with_reporting ~trace ~metrics_out (fun () ->
       if incremental_only then run_incremental_bench incremental_json
+      else if overhead_only then run_probe_overhead overhead_json
       else if solver_only then run_solver_bench solver_json
       else if corpus_only then run_corpus_sweep (max 2 jobs) corpus_json
       else if profile_only then run_profile_throughput (max 2 jobs) profile_json

@@ -14,6 +14,7 @@
      corpus       generate a seeded shaped corpus and score every estimator
      diff         compare a run record against the committed baseline
      serve        warm estimator daemon (newline-delimited JSON protocol)
+     watch        live metrics dashboard over a running daemon
      suite        list the benchmark suite *)
 
 module Pipeline = Core.Pipeline
@@ -662,7 +663,7 @@ let cmd_diff =
 
 let cmd_serve =
   let run jobs () () () budget_mb store socket workers deadline_ms
-      queue_limit connect =
+      queue_limit connect slow_ms slow_log =
     match connect with
     | Some path -> Driver.Serve.client ~socket:path
     | None ->
@@ -674,7 +675,9 @@ let cmd_serve =
             Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
           c_queue_limit = queue_limit;
           c_budget_bytes = budget_mb * 1024 * 1024;
-          c_jobs = jobs }
+          c_jobs = jobs;
+          c_slow_ms = slow_ms;
+          c_slow_log = slow_log }
   in
   let budget_mb =
     Arg.(value & opt int 256 & info [ "budget-mb" ] ~docv:"MB"
@@ -728,20 +731,67 @@ let cmd_serve =
                  daemon listening on $(docv), print one response line \
                  per request, exit. Replaces netcat in scripts.")
   in
+  let slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-request threshold: a request slower than $(docv) \
+                 milliseconds is appended — with its merged parent+\
+                 worker span tree — to the bounded in-memory slow log \
+                 that $(b,metrics) reports.")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+           ~doc:"Also append each slow-request entry to $(docv) as one \
+                 NDJSON line (requires $(b,--slow-ms)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the warm estimator server: newline-delimited JSON \
              requests on stdin or a Unix socket (analyze, scores, \
-             invalidate, stats, resize, shutdown; a blank line flushes \
-             a batch), one JSON response per line. Analyses are served \
-             incrementally from the per-function content-addressed \
+             invalidate, stats, metrics, resize, shutdown; a blank line \
+             flushes a batch), one JSON response per line. Analyses are \
+             served incrementally from the per-function content-addressed \
              store — durably under $(b,--store) — and adjacent analyze \
              requests in a batch run in parallel, in-process or across \
              a supervised $(b,--workers) pool; a failing request \
              degrades its own response, never the daemon.")
     Term.(const run $ jobs_arg $ backend_arg $ solver_arg $ fault_arg
           $ budget_mb $ store $ socket $ workers $ deadline_ms
-          $ queue_limit $ connect)
+          $ queue_limit $ connect $ slow_ms $ slow_log)
+
+(* ---- watch: live dashboard over a daemon's metrics verb ---- *)
+
+let cmd_watch =
+  let run socket interval_ms polls no_clear =
+    Driver.Watch.run ~socket ~interval_ms ~polls ~clear:(not no_clear) ()
+  in
+  let socket =
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the daemon to watch (its \
+                 $(b,--socket) path).")
+  in
+  let interval_ms =
+    Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS"
+           ~doc:"Polling interval.")
+  in
+  let polls =
+    Arg.(value & opt int 0 & info [ "polls" ] ~docv:"N"
+           ~doc:"Stop after $(docv) polls (0 = run until the daemon \
+                 goes away). Scripts use a small count; interactive use \
+                 leaves the default.")
+  in
+  let no_clear =
+    Arg.(value & flag & info [ "no-clear" ]
+           ~doc:"Do not clear the terminal between polls; append each \
+                 dashboard instead (script/CI friendly).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Poll a running estimator daemon's $(b,metrics) verb and \
+             render a refreshing text dashboard: rolling throughput, \
+             latency quantiles (p50/p90/p99/p999), cache hit rate, \
+             queue depth, slow-request count and per-shard \
+             restart/breaker state.")
+    Term.(const run $ socket $ interval_ms $ polls $ no_clear)
 
 (* ---- suite ---- *)
 
@@ -783,6 +833,6 @@ let main =
        ~doc:"Static execution-frequency estimators (PLDI 1994 reproduction)")
     [ cmd_parse; cmd_cfg; cmd_estimate; cmd_inter; cmd_callsites; cmd_run;
       cmd_score; cmd_annotate; cmd_experiment; cmd_record; cmd_corpus;
-      cmd_diff; cmd_serve; cmd_suite ]
+      cmd_diff; cmd_serve; cmd_watch; cmd_suite ]
 
 let () = exit (Cmd.eval main)

@@ -95,6 +95,17 @@ let publish_bytes () =
   Obs.Probe.set_gauge "incr.bytes" (float_of_int !total_bytes);
   Obs.Probe.observe "incr.bytes" (float_of_int !total_bytes)
 
+(* Re-publish gauge levels from current state. [Probe.reset] wipes the
+   gauge table, so a daemon that resets probes per batch would report a
+   missing ["incr.bytes"] until the next store mutation — even though
+   the store still holds (say) everything restored at [open_store].
+   Serve calls this after each per-batch reset; only the gauge is
+   rewritten (no [observe]): nothing changed, so the update history
+   must not grow. *)
+let republish_gauges () : unit =
+  locked (fun () ->
+      Obs.Probe.set_gauge "incr.bytes" (float_of_int !total_bytes))
+
 (* Approximate heap footprint of a payload, in bytes. Intra arrays are
    exact up to headers; compiled programs and profiles are estimated
    from their source/counter sizes — the accounting only has to make
@@ -477,7 +488,7 @@ let score ~name ~estimator ~metric ~value : Score.t =
    always recomputed; only its per-function inputs are cached. Raises
    on invalid source (callers isolate; the serve daemon maps the raise
    to an error response). *)
-let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
+let analyze_body ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
     ?(runs : Pipeline.run list = []) ?(deadline_s : float option)
     ~(name : string) (source : string) : analysis =
   let started = Unix.gettimeofday () in
@@ -624,3 +635,8 @@ let analyze ?(kinds : Pipeline.intra_kind list = Pipeline.all_intra_kinds)
     an_intra;
     an_inter = inter;
     an_scores }
+
+let analyze ?kinds ?runs ?deadline_s ~(name : string) (source : string) :
+    analysis =
+  Obs.Hist.time "incr.analyze.ns" (fun () ->
+      analyze_body ?kinds ?runs ?deadline_s ~name source)

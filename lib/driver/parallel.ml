@@ -161,12 +161,13 @@ let get_pool () : pool =
    independence depends on that. *)
 let run_one (f : 'a -> 'b) (x : 'a) (i : int) :
     ('b, exn * Printexc.raw_backtrace) result =
-  match
-    Obs.Inject.fire "worker" ~key:(string_of_int i);
-    f x
-  with
-  | v -> Ok v
-  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  Obs.Hist.time "parallel.task.ns" (fun () ->
+      match
+        Obs.Inject.fire "worker" ~key:(string_of_int i);
+        f x
+      with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ()))
 
 (* One fan-out/merge cycle yielding per-slot outcomes. The caller seeds
    the queue, then alternates between draining tasks itself and sleeping

@@ -19,6 +19,7 @@
                {"id": .., "op": "scores", "name": s}
                {"id": .., "op": "invalidate", "name": s?}
                {"id": .., "op": "stats"}
+               {"id": .., "op": "metrics"}
                {"id": .., "op": "resize", "jobs": n}
                {"id": .., "op": "shutdown"}
    Responses:  {"id": .., "ok": true, ...}    (per-op payload below)
@@ -194,6 +195,73 @@ let deadline_response (id : Json.t) ~(name : string) (seconds : float) :
   with_marker "deadline_exceeded" (fault_error id f)
 
 (* ------------------------------------------------------------------ *)
+(* The metrics snapshot: one JSON object of every counter, gauge and
+   histogram summary, plus the slow-request log. Schema versioned like
+   the run-record schema; bump on any shape change. *)
+
+let metrics_schema_version = 1
+
+let metrics_payload () : (string * Json.t) list =
+  let num i = Json.Num (float_of_int i) in
+  let counters =
+    Json.Obj
+      (List.map
+         (fun (name, c) ->
+           ( name,
+             Json.Obj
+               [ ("hits", num c.Obs.Probe.hits);
+                 ("total", Json.Num c.Obs.Probe.total);
+                 ("min", Json.Num c.Obs.Probe.vmin);
+                 ("max", Json.Num c.Obs.Probe.vmax) ] ))
+         (Obs.Probe.counters ()))
+  in
+  (* Gauges carry a shard label from day one so local and merged
+     snapshots parse identically; -1 is "this process" (the parent, or
+     an unsharded daemon). *)
+  let gauges =
+    Json.Obj
+      (List.map
+         (fun (name, v) ->
+           ( name,
+             Json.Obj
+               [ ("value", Json.Num v); ("shard", num (-1));
+                 ("per_shard", Json.Arr [ Json.Arr [ num (-1); Json.Num v ] ])
+               ] ))
+         (Obs.Probe.gauges ()))
+  in
+  let hists =
+    Json.Obj
+      (List.map
+         (fun (name, s) -> (name, Obs.Hist.summary_json s))
+         (Obs.Hist.all ()))
+  in
+  let recent =
+    let entries = Reqtrace.slow_entries () in
+    let skip = List.length entries - 8 in
+    List.filteri (fun i _ -> i >= skip) entries
+  in
+  let slow =
+    Json.Obj
+      [ ( "threshold_ms",
+          match Reqtrace.slow_ms () with
+          | None -> Json.Null
+          | Some t -> Json.Num t );
+        ("count", num (Reqtrace.slow_count ()));
+        ("recent", Json.Arr (List.map Reqtrace.slow_entry_to_json recent)) ]
+  in
+  [ ("schema", num metrics_schema_version);
+    ("counters", counters);
+    ("gauges", gauges);
+    ("hists", hists);
+    ("slow", slow);
+    ("workers", num 0);
+    ("workers_alive", num 0);
+    ("worker_restarts", num 0);
+    ("worker_lost", num 0);
+    ("shards", Json.Arr []);
+    ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ]
+
+(* ------------------------------------------------------------------ *)
 (* Per-request handlers. *)
 
 (* Last successful analysis per program name, so [scores] can answer
@@ -306,6 +374,7 @@ let handle_control (stop : bool ref) (rq : request) : Json.t =
         (* Re-read per request — a long-running daemon must report the
            repository's rev as it is *now*, not at startup. *)
         ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ]
+  | "metrics" -> ok_response rq.rq_id (metrics_payload ())
   | "resize" ->
     (match Option.bind (Json.member "jobs" rq.rq_body) Json.to_num with
     | None -> plain_error rq.rq_id "resize needs a numeric \"jobs\" field"
@@ -326,8 +395,23 @@ let handle_control (stop : bool ref) (rq : request) : Json.t =
    handler, turns that into a typed response. *)
 
 let handle_one_line ?(deadline_s : float option) (line : string) : string =
-  let resp =
-    match parse_request line with
+  let parsed = parse_request line in
+  (* The parent's tracing envelope: ["__trace"] asks for our span
+     subtree back; ["__seq"] is the daemon-assigned request id, echoed
+     inside the subtree envelope so the parent can verify it grafts the
+     right request's spans. *)
+  let want_trace =
+    match parsed with
+    | Ok rq -> Json.member "__trace" rq.rq_body = Some (Json.Bool true)
+    | Error _ -> false
+  in
+  let seq =
+    match parsed with
+    | Ok rq -> Option.bind (Json.member "__seq" rq.rq_body) Json.to_num
+    | Error _ -> None
+  in
+  let handle () =
+    match parsed with
     | Error (id, msg) -> plain_error id msg
     | Ok rq when rq.rq_op = "analyze" ->
       (match member_str "name" rq.rq_body with
@@ -343,10 +427,34 @@ let handle_one_line ?(deadline_s : float option) (line : string) : string =
         | Error resp -> resp))
     | Ok rq -> handle_control (ref false) rq
   in
+  let resp, root =
+    Obs.Hist.time "serve.handle.ns" (fun () ->
+        if want_trace then Reqtrace.with_root handle else (handle (), -1))
+  in
+  let resp =
+    if want_trace && root >= 0 then
+      match (Reqtrace.tree_of_root root (Obs.Probe.spans ()), resp) with
+      | Some tree, Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [ ( "__spans",
+                Json.Obj
+                  [ ( "seq",
+                      match seq with Some s -> Json.Num s | None -> Json.Null
+                    );
+                    ("tree", Reqtrace.tree_to_json tree) ] ) ])
+      | _ -> resp
+    else resp
+  in
   let s = Json.to_compact_string resp in
   (* One request is this process's whole batch: reset the log after the
-     response (which already carries any fault detail) is built. *)
+     response (which already carries any fault detail) is built. Store
+     gauges are re-published and span buffers dropped for the same
+     bounded-memory reason — counters and histograms accumulate for the
+     life of the worker; [metrics] reads them. *)
   Fault.reset ();
+  Incr.republish_gauges ();
+  if Obs.Probe.enabled () then Obs.Probe.reset_spans ();
   s
 
 (* ------------------------------------------------------------------ *)
@@ -430,68 +538,312 @@ let merge_stats (pool : Supervise.t) (id : Json.t)
         ("worker_lost", num (float_of_int (Supervise.lost pool)));
         ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ])
 
+(* Aggregate [metrics] across the parent and every shard. Counters are
+   sums (hits and totals add; min-of-mins, max-of-maxes) and histograms
+   are bucket merges — both order-independent. Gauges are NOT summed:
+   each shard's level was sampled at a different instant, so the merged
+   entry reports the per-shard maximum, labelled with the shard that
+   holds it, plus the full per-shard list ([[-1, v] is the parent). A
+   client wanting total store bytes across shards reads [stats.bytes],
+   which sums a consistent per-store field instead. *)
+let merge_metrics (pool : Supervise.t) (id : Json.t)
+    (replies : (int * Supervise.outcome) list) : Json.t =
+  let num i = Json.Num (float_of_int i) in
+  let fnum field j = Option.bind (Json.member field j) Json.to_num in
+  let parent = Json.Obj (metrics_payload ()) in
+  let sources =
+    (-1, parent)
+    :: List.filter_map
+         (fun (shard, o) ->
+           match o with
+           | Supervise.Reply l ->
+             (match Json.parse l with
+             | Ok j -> Some (shard, j)
+             | Error _ -> None)
+           | Supervise.Deadline _ | Supervise.Lost _ -> None)
+         replies
+  in
+  let counters : (string, float * float * float * float) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let gauges : (string, (int * float) list) Hashtbl.t = Hashtbl.create 16 in
+  let hists : (string, Obs.Hist.snapshot) Hashtbl.t = Hashtbl.create 16 in
+  let fold_obj j field f =
+    match Json.member field j with
+    | Some (Json.Obj entries) -> List.iter f entries
+    | _ -> ()
+  in
+  List.iter
+    (fun (shard, j) ->
+      fold_obj j "counters" (fun (name, c) ->
+          match (fnum "hits" c, fnum "total" c, fnum "min" c, fnum "max" c)
+          with
+          | Some h, Some t, Some mn, Some mx ->
+            let merged =
+              match Hashtbl.find_opt counters name with
+              | None -> (h, t, mn, mx)
+              | Some (h0, t0, mn0, mx0) ->
+                (h0 +. h, t0 +. t, Float.min mn0 mn, Float.max mx0 mx)
+            in
+            Hashtbl.replace counters name merged
+          | _ -> ());
+      fold_obj j "gauges" (fun (name, g) ->
+          match fnum "value" g with
+          | Some v ->
+            Hashtbl.replace gauges name
+              (Option.value ~default:[] (Hashtbl.find_opt gauges name)
+              @ [ (shard, v) ])
+          | None -> ());
+      fold_obj j "hists" (fun (name, h) ->
+          match Obs.Hist.of_json h with
+          | Some s ->
+            let s0 =
+              Option.value ~default:Obs.Hist.empty (Hashtbl.find_opt hists name)
+            in
+            Hashtbl.replace hists name (Obs.Hist.merge s0 s)
+          | None -> ()))
+    sources;
+  let sorted tbl f =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (k, v) -> (k, f v))
+  in
+  let counters_json =
+    Json.Obj
+      (sorted counters (fun (h, t, mn, mx) ->
+           Json.Obj
+             [ ("hits", Json.Num h); ("total", Json.Num t);
+               ("min", Json.Num mn); ("max", Json.Num mx) ]))
+  in
+  let gauges_json =
+    Json.Obj
+      (sorted gauges (fun per_shard ->
+           let best_shard, best =
+             List.fold_left
+               (fun (bs, bv) (s, v) -> if v > bv then (s, v) else (bs, bv))
+               (List.hd per_shard) (List.tl per_shard)
+           in
+           Json.Obj
+             [ ("value", Json.Num best); ("shard", num best_shard);
+               ( "per_shard",
+                 Json.Arr
+                   (List.map
+                      (fun (s, v) -> Json.Arr [ num s; Json.Num v ])
+                      per_shard) ) ]))
+  in
+  let hists_json = Json.Obj (sorted hists Obs.Hist.summary_json) in
+  let shards_json =
+    Json.Arr
+      (List.map
+         (fun (ss : Supervise.shard_state) ->
+           Json.Obj
+             [ ("shard", num ss.Supervise.ss_shard);
+               ("alive", Json.Bool ss.Supervise.ss_alive);
+               ("crashes", num ss.Supervise.ss_crashes);
+               ("broken", Json.Bool ss.Supervise.ss_broken);
+               ("restarts", num ss.Supervise.ss_restarts) ])
+         (Supervise.shard_states pool))
+  in
+  ok_response id
+    [ ("schema", num metrics_schema_version);
+      ("counters", counters_json);
+      ("gauges", gauges_json);
+      ("hists", hists_json);
+      (* The slow log lives in the parent: slow detection times the
+         whole round trip, and only the parent holds merged trees. *)
+      ("slow", Option.value ~default:Json.Null (Json.member "slow" parent));
+      ("workers", num (Supervise.size pool));
+      ("workers_alive", num (Supervise.alive pool));
+      ("worker_restarts", num (Supervise.restarts pool));
+      ("worker_lost", num (Supervise.lost pool));
+      ("shards", shards_json);
+      ("git_rev", Json.Str (Obs.Envmeta.git_rev ())) ]
+
+(* One request's telemetry, gathered while its group executes and
+   resolved after the whole batch: the histogram recording and slow
+   detection need [Probe.spans], which is only safe to snapshot once no
+   fan-out is running. *)
+type req_telemetry = {
+  rt_id : Json.t;                   (* client id, echoed in slow entries *)
+  rt_op : string;
+  rt_name : string;
+  rt_dur_s : float;
+  rt_root : int;                    (* local span root, or -1 *)
+  rt_tree : Reqtrace.tree option;   (* pre-merged (sharded graft) *)
+}
+
+(* Requests answered since startup; the source of [__seq], the request
+   id the daemon assigns at ingress. Only written from the sequential
+   batch path. *)
+let req_seq = ref 0
+
+(* Strip a worker's ["__spans"] envelope off its reply line, returning
+   the client-facing line and the shipped tree — only when the echoed
+   sequence number proves the subtree belongs to this request. *)
+let strip_spans ~(seq : int) (line : string) :
+    string * Reqtrace.tree option =
+  match Json.parse line with
+  | Ok (Json.Obj fields) when List.mem_assoc "__spans" fields ->
+    let env = List.assoc "__spans" fields in
+    let rest = List.filter (fun (k, _) -> k <> "__spans") fields in
+    let tree =
+      match Option.bind (Json.member "seq" env) Json.to_num with
+      | Some s when int_of_float s = seq ->
+        Option.bind (Json.member "tree" env) Reqtrace.tree_of_json
+      | _ -> None
+    in
+    (Json.to_compact_string (Json.Obj rest), tree)
+  | Ok _ | Error _ -> (line, None)
+
 let handle_batch ?(deadline_s : float option) ?(dispatcher = Local)
     (stop : bool ref) (lines : string list) : string list =
   let n = List.length lines in
   let responses = Array.make n "" in
   let put i j = responses.(i) <- Json.to_compact_string j in
+  let tracing = Obs.Probe.enabled () && Reqtrace.slow_ms () <> None in
+  let seq_base = !req_seq in
+  req_seq := !req_seq + n;
+  let seq_of i = seq_base + i in
+  let telemetry : req_telemetry list ref = ref [] in
+  let note ?tree ?(root = -1) ~id ~op ~name dur_s =
+    if Obs.Probe.enabled () then
+      telemetry :=
+        { rt_id = id; rt_op = op; rt_name = name; rt_dur_s = dur_s;
+          rt_root = root; rt_tree = tree }
+        :: !telemetry
+  in
+  let name_of (rq : request) =
+    Option.value ~default:"" (member_str "name" rq.rq_body)
+  in
+  let now = Unix.gettimeofday in
+  (* Plain forwarding for broadcasts; traced forwarding (the tracing
+     envelope rides inside the NDJSON request object) for routed
+     requests, whose replies come back through [strip_spans]. *)
   let forward (rq : request) : string = Json.to_compact_string rq.rq_body in
+  let forward_traced (rq : request) (seq : int) : string =
+    if not tracing then forward rq
+    else
+      match rq.rq_body with
+      | Json.Obj fields ->
+        Json.to_compact_string
+          (Json.Obj
+             (fields
+             @ [ ("__trace", Json.Bool true);
+                 ("__seq", Json.Num (float_of_int seq)) ]))
+      | _ -> forward rq
+  in
+  let unstrip slot line =
+    if tracing then strip_spans ~seq:(seq_of slot) line else (line, None)
+  in
   List.iter
     (fun group ->
       match group with
-      | Malformed (i, resp) -> put i resp
+      | Malformed (i, resp) ->
+        put i resp;
+        note ~id:(Option.value ~default:Json.Null (Json.member "id" resp))
+          ~op:"malformed" ~name:"" 0.0
       | _ when !stop ->
         let reject i (rq : request) =
-          put i (plain_error rq.rq_id "server is shutting down")
+          put i (plain_error rq.rq_id "server is shutting down");
+          note ~id:rq.rq_id ~op:rq.rq_op ~name:(name_of rq) 0.0
         in
         (match group with
         | Analyzes rqs -> List.iter (fun (i, rq) -> reject i rq) rqs
         | Control (i, rq) -> reject i rq
         | Malformed _ -> ())
       | Control (i, rq) -> (
+        let t0 = now () in
         match dispatcher with
-        | Local -> put i (handle_control stop rq)
-        | Sharded pool -> (
-          match rq.rq_op with
+        | Local ->
+          let resp, root =
+            Reqtrace.with_root (fun () -> handle_control stop rq)
+          in
+          put i resp;
+          note ~root ~id:rq.rq_id ~op:rq.rq_op ~name:(name_of rq)
+            (now () -. t0)
+        | Sharded pool ->
+          let finish () =
+            note ~id:rq.rq_id ~op:rq.rq_op ~name:(name_of rq) (now () -. t0)
+          in
+          (match rq.rq_op with
           | "shutdown" ->
             stop := true;
-            put i (ok_response rq.rq_id [ ("stopping", Json.Bool true) ])
+            put i (ok_response rq.rq_id [ ("stopping", Json.Bool true) ]);
+            finish ()
           | "resize" ->
             put i
               (plain_error rq.rq_id
                  "resize is unavailable with --workers; restart the \
-                  daemon to change the worker count")
+                  daemon to change the worker count");
+            finish ()
           | "stats" ->
             put i
               (merge_stats pool rq.rq_id
-                 (Supervise.broadcast pool (forward rq)))
+                 (Supervise.broadcast pool (forward rq)));
+            finish ()
+          | "metrics" ->
+            put i
+              (merge_metrics pool rq.rq_id
+                 (Supervise.broadcast pool (forward rq)));
+            finish ()
           | "invalidate" when member_str "name" rq.rq_body = None ->
             ignore (Supervise.broadcast pool (forward rq));
-            put i (ok_response rq.rq_id [ ("cleared", Json.Bool true) ])
+            put i (ok_response rq.rq_id [ ("cleared", Json.Bool true) ]);
+            finish ()
           | "scores" | "invalidate" -> (
             match member_str "name" rq.rq_body with
             | None ->
               put i
-                (plain_error rq.rq_id (rq.rq_op ^ " needs a \"name\" field"))
-            | Some name -> (
-              match Supervise.request pool ~key:name (forward rq) with
-              | Supervise.Reply l -> responses.(i) <- l
+                (plain_error rq.rq_id (rq.rq_op ^ " needs a \"name\" field"));
+              finish ()
+            | Some name ->
+              let shard = Supervise.shard_of pool name in
+              let graft wtree =
+                if tracing then
+                  Some
+                    (Reqtrace.graft ~shard
+                       ~roundtrip_ns:
+                         (Int64.of_float ((now () -. t0) *. 1e9))
+                       wtree)
+                else None
+              in
+              (match
+                 Supervise.request pool ~key:name (forward_traced rq (seq_of i))
+               with
+              | Supervise.Reply l ->
+                let l, wtree = unstrip i l in
+                responses.(i) <- l;
+                note ?tree:(graft wtree) ~id:rq.rq_id ~op:rq.rq_op ~name
+                  (now () -. t0)
               | Supervise.Deadline s ->
-                put i (deadline_response rq.rq_id ~name s)
+                put i (deadline_response rq.rq_id ~name s);
+                note ?tree:(graft None) ~id:rq.rq_id ~op:rq.rq_op ~name
+                  (now () -. t0)
               | Supervise.Lost d ->
-                put i (worker_lost_response rq.rq_id ~name d)))
-          | op -> put i (plain_error rq.rq_id (Printf.sprintf "unknown op %S" op))))
+                put i (worker_lost_response rq.rq_id ~name d);
+                note ?tree:(graft None) ~id:rq.rq_id ~op:rq.rq_op ~name
+                  (now () -. t0)))
+          | op ->
+            put i (plain_error rq.rq_id (Printf.sprintf "unknown op %S" op));
+            finish ()))
       | Analyzes rqs -> (
         match dispatcher with
         | Local ->
           let outcomes =
-            Parallel.map (fun (_, rq) -> run_analyze ?deadline_s rq) rqs
+            Parallel.map
+              (fun (_, rq) ->
+                let t0 = now () in
+                let outcome, root =
+                  Reqtrace.with_root (fun () -> run_analyze ?deadline_s rq)
+                in
+                (outcome, root, now () -. t0))
+              rqs
           in
           List.iter2
-            (fun (i, rq) outcome ->
+            (fun (i, rq) (outcome, root, dur) ->
+              note ~root ~id:rq.rq_id ~op:"analyze" ~name:(name_of rq) dur;
               match outcome with
               | Ok a ->
-                ignore rq;
                 Hashtbl.replace last_scores a.Incr.an_name a.Incr.an_scores;
                 put i (analysis_response rq.rq_id a)
               | Error resp -> put i resp)
@@ -504,29 +856,72 @@ let handle_batch ?(deadline_s : float option) ?(dispatcher = Local)
                 | None ->
                   put i
                     (plain_error rq.rq_id "analyze needs a \"name\" field");
+                  note ~id:rq.rq_id ~op:"analyze" ~name:"" 0.0;
                   None
-                | Some name -> Some (i, name, forward rq, rq))
+                | Some name ->
+                  Some (i, name, forward_traced rq (seq_of i), rq))
               rqs
           in
           let by_slot = List.map (fun (i, _, _, rq) -> (i, rq)) items in
           let outcomes =
-            Supervise.request_many pool
+            Supervise.request_many_timed pool
               (List.map (fun (i, key, line, _) -> (i, key, line)) items)
           in
           List.iter
-            (fun (slot, outcome) ->
+            (fun (slot, outcome, dur) ->
               let rq = List.assoc slot by_slot in
               let name =
                 Option.value ~default:"?" (member_str "name" rq.rq_body)
               in
+              let shard = Supervise.shard_of pool name in
+              let graft wtree =
+                if tracing then
+                  Some
+                    (Reqtrace.graft ~shard
+                       ~roundtrip_ns:(Int64.of_float (dur *. 1e9))
+                       wtree)
+                else None
+              in
               match outcome with
-              | Supervise.Reply l -> responses.(slot) <- l
+              | Supervise.Reply l ->
+                let l, wtree = unstrip slot l in
+                responses.(slot) <- l;
+                note ?tree:(graft wtree) ~id:rq.rq_id ~op:"analyze" ~name dur
               | Supervise.Deadline s ->
-                put slot (deadline_response rq.rq_id ~name s)
+                put slot (deadline_response rq.rq_id ~name s);
+                note ?tree:(graft None) ~id:rq.rq_id ~op:"analyze" ~name dur
               | Supervise.Lost d ->
-                put slot (worker_lost_response rq.rq_id ~name d))
+                put slot (worker_lost_response rq.rq_id ~name d);
+                note ?tree:(graft None) ~id:rq.rq_id ~op:"analyze" ~name dur)
             outcomes))
     (group_requests lines);
+  (* Resolve telemetry after the last fan-out: record every request's
+     latency, then slow-log anything over threshold with its merged
+     tree. One span dump serves the whole batch; dropping the spans
+     afterwards is what keeps a long-running daemon's memory bounded. *)
+  if Obs.Probe.enabled () then begin
+    let spans = lazy (Obs.Probe.spans ()) in
+    let threshold = Reqtrace.slow_ms () in
+    List.iter
+      (fun rt ->
+        Obs.Hist.observe "serve.request.ns"
+          (int_of_float (rt.rt_dur_s *. 1e9));
+        let ms = rt.rt_dur_s *. 1000.0 in
+        match threshold with
+        | Some t when ms >= t ->
+          let tree =
+            match rt.rt_tree with
+            | Some _ as tr -> tr
+            | None when rt.rt_root >= 0 ->
+              Reqtrace.tree_of_root rt.rt_root (Lazy.force spans)
+            | None -> None
+          in
+          Reqtrace.note_slow ~id:rt.rt_id ~op:rt.rt_op ~name:rt.rt_name ~ms
+            tree
+        | _ -> ())
+      (List.rev !telemetry);
+    Obs.Probe.reset_spans ()
+  end;
   Array.to_list responses
 
 (* ------------------------------------------------------------------ *)
@@ -547,8 +942,12 @@ let serve (ic : in_channel) (oc : out_channel) : unit =
           | Some lines ->
             t.Transport.write_lines (handle_batch stop lines);
             (* Bound the daemon's memory: the fault log only ever holds
-               the current batch's faults. *)
+               the current batch's faults. Store gauges are re-published
+               right after — a [metrics] call in the next batch must
+               never see the cache-size gauge missing because something
+               reset the probe tables. *)
             Fault.reset ();
+            Incr.republish_gauges ();
             loop ()
       in
       loop ())
@@ -564,12 +963,14 @@ type config = {
   c_queue_limit : int;        (* pending-request admission limit *)
   c_budget_bytes : int;
   c_jobs : int;
+  c_slow_ms : float option;   (* slow-request log threshold *)
+  c_slow_log : string option; (* NDJSON sink for slow entries *)
 }
 
 let default_config =
   { c_socket = None; c_store = None; c_workers = 0; c_deadline_s = None;
     c_queue_limit = 256; c_budget_bytes = Incr.default_budget;
-    c_jobs = Parallel.default_jobs () }
+    c_jobs = Parallel.default_jobs (); c_slow_ms = None; c_slow_log = None }
 
 (* Degradation is cumulative across the daemon's whole life even though
    the fault log resets per batch: any degraded batch turns the
@@ -585,7 +986,8 @@ let note_batch_faults () : unit =
     prerr_string (Fault.summary ());
     flush stderr
   end;
-  Fault.reset ()
+  Fault.reset ();
+  Incr.republish_gauges ()
 
 let finalize_and_exit ~(dispatcher : dispatcher) () : 'a =
   (* Stop accepting; workers see EOF, take their final snapshot and
@@ -736,6 +1138,14 @@ let serve_socket ~(dispatcher : dispatcher) ?(deadline_s : float option)
   loop ()
 
 let run (config : config) : 'a =
+  (* The daemon IS the telemetry plane: probes record from the first
+     request. Span memory stays bounded through the per-batch
+     [reset_spans] in [handle_batch]; counters, gauges and histograms
+     accumulate for the daemon's life and surface through [metrics].
+     Enabled before the worker forks, so shards inherit it. *)
+  Obs.Probe.set_enabled true;
+  Reqtrace.set_slow_ms config.c_slow_ms;
+  Reqtrace.set_slow_sink config.c_slow_log;
   Parallel.set_jobs config.c_jobs;
   Incr.set_budget config.c_budget_bytes;
   let dispatcher =

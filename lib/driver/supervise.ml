@@ -40,6 +40,7 @@ type worker = {
   mutable w_alive : bool;
   mutable w_crashes : int;         (* consecutive, reset on a reply *)
   mutable w_broken : bool;         (* circuit breaker tripped *)
+  mutable w_restarts : int;        (* lifetime respawns of this shard *)
 }
 
 type t = {
@@ -67,6 +68,25 @@ let alive (t : t) =
 
 let pids (t : t) =
   Array.to_list (Array.map (fun w -> w.w_pid) t.p_workers)
+
+(* Per-shard health, for the [metrics] verb: restart and breaker state
+   the summed pool counters cannot attribute to a shard. *)
+type shard_state = {
+  ss_shard : int;
+  ss_alive : bool;
+  ss_crashes : int;     (* consecutive, toward the breaker *)
+  ss_broken : bool;
+  ss_restarts : int;
+}
+
+let shard_states (t : t) : shard_state list =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         { ss_shard = w.w_shard; ss_alive = w.w_alive;
+           ss_crashes = w.w_crashes; ss_broken = w.w_broken;
+           ss_restarts = w.w_restarts })
+       t.p_workers)
 
 (* Stable request routing: depends only on the key string, never on
    pool state, so a restarted daemon shards identically. *)
@@ -164,6 +184,7 @@ let handle_death (t : t) (w : worker) ~(crash : bool) : unit =
   else begin
     if crash then Unix.sleepf (backoff_delay w);
     t.p_restarts <- t.p_restarts + 1;
+    w.w_restarts <- w.w_restarts + 1;
     Obs.Probe.count "serve.worker_restart";
     spawn t w
   end
@@ -180,7 +201,7 @@ let start ~(workers : int) ?(deadline_s : float option)
         Array.init workers (fun shard ->
             { w_shard = shard; w_pid = 0; w_fd = Unix.stdin;
               w_buf = Buffer.create 4096; w_alive = false; w_crashes = 0;
-              w_broken = false });
+              w_broken = false; w_restarts = 0 });
       p_init = init;
       p_finalize = finalize;
       p_handler = handler;
@@ -248,9 +269,12 @@ let circuit_msg (w : worker) : string =
    workers: every shard serves its queue in lockstep (one in-flight
    request) while the parent selects over all in-flight pipes, so
    distinct shards make progress concurrently. Returns one outcome per
-   slot, in completion order. *)
-let run_requests (t : t) (items : (int * int * string * string) list) :
-    (int * outcome) list =
+   slot, in completion order, with the slot's wall-clock seconds from
+   fan-out start to completion — queue wait included, which is what the
+   client experienced. *)
+let run_requests_timed (t : t) (items : (int * int * string * string) list) :
+    (int * outcome * float) list =
+  let t0 = Unix.gettimeofday () in
   let n = Array.length t.p_workers in
   let queues = Array.make n [] in
   List.iter
@@ -264,7 +288,7 @@ let run_requests (t : t) (items : (int * int * string * string) list) :
   let results = ref [] in
   let outstanding = ref (List.length items) in
   let finish (pd : pending) (o : outcome) : unit =
-    results := (pd.pd_slot, o) :: !results;
+    results := (pd.pd_slot, o, Unix.gettimeofday () -. t0) :: !results;
     decr outstanding
   in
   let deadline_abs () =
@@ -386,10 +410,18 @@ let run_requests (t : t) (items : (int * int * string * string) list) :
   done;
   !results
 
+let run_requests (t : t) (items : (int * int * string * string) list) :
+    (int * outcome) list =
+  List.map (fun (slot, o, _) -> (slot, o)) (run_requests_timed t items)
+
+let request_many_timed (t : t) (reqs : (int * string * string) list) :
+    (int * outcome * float) list =
+  run_requests_timed t
+    (List.map (fun (slot, key, line) -> (slot, shard_of t key, key, line)) reqs)
+
 let request_many (t : t) (reqs : (int * string * string) list) :
     (int * outcome) list =
-  run_requests t
-    (List.map (fun (slot, key, line) -> (slot, shard_of t key, key, line)) reqs)
+  List.map (fun (slot, o, _) -> (slot, o)) (request_many_timed t reqs)
 
 let request (t : t) ~(key : string) (line : string) : outcome =
   match request_many t [ (0, key, line) ] with

@@ -64,6 +64,7 @@ let solve_inplace (m : Matrix.t) (x : float array) : float array =
   if m.Matrix.cols <> n then invalid_arg "Linsolve.solve: not square";
   if Array.length x <> n then invalid_arg "Linsolve.solve: bad rhs";
   Obs.Probe.count "linsolve.solve";
+  Obs.Hist.time "linsolve.solve.ns" @@ fun () ->
   Obs.Probe.with_span "linsolve" @@ fun () ->
   let data = m.Matrix.data in
   let idx i j = (i * n) + j in
@@ -163,6 +164,7 @@ let solve_dense ~(scale : float) ~(n : int) ~(source : int)
 let solve_sparse ~(scale : float) ~(n : int) ~(source : int)
     (arcs : Csr.arcs_iter) : float array =
   Obs.Probe.count "linsolve.sparse.solve";
+  Obs.Hist.time "linsolve.solve.ns" @@ fun () ->
   Obs.Probe.with_span "linsolve.sparse" @@ fun () ->
   let a = Csr.of_markov_arcs ~scale ~n arcs in
   let b = Scratch.rhs (Scratch.get ()) n in

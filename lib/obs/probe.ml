@@ -154,6 +154,11 @@ let gauges () : (string * float) list =
 
 (* ------------------------------------------------------------------ *)
 
+let reset_spans () =
+  Mutex.lock registry_lock;
+  List.iter (fun buf -> buf := []) !registry;
+  Mutex.unlock registry_lock
+
 let reset () =
   Mutex.lock counter_lock;
   Hashtbl.reset counter_table;
@@ -161,7 +166,5 @@ let reset () =
   Mutex.lock gauge_lock;
   Hashtbl.reset gauge_table;
   Mutex.unlock gauge_lock;
-  Mutex.lock registry_lock;
-  List.iter (fun buf -> buf := []) !registry;
-  Mutex.unlock registry_lock;
+  reset_spans ();
   Atomic.set next_id 0

@@ -29,6 +29,18 @@ val reset : unit -> unit
 (** Drop all recorded spans and counters. Call between parallel
     regions only. *)
 
+val reset_spans : unit -> unit
+(** Drop recorded spans only, keeping counters and gauges. A
+    long-running daemon calls this per batch to bound span-buffer
+    memory without losing its cumulative counters — the [metrics]
+    verb reports since-startup totals. Span ids keep counting up
+    (they are not reset), so ids stay unique across batches. *)
+
+val now_ns : unit -> int64
+(** The monotonic clock probes time spans with — exposed so other
+    telemetry (histograms, the serve request timer) shares one
+    timebase. *)
+
 (** {1 Spans} *)
 
 val with_span : string -> (unit -> 'a) -> 'a

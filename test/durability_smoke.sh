@@ -124,4 +124,37 @@ rc2="$(cat "$dir/chaos2.out.rc")"
 n_ok="$(grep -c '"ok":true' "$dir/chaos1.out" || true)"
 [ "$n_ok" -gt 0 ]           || fail "chaos killed every request, not just the doomed"
 
-echo "durability_smoke: OK (restored=$restored, doomed ids: $(echo $doomed1 | tr '\n' ' '))"
+# --- leg 5: the telemetry plane across the fork boundary --------------
+# A sharded daemon with the slow threshold forced to zero: every
+# request lands in the slow log with a span tree merged from parent
+# and worker processes, and the metrics verb returns one snapshot
+# whose request histogram counts exactly the requests served.
+rm -f "$dir/sock"
+"$BIN" serve --socket "$dir/sock" --workers 2 --slow-ms 0 \
+  --slow-log "$dir/slow.ndjson" > /dev/null 2> "$dir/telemetry.err" &
+srv=$!
+wait_path "$dir/sock"
+
+"$BIN" serve --connect "$dir/sock" < "$dir/chaos.session" > "$dir/telemetry.out"
+n_served="$(grep -c '"ok":true' "$dir/telemetry.out" || true)"
+[ "$n_served" -eq 8 ] || fail "telemetry daemon served $n_served of 8 requests"
+
+printf '{"id":9,"op":"metrics"}\n' \
+  | "$BIN" serve --connect "$dir/sock" > "$dir/metrics.out"
+grep -q '"ok":true' "$dir/metrics.out"   || fail "metrics verb not ok"
+grep -q '"schema":1' "$dir/metrics.out"  || fail "metrics snapshot lacks its schema version"
+grep -q '"workers":2' "$dir/metrics.out" || fail "metrics snapshot lacks the worker count"
+req_count="$(sed -n 's/.*"serve\.request\.ns":{"count":\([0-9][0-9]*\).*/\1/p' "$dir/metrics.out")"
+[ "$req_count" = "8" ] || fail "serve.request.ns counted $req_count requests (want 8)"
+
+kill -TERM "$srv"
+rc=0; wait "$srv" || rc=$?
+[ "$rc" -eq 0 ] || fail "telemetry daemon drained with exit $rc (want 0)"
+
+[ -s "$dir/slow.ndjson" ] || fail "forced-slow requests left no slow log"
+grep -q '"label":"request"' "$dir/slow.ndjson" \
+  || fail "slow entries lack the parent-side span"
+grep -q '"label":"worker:' "$dir/slow.ndjson" \
+  || fail "slow entries lack the worker-side spans"
+
+echo "durability_smoke: OK (restored=$restored, doomed ids: $(echo $doomed1 | tr '\n' ' '), slow entries: $(wc -l < "$dir/slow.ndjson"))"

@@ -125,4 +125,29 @@ done
 line 4 | grep -q '"ok":true'            || fail "undersized batch was shed too"
 line 5 | grep -q '"stopping":true'      || fail "shed session: shutdown not acknowledged"
 
+# --- live metrics plane: `bin watch` against a socket daemon ----------
+sock="$dir/watch.sock"
+"$BIN" serve --socket "$sock" > /dev/null 2> "$dir/watch.err" &
+srv=$!
+_i=0
+while [ ! -S "$sock" ]; do
+  _i=$((_i + 1))
+  [ "$_i" -lt 100 ] || fail "watch daemon socket never appeared"
+  sleep 0.1
+done
+
+printf '{"id":1,"op":"analyze","name":"watched","source":"int main() { return 0; }\\n"}\n\n' \
+  | "$BIN" serve --connect "$sock" > /dev/null
+
+"$BIN" watch --connect "$sock" --polls 2 --interval-ms 100 --no-clear \
+  > "$dir/watch.out"
+grep -q 'estimator daemon' "$dir/watch.out" || fail "watch printed no header"
+grep -q 'requests'         "$dir/watch.out" || fail "watch printed no throughput line"
+grep -q 'latency'          "$dir/watch.out" || fail "watch printed no latency line"
+grep -q 'cache'            "$dir/watch.out" || fail "watch printed no cache line"
+
+kill -TERM "$srv"
+rc=0; wait "$srv" || rc=$?
+[ "$rc" -eq 0 ] || fail "watch daemon drained with exit $rc (want 0)"
+
 echo "serve_smoke: OK (cold misses=$cold_misses, edit misses=$edit_misses)"

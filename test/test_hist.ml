@@ -1,0 +1,215 @@
+(* The telemetry plane's histograms and the metric-name registry:
+
+   - pinned bucket boundaries: the HDR-style log-linear bucketing is
+     pure integer arithmetic, so exact edge values land in exactly the
+     bucket whose lower edge they are — pinned here so a refactor that
+     shifts an edge by one fails loudly;
+   - qcheck properties: [merge] is associative and commutative with
+     [empty] as identity (the serve daemon merges per-shard histograms
+     in whatever order replies arrive), [quantile] is monotone in [q],
+     and [of_json] inverts [to_json];
+   - recording through the domain pool at jobs 1 and jobs 4 yields
+     bit-identical snapshots: bucket counts are order-independent and
+     the sum is exact integer arithmetic in float;
+   - the registry: a full chaos suite run with probes on emits only
+     metric names that [Obs.Registry] documents, so DESIGN.md's table
+     cannot silently drift from the code. *)
+
+module Hist = Obs.Hist
+module Probe = Obs.Probe
+module Registry = Obs.Registry
+module Inject = Obs.Inject
+module Parallel = Driver.Parallel
+module Context = Driver.Context
+module Experiments = Driver.Experiments
+module Fault = Driver.Fault
+
+let snapshot_of_values (vs : int list) : Hist.snapshot =
+  let h = Hist.create () in
+  List.iter (Hist.record h) vs;
+  Hist.snapshot h
+
+(* --- pinned bucket boundaries ----------------------------------------- *)
+
+let test_bucket_boundaries () =
+  (* unit buckets below sub_count *)
+  for v = 0 to Hist.sub_count - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "value %d gets a unit bucket" v)
+      v (Hist.bucket_of_value v)
+  done;
+  (* pinned (value, bucket) pairs across several octaves *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_of_value %d" v)
+        b (Hist.bucket_of_value v))
+    [ (32, 32); (33, 33); (63, 63);    (* first split octave: width 1 *)
+      (64, 64); (65, 64); (66, 65);    (* width-2 octave *)
+      (95, 79); (96, 80); (127, 95);
+      (128, 96); (255, 127);           (* width-4 octave ends at 127 *)
+      (1024, 192); (1055, 192); (1056, 193);
+      (1_000_000_000, 827) ];          (* ~1s in ns: msb 29, sub 27 *)
+  (* exact edges are their own lower bounds, and round-tripping is
+     exact: the lower edge of a value's bucket never exceeds it *)
+  List.iter
+    (fun v ->
+      let b = Hist.bucket_of_value v in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket_lower (bucket %d) <= %d" b v)
+        true
+        (Hist.bucket_lower b <= v);
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_lower %d round-trips" b)
+        b
+        (Hist.bucket_of_value (Hist.bucket_lower b)))
+    [ 0; 1; 31; 32; 33; 63; 64; 96; 127; 128; 1023; 1024; 1025; 65_535;
+      65_536; 1_000_000; 123_456_789; max_int ];
+  Alcotest.(check int) "negative values clamp to bucket 0" 0
+    (Hist.bucket_of_value (-5));
+  Alcotest.(check int) "bucket table is fixed-size" 1856 Hist.bucket_count
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let gen_values = QCheck.(list_of_size Gen.(0 -- 50) small_nat)
+
+let gen_values_big =
+  QCheck.(list_of_size Gen.(0 -- 50) (int_bound 2_000_000_000))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge is associative and commutative"
+    QCheck.(triple gen_values gen_values_big gen_values)
+    (fun (a, b, c) ->
+      let sa = snapshot_of_values a
+      and sb = snapshot_of_values b
+      and sc = snapshot_of_values c in
+      Hist.merge (Hist.merge sa sb) sc = Hist.merge sa (Hist.merge sb sc)
+      && Hist.merge sa sb = Hist.merge sb sa
+      && Hist.merge Hist.empty sa = sa
+      && Hist.merge sa Hist.empty = sa)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantile is monotone in q"
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 60) (int_bound 10_000_000))
+        (int_bound 1000) (int_bound 1000))
+    (fun (vs, a, b) ->
+      let s = snapshot_of_values vs in
+      let q1 = float_of_int (min a b) /. 1000.0
+      and q2 = float_of_int (max a b) /. 1000.0 in
+      Hist.quantile s q1 <= Hist.quantile s q2)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"of_json inverts to_json"
+    gen_values_big
+    (fun vs ->
+      let s = snapshot_of_values vs in
+      Hist.of_json (Hist.to_json s) = Some s)
+
+(* --- quantiles against a known multiset ------------------------------- *)
+
+let test_quantile_exact () =
+  (* 100 observations of 1..100: values up to 63 are in exact (width-1)
+     buckets, 64..100 in width-2 buckets, so the ranked value comes
+     back either exactly or as the even lower edge one below it *)
+  let s = snapshot_of_values (List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0 (Hist.quantile s 0.5);
+  Alcotest.(check (float 0.0)) "p90 of 1..100" 90.0 (Hist.quantile s 0.9);
+  (* rank 99 -> value 99, which shares bucket [98, 99] *)
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 98.0 (Hist.quantile s 0.99);
+  Alcotest.(check (float 0.0)) "p0 clamps to rank 1" 1.0
+    (Hist.quantile s 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the max" 100.0
+    (Hist.quantile s 1.0);
+  Alcotest.(check bool) "empty snapshot has nan quantiles" true
+    (Float.is_nan (Hist.quantile Hist.empty 0.5))
+
+(* --- bit-identical snapshots through the pool ------------------------- *)
+
+let pool_values = List.init 300 (fun i -> i * 7919 mod 1_000_000)
+
+let record_via_pool (jobs : int) : Hist.snapshot =
+  Hist.reset ();
+  Probe.set_enabled true;
+  Parallel.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_jobs 1;
+      Probe.set_enabled false)
+    (fun () ->
+      ignore
+        (Parallel.map (fun v -> Hist.observe "test.pool.values" v) pool_values);
+      match List.assoc_opt "test.pool.values" (Hist.all ()) with
+      | Some s -> s
+      | None -> Alcotest.fail "pooled recording produced no histogram")
+
+let test_pool_deterministic () =
+  let s1 = record_via_pool 1 in
+  let s4 = record_via_pool 4 in
+  Hist.reset ();
+  Alcotest.(check bool) "jobs 1 and jobs 4 snapshots are bit-identical"
+    true (s1 = s4);
+  Alcotest.(check string) "identical wire JSON too"
+    (Obs.Json.to_compact_string (Hist.summary_json s1))
+    (Obs.Json.to_compact_string (Hist.summary_json s4));
+  Alcotest.(check int) "every recording landed" (List.length pool_values)
+    s1.Hist.h_count
+
+(* --- the registry covers everything a chaos suite run emits ----------- *)
+
+let test_registry_covers_chaos_run () =
+  Inject.disarm_all ();
+  Fault.reset ();
+  Context.clear ();
+  Probe.reset ();
+  Hist.reset ();
+  Probe.set_enabled true;
+  Parallel.set_jobs 2;
+  Fun.protect
+    ~finally:(fun () ->
+      Inject.disarm_all ();
+      Fault.reset ();
+      Context.clear ();
+      Probe.set_enabled false;
+      Probe.reset ();
+      Hist.reset ();
+      Parallel.set_jobs 1)
+    (fun () ->
+      Fault.arm_chaos ~seed:20260808 ();
+      (* the full experiment battery: compiles and profiles the whole
+         program suite, runs every solver and estimator family *)
+      List.iter (fun (_, _, f) -> ignore (f ())) Experiments.all;
+      (* the incremental layer too (store-less analyze still counts) *)
+      Inject.disarm_all ();
+      ignore
+        (Driver.Incr.analyze ~name:"hist_registry_probe"
+           "int main() { return 0; }");
+      let check kind name =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s is registered"
+             (Registry.kind_to_string kind) name)
+          true
+          (Registry.registered kind name)
+      in
+      List.iter (fun (n, _) -> check Registry.Counter n) (Probe.counters ());
+      List.iter (fun (n, _) -> check Registry.Gauge n) (Probe.gauges ());
+      List.iter (fun (n, _) -> check Registry.Hist n) (Hist.all ());
+      (* the run actually emitted something in each kind *)
+      Alcotest.(check bool) "chaos run emitted counters" true
+        (Probe.counters () <> []);
+      Alcotest.(check bool) "chaos run emitted histograms" true
+        (Hist.all () <> []))
+
+let suite =
+  [ Alcotest.test_case "pinned bucket boundaries" `Quick
+      test_bucket_boundaries;
+    QCheck_alcotest.to_alcotest prop_merge_associative;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    Alcotest.test_case "exact quantiles on a unit-bucket multiset" `Quick
+      test_quantile_exact;
+    Alcotest.test_case "pool recording: jobs 1 = jobs 4, bit-identical"
+      `Quick test_pool_deterministic;
+    Alcotest.test_case "registry covers a full chaos suite run" `Quick
+      test_registry_covers_chaos_run ]

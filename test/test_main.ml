@@ -22,6 +22,7 @@ let () =
       ("differential", Test_differential.suite);
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
+      ("hist", Test_hist.suite);
       ("trace", Test_trace.suite);
       ("record", Test_record.suite);
       ("corpus", Test_corpus.suite);

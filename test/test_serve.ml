@@ -26,10 +26,10 @@ module Json = Obs.Json
    "" elements for batch separators) go through a temp file pair. The
    daemon always starts from an empty store and jobs = 1 so tests are
    order-independent. *)
-let run_session (lines : string list) : Json.t list =
-  Incr.clear ();
-  Incr.reset_stats ();
-  Parallel.set_jobs 1;
+(* [run_session_dirty] keeps whatever cache/probe state the test set up
+   beforehand — the telemetry tests need to observe a daemon that
+   starts mid-life. *)
+let rec run_session_dirty (lines : string list) : Json.t list =
   let in_path = Filename.temp_file "serve_in" ".ndjson" in
   let out_path = Filename.temp_file "serve_out" ".ndjson" in
   Fun.protect
@@ -61,6 +61,12 @@ let run_session (lines : string list) : Json.t list =
           List.rev acc
       in
       read [])
+
+and run_session (lines : string list) : Json.t list =
+  Incr.clear ();
+  Incr.reset_stats ();
+  Parallel.set_jobs 1;
+  run_session_dirty lines
 
 let req fields = Json.to_compact_string (Json.Obj fields)
 
@@ -317,6 +323,158 @@ let test_overload_shed_shape () =
       (bool_field "overloaded" r)
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
 
+(* --- telemetry: metrics verb, slow log, gauge re-publish -------------- *)
+
+module Hist = Obs.Hist
+module Probe = Obs.Probe
+module Reqtrace = Driver.Reqtrace
+
+(* Telemetry state is process-global; every telemetry test starts from
+   a clean plane and restores it, whatever happens. *)
+let with_probes (f : unit -> unit) () =
+  let clean () =
+    Reqtrace.set_slow_ms None;
+    Reqtrace.set_slow_sink None;
+    Reqtrace.reset_slow ();
+    Probe.set_enabled false;
+    Probe.reset ();
+    Hist.reset ()
+  in
+  clean ();
+  Probe.set_enabled true;
+  Fun.protect ~finally:clean f
+
+let member_obj name j =
+  match Json.member name j with
+  | Some o -> o
+  | None -> Alcotest.failf "response missing object field %S" name
+
+let test_metrics_verb () =
+  let responses =
+    run_session
+      [ analyze ~id:1 "metrics_prog" good_source; "";
+        req [ ("id", Json.Num 2.); ("op", Json.Str "metrics") ]; "";
+        req [ ("id", Json.Num 3.); ("op", Json.Str "shutdown") ] ]
+  in
+  match responses with
+  | [ _; m; _ ] ->
+    Alcotest.(check bool) "metrics response is ok" true (ok_of m);
+    Alcotest.(check (float 0.0)) "schema version" 1.0 (num_field "schema" m);
+    let hists = member_obj "hists" m in
+    let request_hist = member_obj "serve.request.ns" hists in
+    Alcotest.(check (float 0.0))
+      "serve.request.ns counts the one completed request" 1.0
+      (num_field "count" request_hist);
+    Alcotest.(check bool) "quantiles are published" true
+      (Json.member "p99" request_hist <> None);
+    Alcotest.(check bool) "the analyze latency histogram is there" true
+      (Json.member "incr.analyze.ns" hists <> None);
+    let bytes = member_obj "incr.bytes" (member_obj "gauges" m) in
+    Alcotest.(check bool) "store gauge is positive" true
+      (num_field "value" bytes > 0.0);
+    Alcotest.(check (float 0.0)) "unsharded gauge is shard -1" (-1.0)
+      (num_field "shard" bytes);
+    Alcotest.(check bool) "cache counters are published" true
+      (Json.member "incr.miss" (member_obj "counters" m) <> None);
+    Alcotest.(check (float 0.0)) "no workers in embedded mode" 0.0
+      (num_field "workers" m)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+let test_slow_log () =
+  let sink = Filename.temp_file "serve_slow" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove sink)
+    (fun () ->
+      Reqtrace.set_slow_ms (Some 0.0);   (* every request is "slow" *)
+      Reqtrace.set_slow_sink (Some sink);
+      let responses =
+        run_session
+          [ analyze ~id:1 "slow_prog" good_source; "";
+            req [ ("id", Json.Num 2.); ("op", Json.Str "shutdown") ] ]
+      in
+      Alcotest.(check int) "both requests answered" 2
+        (List.length responses);
+      Alcotest.(check bool) "the slow log caught the analyze" true
+        (Reqtrace.slow_count () >= 1);
+      (match Reqtrace.slow_entries () with
+      | e :: _ ->
+        Alcotest.(check string) "oldest entry is the analyze" "analyze"
+          e.Reqtrace.se_op;
+        Alcotest.(check string) "it names the program" "slow_prog"
+          e.Reqtrace.se_name;
+        Alcotest.(check bool) "it echoes the request id" true
+          (e.Reqtrace.se_id = Json.Num 1.);
+        (match e.Reqtrace.se_tree with
+        | Some t ->
+          Alcotest.(check string) "the span tree is rooted at request"
+            "request" t.Reqtrace.t_label
+        | None -> Alcotest.fail "slow entry lost its span tree")
+      | [] -> Alcotest.fail "slow ring is empty");
+      (* the NDJSON sink carries the same entries, one object a line *)
+      let ic = open_in sink in
+      let rec read acc =
+        match input_line ic with
+        | l -> read (Json.parse_exn l :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      let lines = read [] in
+      Alcotest.(check int) "sink line count matches the ring"
+        (Reqtrace.slow_count ()) (List.length lines);
+      let first = List.hd lines in
+      Alcotest.(check string) "sink entries carry the op" "analyze"
+        (str_field "op" first);
+      Alcotest.(check bool) "sink entries carry the span tree" true
+        (match Json.member "tree" first with
+        | Some (Json.Obj _) -> true
+        | _ -> false))
+
+(* The pinned regression for stale store gauges: a probe-table reset
+   mid-life (exactly what the sharded daemon's per-batch housekeeping
+   used to do) dropped [incr.bytes] until the next cache write, so
+   [metrics] under-reported the store. The serve loop now re-publishes
+   after every batch: the first post-reset snapshot may miss the gauge,
+   the next one must have it back at full value. *)
+let test_gauge_republish_after_reset () =
+  Incr.clear ();
+  Incr.reset_stats ();
+  Parallel.set_jobs 1;
+  ignore (Incr.analyze ~name:"regauge" good_source);
+  let before =
+    match Probe.gauge "incr.bytes" with
+    | Some v when v > 0.0 -> v
+    | _ -> Alcotest.fail "analyze did not publish the store gauge"
+  in
+  Probe.reset ();
+  Alcotest.(check bool) "the reset dropped the gauge" true
+    (Probe.gauge "incr.bytes" = None);
+  let metrics id = req [ ("id", Json.Num (float_of_int id)); ("op", Json.Str "metrics") ] in
+  let responses =
+    run_session_dirty
+      [ metrics 1; ""; metrics 2; "";
+        req [ ("id", Json.Num 3.); ("op", Json.Str "shutdown") ] ]
+  in
+  match responses with
+  | [ m1; m2; _ ] ->
+    let bytes m =
+      Option.bind (Json.member "gauges" m) (Json.member "incr.bytes")
+    in
+    Alcotest.(check bool)
+      "same-batch snapshot still misses the gauge (reset precedes it)"
+      true
+      (bytes m1 = None);
+    (match bytes m2 with
+    | Some g ->
+      Alcotest.(check (float 0.0))
+        "next batch sees the re-published gauge at full value" before
+        (num_field "value" g)
+    | None ->
+      Alcotest.fail
+        "gauge still missing one batch later: the per-batch re-publish \
+         is gone")
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
 let suite =
   [ Alcotest.test_case "warm analyze: program hit, identical scores"
       `Quick test_warm_analyze;
@@ -333,4 +491,10 @@ let suite =
     Alcotest.test_case "an unmeetable deadline is a typed fault" `Quick
       test_deadline_marker;
     Alcotest.test_case "a shed request is a typed overload error" `Quick
-      test_overload_shed_shape ]
+      test_overload_shed_shape;
+    Alcotest.test_case "metrics verb: one JSON snapshot of the plane"
+      `Quick (with_probes test_metrics_verb);
+    Alcotest.test_case "slow log: ring + NDJSON sink carry span trees"
+      `Quick (with_probes test_slow_log);
+    Alcotest.test_case "store gauge survives a probe reset (regression)"
+      `Quick (with_probes test_gauge_republish_after_reset) ]
